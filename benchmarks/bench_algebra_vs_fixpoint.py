@@ -1,0 +1,84 @@
+"""E20 — the conclusion's first bullet: fixpoints are tractable
+recursion, the powerset operator is not.
+
+Transitive closure by powerset enumeration (the algebra-with-powerset
+formulation) against the IFP route and the native loop, over growing
+graphs.  The powerset route's cost explodes with the number of
+non-edges; the fixpoint routes grow polynomially.
+"""
+
+import pytest
+from conftest import measure_seconds
+
+from repro.algebra import AlgebraError, tc_via_loop, tc_via_powerset
+from repro.core.safety import evaluate_range_restricted
+from repro.workloads import chain_graph, transitive_closure_query
+
+
+def test_powerset_tc_small(benchmark):
+    inst = chain_graph(3)
+    pairs = benchmark(lambda: tc_via_powerset(inst))
+    assert pairs == tc_via_loop(inst)
+
+
+def test_ifp_tc_same_graph(benchmark):
+    inst = chain_graph(3)
+    report = benchmark(lambda: evaluate_range_restricted(
+        transitive_closure_query("U"), inst))
+    pairs = frozenset((r.component(1), r.component(2))
+                      for r in report.answer)
+    assert pairs == tc_via_loop(inst)
+
+
+def test_native_loop_same_graph(benchmark):
+    inst = chain_graph(3)
+    pairs = benchmark(lambda: tc_via_loop(inst))
+    assert len(pairs) == 3
+
+
+def test_crossover_shape(benchmark):
+    """Powerset cost explodes where IFP stays flat: the crossover the
+    paper's conclusion predicts."""
+    def sweep():
+        rows = []
+        for n in (3, 4):
+            inst = chain_graph(n)
+            powerset_seconds, powerset_pairs = measure_seconds(
+                tc_via_powerset, inst)
+            ifp_seconds, report = measure_seconds(
+                evaluate_range_restricted,
+                transitive_closure_query("U"), inst)
+            ifp_pairs = frozenset((r.component(1), r.component(2))
+                                  for r in report.answer)
+            assert powerset_pairs == ifp_pairs == tc_via_loop(inst)
+            rows.append((n, powerset_seconds, ifp_seconds))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nE20: TC via powerset vs via IFP (seconds)")
+    print(f"  {'nodes':>5} {'powerset':>10} {'IFP':>8} {'blowup':>7}")
+    previous_powerset = None
+    for n, powerset_seconds, ifp_seconds in rows:
+        blowup = (powerset_seconds / previous_powerset
+                  if previous_powerset else 1.0)
+        print(f"  {n:>5} {powerset_seconds:>10.4f} {ifp_seconds:>8.4f} "
+              f"{blowup:>7.1f}x")
+        previous_powerset = powerset_seconds
+    # exponential vs polynomial: one extra node multiplies the powerset
+    # cost far more than the fixpoint cost
+    assert rows[-1][1] > 4 * rows[0][1]
+
+
+def test_powerset_wall(benchmark):
+    """At 6 nodes the candidate space alone (2^(36-5) subsets) is out of
+    reach: the powerset route hits its cap, the fixpoint does not."""
+    inst = chain_graph(6)
+
+    def run():
+        with pytest.raises(AlgebraError):
+            tc_via_powerset(inst, max_subsets=10 ** 6)
+        return evaluate_range_restricted(
+            transitive_closure_query("U"), inst).answer
+
+    answer = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(answer) == 15

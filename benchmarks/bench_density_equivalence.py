@@ -1,0 +1,63 @@
+"""E08 — Lemma 4.1: cardinality- and size-based measures move together.
+
+Sweeps a dense family and a sparse family, computing all four measures
+(|I|, ||I||, |dom|, ||dom||) and checking the polynomial relationships
+of the lemma's facts (a)-(c); benchmarks the measure computation.
+"""
+
+import math
+
+from repro.analysis import classify_family, lemma41_witness
+from repro.workloads import all_subsets_instance, sparse_chain_family
+
+
+def test_lemma41_measures_dense(benchmark):
+    def sweep():
+        return [lemma41_witness(all_subsets_instance(n), 1, 1)
+                for n in (2, 3, 4, 5)]
+
+    witnesses = benchmark(sweep)
+    print("\nE08: Lemma 4.1 measures, dense family (all subsets)")
+    print(f"  {'|I|':>6} {'||I||':>8} {'|dom|':>8} {'||dom||':>9} "
+          f"{'dom/I':>6}")
+    for w in witnesses:
+        print(f"  {w.cardinality:>6} {w.size:>8} {w.dom_cardinality:>8} "
+              f"{w.dom_size:>9} {w.dom_cardinality / w.cardinality:>6.2f}")
+        assert all(w.facts.values())
+        # density in both measures, one fixed polynomial
+        assert w.dom_cardinality <= 4 * w.cardinality
+        assert w.dom_size <= 8 * w.size
+
+
+def test_lemma41_measures_sparse(benchmark):
+    def sweep():
+        return [lemma41_witness(sparse_chain_family(n), 1, 1)
+                for n in (4, 6, 8, 10)]
+
+    witnesses = benchmark(sweep)
+    print("\nE08: Lemma 4.1 measures, sparse family (singleton chain)")
+    for w in witnesses:
+        log_dom = math.log2(w.dom_cardinality)
+        log_dom_size = math.log2(w.dom_size)
+        print(f"  |I|={w.cardinality:>3} ||I||={w.size:>4} "
+              f"log|dom|={log_dom:>5.1f} log||dom||={log_dom_size:>5.1f}")
+        assert all(w.facts.values())
+        # sparsity in both measures
+        assert w.cardinality <= 4 * log_dom
+        assert w.size <= 8 * log_dom_size ** 2
+
+
+def test_family_classification(benchmark):
+    def classify():
+        dense = classify_family(all_subsets_instance, 1, 1, [3, 4, 5, 6, 7])
+        sparse = classify_family(sparse_chain_family, 1, 2, [3, 4, 6, 8, 10])
+        return dense, sparse
+
+    dense, sparse = benchmark(classify)
+    print("\nE08: family classification")
+    print(f"  all-subsets: dense={dense.looks_dense} "
+          f"(degree {dense.dense_exponent:.2f}), sparse={dense.looks_sparse}")
+    print(f"  chain      : dense={sparse.looks_dense}, "
+          f"sparse={sparse.looks_sparse} (degree {sparse.sparse_exponent:.2f})")
+    assert dense.looks_dense and not dense.looks_sparse
+    assert sparse.looks_sparse and not sparse.looks_dense

@@ -1,0 +1,65 @@
+"""E04 — the hyper(i,k) table of Section 2.
+
+Regenerates the hyperexponential domain-cardinality bounds and checks
+``|dom(T, D)| <= hyper(i, k)(n)`` across the normalised ``<i,k>``-types;
+benchmarks the exact big-integer arithmetic.
+"""
+
+from repro.objects.domains import (
+    all_ik_types,
+    dom_ik_cardinality,
+    domain_cardinality,
+    hyper,
+)
+
+
+def _hyper_table() -> list[tuple[int, int, int, int]]:
+    rows = []
+    for i in (0, 1, 2):
+        for k in (1, 2):
+            for n in (1, 2, 3):
+                if i == 2 and n == 3 and k == 2:
+                    continue  # 0.5 Mbit number; covered in tests
+                rows.append((i, k, n, hyper(i, k, n)))
+    return rows
+
+
+def test_hyper_table(benchmark):
+    rows = benchmark(_hyper_table)
+    print("\nE04: hyper(i,k)(n)")
+    for i, k, n, value in rows:
+        shown = value if value.bit_length() <= 64 else f"2^{value.bit_length() - 1}"
+        print(f"  hyper({i},{k})({n}) = {shown}")
+    # spot values from the definition
+    table = {(i, k, n): v for i, k, n, v in rows}
+    assert table[(0, 2, 3)] == 9
+    assert table[(1, 2, 3)] == 2 ** 18
+    assert table[(2, 1, 2)] == 2 ** 4
+
+
+def test_domain_cardinalities_bounded_by_hyper(benchmark):
+    def check():
+        results = []
+        for i, k in [(1, 1), (1, 2)]:
+            for n in (1, 2, 3):
+                bound = hyper(i, k, n)
+                for typ in all_ik_types(i, k):
+                    cardinality = domain_cardinality(typ, n)
+                    assert cardinality <= bound, (typ, n)
+                results.append((i, k, n, dom_ik_cardinality(i, k, n)))
+        return results
+
+    results = benchmark(check)
+    print("\nE04: |dom(i,k,D)| (typed union)")
+    for i, k, n, value in results:
+        shown = value if value.bit_length() <= 64 else f"~2^{value.bit_length() - 1}"
+        print(f"  |dom({i},{k},{n} atoms)| = {shown}")
+
+
+def test_exact_arithmetic_speed(benchmark):
+    """The big-int arithmetic itself must stay cheap (used everywhere)."""
+    def compute():
+        return dom_ik_cardinality(1, 2, 4)
+
+    value = benchmark(compute)
+    assert value > 2 ** 30

@@ -1,0 +1,76 @@
+"""E18 — Theorem 6.1: flat-to-flat queries with height-1 intermediate
+types cost one exponential in the worst case.
+
+The kernel query (one existential {U} variable) on growing flat graphs:
+the set quantifier ranges over 2**n subsets, so cost doubles per node —
+the ``P(hyper(1,k))`` shape of ``(CALC_1^2)_0``.
+"""
+
+from conftest import fit_growth, measure_seconds
+
+from repro.core.evaluation import evaluate
+from repro.workloads import cycle_graph
+
+import sys
+import os
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                "..", "tests"))
+
+
+def _kernel_query():
+    from repro.core.builder import V, exists, forall, member, proj, query, rel
+
+    t = V("t", "[U,U]")
+    X = V("X", "{U}")
+    u, v = V("u", "U"), V("v", "U")
+    w, z = V("w", "U"), V("z", "U")
+    G = rel("G")
+    independent = forall([u, v],
+                         (member(u, X) & member(v, X)).implies(~G(u, v)))
+    is_node = (exists(V("n1", "U"), G(w, V("n1", "U")))
+               | exists(V("n2", "U"), G(V("n2", "U"), w)))
+    dominated = member(w, X) | exists(z, member(z, X) & G(z, w))
+    dominating = forall(w, is_node.implies(dominated))
+    return query([t], G(proj(t, 1), proj(t, 2))
+                 & exists(X, independent & dominating))
+
+
+def test_kernel_on_even_cycle(benchmark):
+    inst = cycle_graph(4)
+    answer = benchmark(lambda: evaluate(_kernel_query(), inst))
+    assert len(answer) == 4  # even cycles have kernels
+
+
+def test_kernel_on_odd_cycle(benchmark):
+    inst = cycle_graph(5)
+    answer = benchmark(lambda: evaluate(_kernel_query(), inst))
+    assert answer == frozenset()  # C5 has no kernel
+
+
+def test_exponential_growth_in_nodes(benchmark):
+    """Cost roughly doubles per node (the 2**n subset space).
+
+    Odd cycles are the worst case: no kernel exists, so the existential
+    set quantifier cannot short-circuit and sweeps all 2**n subsets.
+    """
+    sizes = [3, 5, 7]
+    times = []
+
+    def sweep():
+        times.clear()
+        for n in sizes:
+            inst = cycle_graph(n)
+            seconds, _ = measure_seconds(evaluate, _kernel_query(), inst)
+            times.append(seconds)
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nE18: kernel query on odd cycles (no-kernel worst case)")
+    for n, seconds in zip(sizes, times):
+        print(f"  n={n}: {seconds:.4f}s")
+    degree = fit_growth(sizes, times)
+    print(f"  growth degree on log-log: ~n^{degree:.1f} "
+          "(super-polynomial: doubling per node)")
+    assert times[2] > 3 * times[1] > 3 * times[0] / 3
+    assert times[2] > 6 * times[0]

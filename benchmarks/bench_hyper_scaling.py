@@ -1,0 +1,112 @@
+"""E13 — Theorem 4.2: the cost of quantifying one set level above the
+density boundary is one exponential.
+
+The same flat instance (dense w.r.t. <0,k>-types, sparse above) is
+queried with existential variables of increasing set height.  Each
+height adds one level of the hyper tower to the quantification space;
+the measured quantifier-iteration counts track |dom(height)| exactly.
+"""
+
+from conftest import measure_seconds
+
+from repro.core.builder import V, exists, forall, member, query, rel
+from repro.core.evaluation import Evaluator
+from repro.objects import database_schema, domain_cardinality, instance, parse_type
+from repro.workloads import atoms_universe
+
+
+def _flat_instance(n: int):
+    atoms = atoms_universe(n)
+    schema = database_schema(P=["U"])
+    return instance(schema, P=[(a,) for a in atoms])
+
+
+def _query_with_height(height: int):
+    """Forces one *universal* quantifier over a type of the given set
+    height, with a tautological body — the quantifier cannot
+    short-circuit, so the full domain of the height is enumerated
+    (exactly the cost the theorem accounts for)."""
+    x = V("x", "U")
+    if height == 0:
+        return query([x], rel("P")(x))
+    typ = ["{U}", "{{U}}"][height - 1]
+    s = V("s", typ)
+    if height == 1:
+        tautology = member(x, s).implies(member(x, s))
+    else:
+        inner = V("t", "{U}")
+        tautology = exists(inner, member(inner, s)).implies(
+            exists(V("t2", "{U}"), member(V("t2", "{U}"), s)))
+    return query([x], rel("P")(x) & forall(s, tautology))
+
+
+def test_height_zero(benchmark):
+    inst = _flat_instance(3)
+    evaluator = Evaluator(inst.schema)
+    answer = benchmark(lambda: evaluator.evaluate(_query_with_height(0), inst))
+    assert len(answer) == 3
+
+
+def test_height_one(benchmark):
+    inst = _flat_instance(3)
+    evaluator = Evaluator(inst.schema)
+    answer = benchmark(lambda: evaluator.evaluate(_query_with_height(1), inst))
+    assert len(answer) == 3
+
+
+def test_height_two(benchmark):
+    inst = _flat_instance(3)
+    evaluator = Evaluator(inst.schema)
+    answer = benchmark(lambda: evaluator.evaluate(_query_with_height(2), inst))
+    assert len(answer) == 3
+
+
+def test_tower_shape(benchmark):
+    """Quantifier iterations grow by one exponential per height level."""
+    n = 3
+    inst = _flat_instance(n)
+
+    def sweep():
+        rows = []
+        for height in (0, 1, 2):
+            evaluator = Evaluator(inst.schema, max_domain_size=10 ** 6)
+            seconds, answer = measure_seconds(
+                evaluator.evaluate, _query_with_height(height), inst)
+            assert len(answer) == n
+            iterations = evaluator.last_stats["quantifier_iterations"]
+            rows.append((height, iterations, seconds))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nE13: quantification cost per set height (n = 3 atoms)")
+    print(f"  {'height':>6} {'iterations':>11} {'seconds':>9} {'|dom|':>8}")
+    doms = [n, domain_cardinality(parse_type("{U}"), n),
+            domain_cardinality(parse_type("{{U}}"), n)]
+    for (height, iterations, seconds), dom in zip(rows, doms):
+        print(f"  {height:>6} {iterations:>11} {seconds:>9.4f} {dom:>8}")
+    # hyper shape: each level multiplies the work by ~|dom(level)|
+    assert rows[1][1] > 2 * rows[0][1]
+    assert rows[2][1] > 8 * rows[1][1]
+
+
+def test_sparse_input_pays_full_tower(benchmark):
+    """Theorem 4.2's contrast: on an input sparse w.r.t. <2,k>-types,
+    the level-2 quantifier costs ~2^(2^n) regardless of |I| — growing
+    the universe by one atom squares the cost."""
+    def sweep():
+        rows = []
+        for n in (2, 3):
+            inst = _flat_instance(n)
+            evaluator = Evaluator(inst.schema, max_domain_size=10 ** 6)
+            seconds, _ = measure_seconds(
+                evaluator.evaluate, _query_with_height(2), inst)
+            rows.append((n, evaluator.last_stats["quantifier_iterations"],
+                         seconds))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nE13: level-2 quantification vs universe size")
+    for n, iterations, seconds in rows:
+        print(f"  n={n}: {iterations} iterations, {seconds:.4f}s")
+    # 2^(2^3) / 2^(2^2) = 16x more sets; iterations blow up accordingly.
+    assert rows[1][1] > 8 * rows[0][1]

@@ -1,0 +1,106 @@
+"""E09 — Lemma 4.3: induced orders, native vs formula-defined.
+
+Benchmarks the three native implementations (comparator, sort keys,
+arithmetic ranks) and the generated CALC formula, on whole domains.
+The formula route is orders of magnitude slower — it exists to witness
+*definability*, the native routes to be used; the bench quantifies that
+gap.
+"""
+
+import itertools
+
+from conftest import measure_seconds
+
+from repro.core.evaluation import Evaluator
+from repro.core.order_formulas import less_than_formula, order_schema, with_order_relation
+from repro.core.syntax import Var
+from repro.objects import (
+    AtomOrder,
+    Instance,
+    compare,
+    database_schema,
+    materialize_domain,
+    parse_type,
+    rank,
+    sort_key,
+    sorted_values,
+    unrank,
+)
+
+TYPE = parse_type("{[U,U]}")
+ORDER = AtomOrder.from_labels("ab")
+DOMAIN = materialize_domain(TYPE, ORDER.atoms)
+
+
+def test_native_comparator(benchmark):
+    def all_pairs():
+        return sum(
+            1 for left, right in itertools.product(DOMAIN, repeat=2)
+            if compare(left, right, ORDER) < 0
+        )
+
+    count = benchmark(all_pairs)
+    assert count == len(DOMAIN) * (len(DOMAIN) - 1) // 2
+
+
+def test_sort_keys(benchmark):
+    ordered = benchmark(lambda: sorted_values(DOMAIN, ORDER))
+    assert len(ordered) == len(DOMAIN)
+    for left, right in zip(ordered, ordered[1:]):
+        assert compare(left, right, ORDER) < 0
+
+
+def test_arithmetic_ranks(benchmark):
+    def roundtrip():
+        return [unrank(rank(value, TYPE, ORDER), TYPE, ORDER)
+                for value in DOMAIN]
+
+    values = benchmark(roundtrip)
+    assert values == DOMAIN or set(values) == set(DOMAIN)
+
+
+def test_formula_defined_order(benchmark):
+    """Lemma 4.3's CALC formula, evaluated over all pairs."""
+    base = database_schema(Seed=["U"])
+    inst = with_order_relation(
+        Instance(base, {"Seed": [(a,) for a in ORDER.atoms]}), ORDER)
+    lt = less_than_formula(TYPE)
+    phi = lt(Var("x", TYPE), Var("y", TYPE))
+    evaluator = Evaluator(inst.schema, max_domain_size=10 ** 6)
+
+    def all_pairs():
+        return sum(
+            1 for left, right in itertools.product(DOMAIN, repeat=2)
+            if evaluator.evaluate_formula(
+                phi, inst, {"x": left, "y": right},
+                free_variable_types={"x": TYPE, "y": TYPE})
+        )
+
+    count = benchmark.pedantic(all_pairs, rounds=1, iterations=1)
+    assert count == len(DOMAIN) * (len(DOMAIN) - 1) // 2
+
+
+def test_native_vs_formula_gap(benchmark):
+    base = database_schema(Seed=["U"])
+    inst = with_order_relation(
+        Instance(base, {"Seed": [(a,) for a in ORDER.atoms]}), ORDER)
+    lt = less_than_formula(TYPE)
+    phi = lt(Var("x", TYPE), Var("y", TYPE))
+    evaluator = Evaluator(inst.schema, max_domain_size=10 ** 6)
+    pair = (DOMAIN[3], DOMAIN[7])
+
+    def measure():
+        native_seconds, native_result = measure_seconds(
+            lambda: compare(*pair, ORDER) < 0)
+        formula_seconds, formula_result = measure_seconds(
+            evaluator.evaluate_formula, phi, inst,
+            {"x": pair[0], "y": pair[1]},
+            {"x": TYPE, "y": TYPE})
+        assert native_result == formula_result
+        return native_seconds, formula_seconds
+
+    native_seconds, formula_seconds = benchmark.pedantic(
+        measure, rounds=1, iterations=1)
+    print(f"\nE09: one comparison — native {native_seconds * 1e6:.1f}us, "
+          f"formula {formula_seconds * 1e6:.1f}us "
+          f"({formula_seconds / max(native_seconds, 1e-9):.0f}x)")

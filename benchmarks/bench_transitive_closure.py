@@ -1,0 +1,78 @@
+"""E06 — Example 3.1: transitive closure across engines.
+
+One query, four evaluation routes: naive active-domain CALC+IFP,
+range-restricted CALC+IFP, inflationary Datalog, and the hand-rolled
+semi-naive loop.  All must agree; the bench records their costs.
+"""
+
+from conftest import measure_seconds
+
+from repro.algebra import tc_via_loop
+from repro.core.evaluation import evaluate
+from repro.core.safety import evaluate_range_restricted
+from repro.datalog import Literal, Program, Rule, evaluate_inflationary
+from repro.workloads import set_random_graph, transitive_closure_query
+
+GRAPH = set_random_graph(3, 6, p=0.35, seed=41)  # 6 set-typed nodes
+QUERY = transitive_closure_query()
+
+
+def _datalog_program():
+    return Program(
+        rules=[
+            Rule(Literal("T", ["x", "y"]), [Literal("G", ["x", "y"])]),
+            Rule(Literal("T", ["x", "y"]),
+                 [Literal("T", ["x", "z"]), Literal("G", ["z", "y"])]),
+        ],
+        idb_types={"T": ["{U}", "{U}"]},
+    )
+
+
+def _reference_pairs():
+    return tc_via_loop(GRAPH)
+
+
+def test_tc_naive_active_domain(benchmark):
+    answer = benchmark(lambda: evaluate(QUERY, GRAPH))
+    pairs = frozenset((r.component(1), r.component(2)) for r in answer)
+    assert pairs == _reference_pairs()
+
+
+def test_tc_range_restricted(benchmark):
+    report = benchmark(lambda: evaluate_range_restricted(QUERY, GRAPH))
+    pairs = frozenset((r.component(1), r.component(2)) for r in report.answer)
+    assert pairs == _reference_pairs()
+
+
+def test_tc_datalog_inflationary(benchmark):
+    program = _datalog_program()
+    result = benchmark(lambda: evaluate_inflationary(program, GRAPH))
+    assert frozenset(result["T"]) == frozenset(
+        tuple(pair) for pair in _reference_pairs()
+    )
+
+
+def test_tc_native_semi_naive(benchmark):
+    pairs = benchmark(lambda: tc_via_loop(GRAPH))
+    assert pairs == _reference_pairs()
+
+
+def test_tc_engines_agree_and_rank(benchmark):
+    """Record the relative costs (native < datalog/RR << naive)."""
+    def compare():
+        naive_seconds, _ = measure_seconds(evaluate, QUERY, GRAPH)
+        rr_seconds, _ = measure_seconds(
+            evaluate_range_restricted, QUERY, GRAPH)
+        datalog_seconds, _ = measure_seconds(
+            evaluate_inflationary, _datalog_program(), GRAPH)
+        native_seconds, _ = measure_seconds(tc_via_loop, GRAPH)
+        return naive_seconds, rr_seconds, datalog_seconds, native_seconds
+
+    naive, rr, datalog, native = benchmark.pedantic(
+        compare, rounds=1, iterations=1)
+    print("\nE06: transitive closure engine comparison (seconds)")
+    print(f"  naive active-domain : {naive:.4f}")
+    print(f"  range-restricted    : {rr:.4f}")
+    print(f"  datalog inflationary: {datalog:.4f}")
+    print(f"  native semi-naive   : {native:.4f}")
+    assert native <= min(naive, rr, datalog)

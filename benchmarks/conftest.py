@@ -1,0 +1,41 @@
+"""Shared helpers for the benchmark suite.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each ``bench_*.py`` file regenerates one experiment from DESIGN.md's
+per-experiment index (E03-E20).  Benchmarks assert the *shape* of the
+paper's claims (who wins, polynomial vs exponential growth) with
+generous factors, and print the series they measure so EXPERIMENTS.md
+can quote them.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+
+def measure_seconds(fn, *args, **kwargs) -> tuple[float, object]:
+    """Wall-time one call (for intra-benchmark shape comparisons that
+    pytest-benchmark's one-function-one-timer model doesn't cover)."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return time.perf_counter() - start, result
+
+
+def fit_growth(xs: list[float], ys: list[float]) -> float:
+    """Least-squares slope of log2(y) against log2(x): the growth degree."""
+    import math
+
+    points = [(math.log2(x), math.log2(max(y, 1e-9)))
+              for x, y in zip(xs, ys) if x > 0]
+    n = len(points)
+    mean_x = sum(p[0] for p in points) / n
+    mean_y = sum(p[1] for p in points) / n
+    denominator = sum((p[0] - mean_x) ** 2 for p in points)
+    if denominator == 0:
+        return 0.0
+    return sum((p[0] - mean_x) * (p[1] - mean_y) for p in points) / denominator

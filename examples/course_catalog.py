@@ -1,0 +1,87 @@
+"""Example 4.2 — density as an integrity constraint on a course catalog.
+
+A database stores the sets of classes students may take.  With no
+prerequisite structure every combination occurs — the instance family is
+*dense* w.r.t. the type "set of classes", and quantifying over that type
+costs no more than scanning the database (Theorem 4.1 territory).  With
+tight prerequisites only polynomially many sets occur — *sparse* — and a
+set quantifier's domain dwarfs the database (Remark 4.1's warning).
+
+Run:  python examples/course_catalog.py
+"""
+
+import time
+
+from repro.analysis import (
+    instance_stats,
+    is_dense_for_type,
+    is_sparse_for_type,
+    log2_domain_cardinality,
+    subobject_counts,
+)
+from repro.core import V, eq, evaluate, exists, forall, member, query, rel, subset
+from repro.objects import parse_type
+from repro.workloads import course_catalog_dense, course_catalog_sparse
+
+SET_OF_CLASSES = parse_type("{U}")
+
+
+def closed_under_subsets_query():
+    """Is the catalog closed downward?  (Every subset of a valid class
+    combination is valid.)  Quantifies over two set-of-classes
+    variables — fine on dense catalogs, expensive on sparse ones."""
+    s, t = V("s", "{U}"), V("t", "{U}")
+    witness = V("w", "{U}")
+    return query(
+        [("ok", "{U}")],
+        rel("Takes")(V("ok", "{U}"))
+        & forall(s, rel("Takes")(s).implies(
+            forall(t, subset(t, s).implies(rel("Takes")(t))))),
+    )
+
+
+def report(name: str, inst) -> None:
+    stats = instance_stats(inst)
+    counts = subobject_counts(inst)
+    used = counts.get(SET_OF_CLASSES, 0)
+    possible_log2 = log2_domain_cardinality(SET_OF_CLASSES, stats.n_atoms)
+    print(f"\n{name}")
+    print(f"  combinations stored : {used}")
+    print(f"  combinations possible: 2^{possible_log2:.0f}")
+    dense = is_dense_for_type(inst, SET_OF_CLASSES, degree=1, coefficient=2)
+    sparse = is_sparse_for_type(inst, SET_OF_CLASSES, degree=2, coefficient=1)
+    print(f"  dense w.r.t. set-of-classes : {dense}")
+    print(f"  sparse w.r.t. set-of-classes: {sparse}")
+
+    start = time.perf_counter()
+    answer = evaluate(closed_under_subsets_query(), inst,
+                      max_domain_size=10 ** 6)
+    elapsed = time.perf_counter() - start
+    print(f"  downward-closure check: {'closed' if answer else 'not closed'} "
+          f"({elapsed:.3f}s with set quantifiers over 2^{possible_log2:.0f} "
+          "candidates)")
+
+
+def main() -> None:
+    print("Example 4.2: type usage as an integrity constraint")
+
+    # No prerequisites: all 2^n combinations occur -> dense.
+    dense_catalog = course_catalog_dense(6)
+    report("catalog without prerequisites (6 classes)", dense_catalog)
+
+    # Tight prerequisites: at most 2 classes at once -> sparse.
+    sparse_catalog = course_catalog_sparse(6, max_simultaneous=2)
+    report("catalog with prerequisites (<= 2 simultaneous)", sparse_catalog)
+
+    print(
+        "\nRemark 4.1's advice, observed: on the dense catalog the set\n"
+        "quantifier's domain is the same size as the database, so the\n"
+        "check is proportionate; on the sparse catalog the same check\n"
+        "sweeps a domain exponentially larger than the data — quantify\n"
+        "over sparse types only when you must, or range-restrict."
+    )
+    print("\ncourse_catalog OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Remark 4.1, executed: multi-sorted density on a schedule database.
+
+"A database involving employees, days-of-the-week, and departments might
+be sparse with respect to sets of employees but dense with respect to
+sets of days-of-the-week ... queries may use variables of type set of
+days-of-the-week without a prohibitive cost in complexity, but
+quantifying over sets of employees is not recommended."
+
+The paper leaves the multi-sorted case as future work; this example runs
+our implementation of it on exactly that scenario.
+
+Run:  python examples/multi_sorted_schedule.py
+"""
+
+import time
+
+from repro.analysis import (
+    SortAssignment,
+    is_dense_for_sorted_type,
+    is_sparse_for_sorted_type,
+    log2_sorted_domain_cardinality,
+    parse_sorted_type,
+    sorted_domain_cardinality,
+    sorted_subobjects,
+)
+from repro.core import Evaluator, V, exists, forall, query, rel, subset
+from repro.objects import materialize_domain, parse_type
+from repro.workloads import schedule_instance
+
+
+def main() -> None:
+    inst = schedule_instance(130, n_days=7, n_teams=3)
+    sorts = SortAssignment.by_prefix({"e": "emp", "d": "day"}, inst.atoms())
+    print(f"schedule database: {inst.cardinality} tuples, "
+          f"sorts {sorts.counts()}")
+
+    day_sets = parse_sorted_type("{U@day}")
+    emp_sets = parse_sorted_type("{U@emp}")
+    counts = sorts.counts()
+
+    for name, styp in (("{U@day}", day_sets), ("{U@emp}", emp_sets)):
+        used = len(sorted_subobjects(inst, styp, sorts))
+        log_dom = log2_sorted_domain_cardinality(styp, counts)
+        dense = is_dense_for_sorted_type(inst, styp, sorts,
+                                         degree=1, coefficient=2)
+        sparse = is_sparse_for_sorted_type(inst, styp, sorts,
+                                           degree=1, coefficient=2)
+        print(f"\n  {name}: {used} objects used of 2^{log_dom:.0f} possible")
+        print(f"    dense: {dense}   sparse: {sparse}")
+
+    # Quantify over the DENSE sort: a universal day-set quantifier,
+    # swept in full (tautological body), at database-proportionate cost.
+    s, e = V("s", "{U}"), V("e", "U")
+    q = query([("e", "U")],
+              exists(s, rel("Schedule")(e, s))
+              & forall(V("s2", "{U}"),
+                       subset(V("s2", "{U}"), V("s2", "{U}"))))
+    day_atoms = sorted(sorts.atoms_of("day"), key=lambda a: str(a.label))
+    evaluator = Evaluator(
+        inst.schema,
+        variable_ranges={
+            "s2": materialize_domain(parse_type("{U}"), day_atoms),
+            "s": [row.component(2) for row in inst.relation("Schedule")],
+            "e": sorted(sorts.atoms_of("emp"), key=lambda a: str(a.label)),
+        },
+        max_product=10 ** 8,
+    )
+    start = time.perf_counter()
+    answer = evaluator.evaluate(q, inst)
+    elapsed = time.perf_counter() - start
+    print(f"\nuniversal quantifier over ALL {2 ** 7} day-sets: "
+          f"{elapsed:.3f}s, {len(answer)} employees returned")
+
+    emp_log_dom = log2_sorted_domain_cardinality(emp_sets, counts)
+    print(f"the same sweep over employee-sets would visit 2^{emp_log_dom:.0f} "
+          "candidates — Remark 4.1's 'not recommended', quantified.")
+    print("\nmulti_sorted_schedule OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+"""repro — Tractable Query Languages for Complex Object Databases.
+
+A complete, executable reproduction of Grumbach & Vianu (PODS 1991 /
+JCSS 1995): complex object databases, the typed calculus ``CALC_i^k``
+with inflationary (IFP) and partial (PFP) fixpoint operators, density and
+sparsity analysis, range restriction with derived range functions, the
+induced-order and Turing-machine-simulation machinery behind the PTIME
+capture theorem, a complex-object Datalog, and a nested relational
+algebra baseline.
+
+Quickstart::
+
+    from repro import *
+
+    schema = database_schema(G=["{U}", "{U}"])
+    a, b, c = cset(atom("a")), cset(atom("b")), cset(atom("c"))
+    I = instance(schema, G=[(a, b), (b, c)])
+    tc = transitive_closure_query()
+    evaluate(tc, I)                      # active-domain semantics
+    evaluate_range_restricted(tc, I)     # Theorem 5.1's PTIME evaluation
+
+Subpackages:
+
+* :mod:`repro.objects` — types, values, domains, orderings, encodings;
+* :mod:`repro.core` — the calculus, fixpoints, range restriction, safety;
+* :mod:`repro.analysis` — density/sparsity (Section 4);
+* :mod:`repro.machines` — TMs, CODE relations, the Theorem 4.1 pipeline;
+* :mod:`repro.datalog` — inf-Datalog for complex objects;
+* :mod:`repro.algebra` — nested algebra (powerset recursion baseline);
+* :mod:`repro.workloads` — generators and canonical paper queries.
+"""
+
+from .objects import (
+    Atom,
+    AtomOrder,
+    CSet,
+    CTuple,
+    DatabaseSchema,
+    Instance,
+    Relation,
+    RelationSchema,
+    SetType,
+    TupleType,
+    Type,
+    U,
+    Value,
+    atom,
+    cset,
+    ctuple,
+    database_schema,
+    decode_instance,
+    domain_cardinality,
+    encode_instance,
+    encode_value,
+    hyper,
+    instance,
+    instance_size,
+    make_value,
+    materialize_domain,
+    parse_type,
+    relation,
+    set_of,
+    tuple_of,
+    value_size,
+)
+from .core import (
+    Evaluator,
+    Fixpoint,
+    Query,
+    Var,
+    analyze_query,
+    compute_ranges,
+    evaluate,
+    evaluate_formula,
+    evaluate_range_restricted,
+    is_range_restricted,
+    parse_formula,
+    parse_query,
+    query_level,
+    verify_safety,
+)
+from .workloads import (
+    bipartite_query,
+    cyclic_nodes_query,
+    nest_query,
+    nest_query_ifp,
+    transitive_closure_query,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # objects
+    "Atom", "AtomOrder", "CSet", "CTuple", "DatabaseSchema", "Instance",
+    "Relation", "RelationSchema", "SetType", "TupleType", "Type", "U",
+    "Value", "atom", "cset", "ctuple", "database_schema",
+    "decode_instance", "domain_cardinality", "encode_instance",
+    "encode_value", "hyper", "instance", "instance_size", "make_value",
+    "materialize_domain", "parse_type", "relation", "set_of", "tuple_of",
+    "value_size",
+    # core
+    "Evaluator", "Fixpoint", "Query", "Var", "analyze_query",
+    "compute_ranges", "evaluate", "evaluate_formula",
+    "evaluate_range_restricted", "is_range_restricted", "parse_formula",
+    "parse_query", "query_level", "verify_safety",
+    # canonical queries
+    "bipartite_query", "cyclic_nodes_query", "nest_query",
+    "nest_query_ifp", "transitive_closure_query",
+]

@@ -1,0 +1,34 @@
+"""Nested relational algebra baseline (powerset vs fixpoint recursion)."""
+
+from .operators import (
+    AlgebraError,
+    AndCond,
+    BaseRel,
+    ColEqCol,
+    ColEqConst,
+    ColInCol,
+    ColSubsetCol,
+    Condition,
+    Difference,
+    Expr,
+    Intersection,
+    Join,
+    Nest,
+    NotCond,
+    OrCond,
+    Powerset,
+    Product,
+    Project,
+    Select,
+    Union,
+    Unnest,
+)
+from .queries import is_transitive, tc_via_loop, tc_via_powerset
+
+__all__ = [
+    "AlgebraError", "AndCond", "BaseRel", "ColEqCol", "ColEqConst",
+    "ColInCol", "ColSubsetCol", "Condition", "Difference", "Expr",
+    "Intersection", "Join", "Nest", "NotCond", "OrCond", "Powerset",
+    "Product", "Project", "Select", "Union", "Unnest",
+    "is_transitive", "tc_via_loop", "tc_via_powerset",
+]

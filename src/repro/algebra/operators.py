@@ -1,0 +1,322 @@
+"""Nested relational algebra — the baseline language family ([AB87, AB86]).
+
+The paper's Section 7 observes that fixpoint operators "provide a
+tractable form of recursion, unlike the powerset operation": algebras
+for complex objects (Abiteboul-Beeri style) express recursion by taking
+powersets, at exponential cost.  This package implements that baseline
+so the benchmarks can compare powerset-based and fixpoint-based
+evaluation head to head.
+
+Expressions are immutable trees evaluated against an
+:class:`repro.objects.instance.Instance`; relations are positionally
+addressed (columns 1..n, matching the calculus's ``x.i``).
+
+Operators: base relation, selection (by condition AST), projection,
+cartesian product, natural-style equijoin, union, difference,
+intersection, renaming is positional (projection reorders), **nest**,
+**unnest**, **powerset**, and tuple/set restructuring maps.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable
+
+from ..objects.instance import Instance
+from ..objects.values import CSet, CTuple, Value
+
+__all__ = [
+    "AlgebraError",
+    "Expr",
+    "BaseRel",
+    "Select",
+    "Project",
+    "Product",
+    "Join",
+    "Union",
+    "Difference",
+    "Intersection",
+    "Nest",
+    "Unnest",
+    "Powerset",
+    "Condition",
+    "ColEqCol",
+    "ColEqConst",
+    "ColInCol",
+    "ColSubsetCol",
+    "NotCond",
+    "AndCond",
+    "OrCond",
+]
+
+Rows = frozenset  # of tuple[Value, ...]
+
+
+class AlgebraError(Exception):
+    """Raised for malformed algebra expressions."""
+
+
+# ---------------------------------------------------------------------------
+# Selection conditions
+# ---------------------------------------------------------------------------
+
+class Condition:
+    """Abstract selection condition over a positional row."""
+
+    def holds(self, row: tuple) -> bool:
+        raise NotImplementedError
+
+
+class ColEqCol(Condition):
+    """``row[i] == row[j]`` (1-indexed)."""
+
+    def __init__(self, i: int, j: int):
+        self.i, self.j = i, j
+
+    def holds(self, row: tuple) -> bool:
+        return row[self.i - 1] == row[self.j - 1]
+
+
+class ColEqConst(Condition):
+    """``row[i] == value``."""
+
+    def __init__(self, i: int, value: Value):
+        self.i, self.value = i, value
+
+    def holds(self, row: tuple) -> bool:
+        return row[self.i - 1] == self.value
+
+
+class ColInCol(Condition):
+    """``row[i] in row[j]`` (column j set-valued)."""
+
+    def __init__(self, i: int, j: int):
+        self.i, self.j = i, j
+
+    def holds(self, row: tuple) -> bool:
+        container = row[self.j - 1]
+        if not isinstance(container, CSet):
+            raise AlgebraError(f"column {self.j} is not set-valued")
+        return row[self.i - 1] in container
+
+
+class ColSubsetCol(Condition):
+    """``row[i] sub row[j]`` (both set-valued)."""
+
+    def __init__(self, i: int, j: int):
+        self.i, self.j = i, j
+
+    def holds(self, row: tuple) -> bool:
+        left, right = row[self.i - 1], row[self.j - 1]
+        if not isinstance(left, CSet) or not isinstance(right, CSet):
+            raise AlgebraError("subset condition needs set-valued columns")
+        return left.issubset(right)
+
+
+class NotCond(Condition):
+    def __init__(self, inner: Condition):
+        self.inner = inner
+
+    def holds(self, row: tuple) -> bool:
+        return not self.inner.holds(row)
+
+
+class AndCond(Condition):
+    def __init__(self, *conditions: Condition):
+        self.conditions = conditions
+
+    def holds(self, row: tuple) -> bool:
+        return all(c.holds(row) for c in self.conditions)
+
+
+class OrCond(Condition):
+    def __init__(self, *conditions: Condition):
+        self.conditions = conditions
+
+    def holds(self, row: tuple) -> bool:
+        return any(c.holds(row) for c in self.conditions)
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+class Expr:
+    """Abstract algebra expression."""
+
+    def evaluate(self, inst: Instance) -> Rows:
+        raise NotImplementedError
+
+    def arity(self) -> int | None:
+        """Output arity if statically known."""
+        return None
+
+
+class BaseRel(Expr):
+    """A database relation."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def evaluate(self, inst: Instance) -> Rows:
+        return frozenset(tuple(row.items)
+                         for row in inst.relation(self.name).tuples)
+
+
+class Select(Expr):
+    def __init__(self, child: Expr, condition: Condition):
+        self.child, self.condition = child, condition
+
+    def evaluate(self, inst: Instance) -> Rows:
+        return frozenset(row for row in self.child.evaluate(inst)
+                         if self.condition.holds(row))
+
+
+class Project(Expr):
+    """Projection/reordering onto 1-indexed columns."""
+
+    def __init__(self, child: Expr, columns: Iterable[int]):
+        self.child = child
+        self.columns = tuple(columns)
+        if not self.columns:
+            raise AlgebraError("projection needs at least one column")
+
+    def evaluate(self, inst: Instance) -> Rows:
+        return frozenset(
+            tuple(row[i - 1] for i in self.columns)
+            for row in self.child.evaluate(inst)
+        )
+
+
+class Product(Expr):
+    def __init__(self, left: Expr, right: Expr):
+        self.left, self.right = left, right
+
+    def evaluate(self, inst: Instance) -> Rows:
+        return frozenset(
+            l + r for l in self.left.evaluate(inst)
+            for r in self.right.evaluate(inst)
+        )
+
+
+class Join(Expr):
+    """Equijoin on 1-indexed column pairs ``(left_col, right_col)``."""
+
+    def __init__(self, left: Expr, right: Expr,
+                 on: Iterable[tuple[int, int]]):
+        self.left, self.right = left, right
+        self.on = tuple(on)
+
+    def evaluate(self, inst: Instance) -> Rows:
+        right_rows = list(self.right.evaluate(inst))
+        index: dict[tuple, list[tuple]] = {}
+        for row in right_rows:
+            key = tuple(row[j - 1] for _, j in self.on)
+            index.setdefault(key, []).append(row)
+        result = set()
+        for left_row in self.left.evaluate(inst):
+            key = tuple(left_row[i - 1] for i, _ in self.on)
+            for right_row in index.get(key, ()):
+                result.add(left_row + right_row)
+        return frozenset(result)
+
+
+class Union(Expr):
+    def __init__(self, left: Expr, right: Expr):
+        self.left, self.right = left, right
+
+    def evaluate(self, inst: Instance) -> Rows:
+        return self.left.evaluate(inst) | self.right.evaluate(inst)
+
+
+class Difference(Expr):
+    def __init__(self, left: Expr, right: Expr):
+        self.left, self.right = left, right
+
+    def evaluate(self, inst: Instance) -> Rows:
+        return self.left.evaluate(inst) - self.right.evaluate(inst)
+
+
+class Intersection(Expr):
+    def __init__(self, left: Expr, right: Expr):
+        self.left, self.right = left, right
+
+    def evaluate(self, inst: Instance) -> Rows:
+        return self.left.evaluate(inst) & self.right.evaluate(inst)
+
+
+class Nest(Expr):
+    """Group by ``group_columns`` and collect ``nest_columns`` into a set.
+
+    Output rows: group columns followed by one set-valued column holding
+    the nested tuples (a single value if one column is nested, tuples
+    otherwise) — the operator of [AB86]'s restructuring algebra and of
+    the paper's Example 5.1.
+    """
+
+    def __init__(self, child: Expr, group_columns: Iterable[int],
+                 nest_columns: Iterable[int]):
+        self.child = child
+        self.group_columns = tuple(group_columns)
+        self.nest_columns = tuple(nest_columns)
+        if not self.nest_columns:
+            raise AlgebraError("nest needs at least one nested column")
+
+    def evaluate(self, inst: Instance) -> Rows:
+        groups: dict[tuple, set[Value]] = {}
+        for row in self.child.evaluate(inst):
+            key = tuple(row[i - 1] for i in self.group_columns)
+            if len(self.nest_columns) == 1:
+                nested: Value = row[self.nest_columns[0] - 1]
+            else:
+                nested = CTuple(row[i - 1] for i in self.nest_columns)
+            groups.setdefault(key, set()).add(nested)
+        return frozenset(
+            key + (CSet(members),) for key, members in groups.items()
+        )
+
+
+class Unnest(Expr):
+    """Flatten a set-valued column: one output row per member."""
+
+    def __init__(self, child: Expr, column: int):
+        self.child, self.column = child, column
+
+    def evaluate(self, inst: Instance) -> Rows:
+        result = set()
+        for row in self.child.evaluate(inst):
+            container = row[self.column - 1]
+            if not isinstance(container, CSet):
+                raise AlgebraError(f"column {self.column} is not set-valued")
+            prefix = row[:self.column - 1]
+            suffix = row[self.column:]
+            for member in container:
+                if isinstance(member, CTuple):
+                    result.add(prefix + tuple(member.items) + suffix)
+                else:
+                    result.add(prefix + (member,) + suffix)
+        return frozenset(result)
+
+
+class Powerset(Expr):
+    """All subsets of the child relation, as a unary set-valued relation.
+
+    The exponential operator: ``|output| = 2**|child|``.  Guarded by
+    ``max_subsets`` so benchmarks fail fast instead of hanging.
+    """
+
+    def __init__(self, child: Expr, max_subsets: int = 1_000_000):
+        self.child = child
+        self.max_subsets = max_subsets
+
+    def evaluate(self, inst: Instance) -> Rows:
+        rows = list(self.child.evaluate(inst))
+        if 2 ** len(rows) > self.max_subsets:
+            raise AlgebraError(
+                f"powerset of {len(rows)} rows exceeds cap {self.max_subsets}"
+            )
+        result = set()
+        for size in range(len(rows) + 1):
+            for combo in itertools.combinations(rows, size):
+                result.add((CSet(CTuple(row) for row in combo),))
+        return frozenset(result)

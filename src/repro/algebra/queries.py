@@ -1,0 +1,101 @@
+"""Derived algebra queries, including the powerset-based recursion baseline.
+
+The centrepiece is transitive closure three ways:
+
+* :func:`tc_via_powerset` — the algebra-with-powerset formulation:
+  enumerate all subsets of the candidate pair space, select those that
+  are transitive and contain G, take the least.  Exponential by design:
+  this is the baseline the paper's conclusion contrasts with fixpoints.
+* :func:`tc_via_loop` — a hand-rolled semi-naive loop (the "native"
+  polynomial algorithm, the yardstick benchmarks measure engines
+  against).
+* CALC+IFP's version lives in :func:`repro.workloads.queries` /
+  the examples; benchmarks race all three.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..objects.instance import Instance
+from ..objects.values import CSet, CTuple, Value
+from .operators import AlgebraError
+
+__all__ = ["tc_via_loop", "tc_via_powerset", "is_transitive"]
+
+Pair = tuple
+Pairs = frozenset
+
+
+def _edges(inst: Instance, relation: str = "G") -> Pairs:
+    return frozenset(
+        (row.component(1), row.component(2))
+        for row in inst.relation(relation).tuples
+    )
+
+
+def tc_via_loop(inst: Instance, relation: str = "G") -> Pairs:
+    """Transitive closure by semi-naive iteration (polynomial baseline)."""
+    edges = _edges(inst, relation)
+    successors: dict[Value, set[Value]] = {}
+    for source, target in edges:
+        successors.setdefault(source, set()).add(target)
+    closure = set(edges)
+    frontier = set(edges)
+    while frontier:
+        new_frontier = set()
+        for source, middle in frontier:
+            for target in successors.get(middle, ()):
+                pair = (source, target)
+                if pair not in closure:
+                    closure.add(pair)
+                    new_frontier.add(pair)
+        frontier = new_frontier
+    return frozenset(closure)
+
+
+def is_transitive(pairs: Pairs) -> bool:
+    """Is the pair set closed under composition?"""
+    successors: dict[Value, set[Value]] = {}
+    for source, target in pairs:
+        successors.setdefault(source, set()).add(target)
+    for source, middle in pairs:
+        for target in successors.get(middle, ()):
+            if (source, target) not in pairs:
+                return False
+    return True
+
+
+def tc_via_powerset(inst: Instance, relation: str = "G",
+                    max_subsets: int = 5_000_000) -> Pairs:
+    """Transitive closure via the powerset operator (exponential baseline).
+
+    Materialises every subset of the candidate pair space (nodes of G
+    crossed), selects the transitive supersets of G, and intersects them
+    — the smallest is the closure.  Candidate space is restricted to
+    pairs reachable-node x reachable-node, the best case for the
+    powerset formulation; it is still ``2**(n^2)``-ish.
+    """
+    edges = _edges(inst, relation)
+    nodes = sorted({v for pair in edges for v in pair}, key=repr)
+    candidates = [
+        (u, v) for u in nodes for v in nodes
+    ]
+    extra = [pair for pair in candidates if pair not in edges]
+    if 2 ** len(extra) > max_subsets:
+        raise AlgebraError(
+            f"powerset TC needs 2**{len(extra)} subsets (cap {max_subsets})"
+        )
+    best: frozenset | None = None
+    for size in range(len(extra) + 1):
+        for combo in itertools.combinations(extra, size):
+            subset = edges | frozenset(combo)
+            if is_transitive(subset):
+                if best is None or len(subset) < len(best):
+                    best = subset
+        if best is not None:
+            # Subsets are enumerated by increasing size, so the first
+            # transitive superset found at the smallest size is minimal.
+            break
+    assert best is not None  # the full candidate space is transitive
+    return frozenset(best)

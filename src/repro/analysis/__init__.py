@@ -1,0 +1,50 @@
+"""Density/sparsity analysis of complex object databases (Section 4)."""
+
+from .density import (
+    DensityVerdict,
+    Lemma41Witness,
+    classify_family,
+    is_dense_for_type,
+    is_dense_witness,
+    is_sparse_for_type,
+    is_sparse_witness,
+    lemma41_witness,
+    log2_dom_ik,
+    log2_domain_cardinality,
+)
+from .sorts import (
+    SAtom,
+    SSet,
+    STuple,
+    SortAssignment,
+    SortError,
+    SortedType,
+    is_dense_for_sorted_type,
+    is_sparse_for_sorted_type,
+    log2_sorted_domain_cardinality,
+    parse_sorted_type,
+    sorted_domain_cardinality,
+    sorted_subobjects,
+)
+from .sparse_encoding import SparseEncoding, SparseEncodingError
+from .statistics import (
+    InstanceStats,
+    instance_stats,
+    subobject_counts,
+    subobjects_of_type,
+    type_usage_histogram,
+)
+
+__all__ = [
+    "SAtom", "SSet", "STuple", "SortAssignment", "SortError",
+    "SortedType", "is_dense_for_sorted_type", "is_sparse_for_sorted_type",
+    "log2_sorted_domain_cardinality", "parse_sorted_type",
+    "sorted_domain_cardinality", "sorted_subobjects",
+    "SparseEncoding", "SparseEncodingError",
+    "DensityVerdict", "Lemma41Witness", "classify_family",
+    "is_dense_for_type", "is_dense_witness", "is_sparse_for_type",
+    "is_sparse_witness", "lemma41_witness", "log2_dom_ik",
+    "log2_domain_cardinality",
+    "InstanceStats", "instance_stats", "subobject_counts",
+    "subobjects_of_type", "type_usage_histogram",
+]

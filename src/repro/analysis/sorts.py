@@ -1,0 +1,313 @@
+"""Multi-sorted density and sparsity (Remark 4.1 / the paper's future work).
+
+Remark 4.1: "In practice, density and sparsity are more likely to hold
+relative to types over particular *sorts* ... a database involving
+employees, days-of-the-week, and departments might be sparse with
+respect to sets of employees but dense with respect to sets of
+days-of-the-week"; the conclusion lists the multi-sorted case as future
+work.  This module implements it:
+
+* a :class:`SortAssignment` partitions the atom universe into named
+  sorts;
+* *sorted types* (:class:`SAtom`, :class:`SSet`, :class:`STuple`)
+  annotate each ``U`` leaf with a sort, e.g. ``{U@day}`` or
+  ``[U@emp, {U@day}]``; they erase to ordinary types;
+* :func:`sorted_domain_cardinality` computes ``|dom(T, D_sorts)|`` where
+  each leaf draws from its own sort's atoms;
+* :func:`is_dense_for_sorted_type` / :func:`is_sparse_for_sorted_type`
+  are the per-sorted-type analogues of Definition 4.1, counting the
+  instance's sub-objects that inhabit the sorted type.
+
+The complexity reading is exactly Remark 4.1's: quantifying over a
+sorted type that the database is dense for costs no more than scanning
+the database, while a sparse sorted type's domain dwarfs it.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Callable, Iterable, Mapping
+
+from ..objects.instance import Instance
+from ..objects.types import SetType, TupleType, Type, U
+from ..objects.values import Atom, CSet, CTuple, Value
+
+__all__ = [
+    "SortError",
+    "SortAssignment",
+    "SAtom",
+    "SSet",
+    "STuple",
+    "SortedType",
+    "parse_sorted_type",
+    "sorted_domain_cardinality",
+    "log2_sorted_domain_cardinality",
+    "sorted_subobjects",
+    "is_dense_for_sorted_type",
+    "is_sparse_for_sorted_type",
+]
+
+
+class SortError(Exception):
+    """Raised for unknown sorts or malformed sorted types."""
+
+
+class SortAssignment:
+    """A partition of atoms into named sorts.
+
+    Built either from an explicit mapping or from label prefixes
+    (``SortAssignment.by_prefix({"e": "emp", "d": "day"})``); atoms with
+    no sort raise at lookup.
+    """
+
+    def __init__(self, mapping: Mapping[Atom, str]):
+        self._mapping = dict(mapping)
+
+    @classmethod
+    def by_prefix(cls, prefixes: Mapping[str, str],
+                  atoms: Iterable[Atom]) -> "SortAssignment":
+        """Assign each atom the sort of the longest matching label prefix."""
+        ordered = sorted(prefixes.items(), key=lambda kv: -len(kv[0]))
+        mapping: dict[Atom, str] = {}
+        for a in atoms:
+            label = str(a.label)
+            for prefix, sort in ordered:
+                if label.startswith(prefix):
+                    mapping[a] = sort
+                    break
+        return cls(mapping)
+
+    def sort_of(self, a: Atom) -> str:
+        try:
+            return self._mapping[a]
+        except KeyError:
+            raise SortError(f"atom {a!r} has no sort") from None
+
+    def counts(self) -> dict[str, int]:
+        """Number of atoms per sort."""
+        result: dict[str, int] = {}
+        for sort in self._mapping.values():
+            result[sort] = result.get(sort, 0) + 1
+        return result
+
+    def atoms_of(self, sort: str) -> frozenset[Atom]:
+        return frozenset(a for a, s in self._mapping.items() if s == sort)
+
+    def __contains__(self, a: object) -> bool:
+        return a in self._mapping
+
+
+# ---------------------------------------------------------------------------
+# Sorted types
+# ---------------------------------------------------------------------------
+
+class SortedType:
+    """Abstract base of sorted type trees."""
+
+    def erase(self) -> Type:
+        """The underlying unsorted type."""
+        raise NotImplementedError
+
+    def conforms(self, value: Value, sorts: SortAssignment) -> bool:
+        """Does the value inhabit this sorted type's domain?"""
+        raise NotImplementedError
+
+
+class SAtom(SortedType):
+    """``U@sort`` — an atomic leaf drawing from one sort."""
+
+    __slots__ = ("sort",)
+
+    def __init__(self, sort: str):
+        if not sort or not isinstance(sort, str):
+            raise SortError(f"bad sort name {sort!r}")
+        object.__setattr__(self, "sort", sort)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("SAtom is immutable")
+
+    def erase(self) -> Type:
+        return U
+
+    def conforms(self, value: Value, sorts: SortAssignment) -> bool:
+        return isinstance(value, Atom) and value in sorts \
+            and sorts.sort_of(value) == self.sort
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SAtom) and self.sort == other.sort
+
+    def __hash__(self) -> int:
+        return hash((SAtom, self.sort))
+
+    def __repr__(self) -> str:
+        return f"U@{self.sort}"
+
+
+class SSet(SortedType):
+    """``{T}`` over a sorted element type."""
+
+    __slots__ = ("element",)
+
+    def __init__(self, element: SortedType):
+        object.__setattr__(self, "element", element)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("SSet is immutable")
+
+    def erase(self) -> Type:
+        return SetType(self.element.erase())
+
+    def conforms(self, value: Value, sorts: SortAssignment) -> bool:
+        return isinstance(value, CSet) and all(
+            self.element.conforms(e, sorts) for e in value
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SSet) and self.element == other.element
+
+    def __hash__(self) -> int:
+        return hash((SSet, self.element))
+
+    def __repr__(self) -> str:
+        return "{" + repr(self.element) + "}"
+
+
+class STuple(SortedType):
+    """``[T1, ..., Tn]`` over sorted component types."""
+
+    __slots__ = ("components",)
+
+    def __init__(self, components: Iterable[SortedType]):
+        components = tuple(components)
+        if not components:
+            raise SortError("sorted tuple needs components")
+        object.__setattr__(self, "components", components)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("STuple is immutable")
+
+    def erase(self) -> Type:
+        return TupleType(c.erase() for c in self.components)
+
+    def conforms(self, value: Value, sorts: SortAssignment) -> bool:
+        return (isinstance(value, CTuple)
+                and value.arity == len(self.components)
+                and all(c.conforms(item, sorts)
+                        for c, item in zip(self.components, value.items)))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, STuple) and self.components == other.components
+
+    def __hash__(self) -> int:
+        return hash((STuple, self.components))
+
+    def __repr__(self) -> str:
+        return "[" + ", ".join(repr(c) for c in self.components) + "]"
+
+
+_SORT_TOKEN = re.compile(r"U@([A-Za-z_][A-Za-z_0-9]*)")
+
+
+def parse_sorted_type(text: str) -> SortedType:
+    """Parse ``"{U@day}"``, ``"[U@emp, {U@day}]"`` and friends."""
+    text = text.strip()
+    if text.startswith("{") and text.endswith("}"):
+        return SSet(parse_sorted_type(text[1:-1]))
+    if text.startswith("[") and text.endswith("]"):
+        components = []
+        depth = 0
+        current = ""
+        for ch in text[1:-1]:
+            if ch in "{[":
+                depth += 1
+            elif ch in "}]":
+                depth -= 1
+            if ch == "," and depth == 0:
+                components.append(current)
+                current = ""
+            else:
+                current += ch
+        components.append(current)
+        return STuple(parse_sorted_type(c) for c in components)
+    match = _SORT_TOKEN.fullmatch(text)
+    if match:
+        return SAtom(match.group(1))
+    raise SortError(f"cannot parse sorted type {text!r}")
+
+
+# ---------------------------------------------------------------------------
+# Sorted domains and density
+# ---------------------------------------------------------------------------
+
+def sorted_domain_cardinality(styp: SortedType,
+                              counts: Mapping[str, int]) -> int:
+    """``|dom(styp)|`` with each leaf drawing from its sort's atoms."""
+    if isinstance(styp, SAtom):
+        try:
+            return counts[styp.sort]
+        except KeyError:
+            raise SortError(f"no atom count for sort {styp.sort!r}") from None
+    if isinstance(styp, SSet):
+        return 2 ** sorted_domain_cardinality(styp.element, counts)
+    if isinstance(styp, STuple):
+        result = 1
+        for component in styp.components:
+            result *= sorted_domain_cardinality(component, counts)
+        return result
+    raise SortError(f"unknown sorted type {styp!r}")
+
+
+def log2_sorted_domain_cardinality(styp: SortedType,
+                                   counts: Mapping[str, int]) -> float:
+    """``log2 |dom(styp)|`` without the top exponential."""
+    if isinstance(styp, SAtom):
+        count = counts.get(styp.sort, 0)
+        return math.log2(count) if count else float("-inf")
+    if isinstance(styp, SSet):
+        return float(sorted_domain_cardinality(styp.element, counts))
+    if isinstance(styp, STuple):
+        return sum(log2_sorted_domain_cardinality(c, counts)
+                   for c in styp.components)
+    raise SortError(f"unknown sorted type {styp!r}")
+
+
+def sorted_subobjects(inst: Instance, styp: SortedType,
+                      sorts: SortAssignment) -> frozenset[Value]:
+    """Distinct sub-objects of the instance inhabiting the sorted type."""
+    result: set[Value] = set()
+    erased = styp.erase()
+    for rel in inst.relations():
+        for row in rel.tuples:
+            for sub in row.subobjects():
+                if sub.conforms_to(erased) and styp.conforms(sub, sorts):
+                    result.add(sub)
+    return frozenset(result)
+
+
+def is_dense_for_sorted_type(
+    inst: Instance,
+    styp: SortedType,
+    sorts: SortAssignment,
+    degree: int = 3,
+    coefficient: float = 8.0,
+) -> bool:
+    """Per-sorted-type density: used objects vs the *sorted* domain."""
+    used = max(1, len(sorted_subobjects(inst, styp, sorts)))
+    log_dom = log2_sorted_domain_cardinality(styp, sorts.counts())
+    return log_dom <= math.log2(coefficient) + degree * math.log2(used + 1)
+
+
+def is_sparse_for_sorted_type(
+    inst: Instance,
+    styp: SortedType,
+    sorts: SortAssignment,
+    degree: int = 3,
+    coefficient: float = 8.0,
+) -> bool:
+    """Per-sorted-type sparsity: few objects relative to ``log |dom|``."""
+    used = len(sorted_subobjects(inst, styp, sorts))
+    log_dom = log2_sorted_domain_cardinality(styp, sorts.counts())
+    if log_dom <= 0:
+        return used <= coefficient
+    return used <= coefficient * (log_dom ** degree)

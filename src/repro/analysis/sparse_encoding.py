@@ -1,0 +1,206 @@
+"""Fixpoint elimination on sparse inputs (Proposition 5.2's encoding).
+
+Proposition 5.2 shows ``RR-CALC_i = RR-(CALC_i + IFP)`` on inputs sparse
+w.r.t. ``<i,k>``-types.  The proof encodes every set-height-``i`` object
+occurring in the database by a fixed-arity tuple of lower-height objects
+(the relation ``Q_T``: ``o = { y | Q_T(x⃗, y) }`` for an m-tuple ``x⃗``),
+after which all inductively defined relations involve only height
+``i - 1`` objects and the fixpoint can be simulated within ``CALC_i``.
+
+:class:`SparseEncoding` is that construction made executable:
+
+* it collects the height-``i`` (set) objects of the instance, checks
+  there are few enough of them to index by ``m``-tuples of atoms
+  (that is what sparsity buys), and materialises ``Q_T``;
+* :meth:`SparseEncoding.encode_instance` rewrites the instance replacing
+  each encoded set by its index tuple (so a graph over ``{U}``-nodes
+  becomes a graph over ``[U,...,U]``-nodes — set height 0);
+* :meth:`SparseEncoding.decode_rows` maps answers back.
+
+The tests and the ``bench_sparse_collapse`` benchmark run a fixpoint
+query both directly (over the nested objects) and through the encoding
+(fixpoint over height-0 tuples only), and confirm the answers coincide —
+the executable content of Proposition 5.2.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from ..objects.instance import Instance
+from ..objects.ordering import AtomOrder
+from ..objects.schema import DatabaseSchema, RelationSchema
+from ..objects.types import AtomType, SetType, TupleType, Type, U
+from ..objects.values import Atom, CSet, CTuple, Value
+
+__all__ = ["SparseEncodingError", "SparseEncoding"]
+
+
+class SparseEncodingError(Exception):
+    """Raised when the instance is not sparse enough to encode."""
+
+
+@dataclass(frozen=True)
+class _Codebook:
+    """Bijection between encoded objects and their index tuples."""
+
+    to_index: dict[Value, CTuple]
+    from_index: dict[CTuple, Value]
+
+
+class SparseEncoding:
+    """Tuple-encoding of the set objects of a sparse instance.
+
+    Parameters:
+        inst: the input instance.
+        target_height: objects of exactly this set height get encoded
+            (defaults to the schema's maximal set height).
+        order: atom order used to index objects deterministically.
+
+    The index arity m is the least one with ``n**m`` at least the number
+    of encoded objects — sparsity guarantees m stays bounded as the
+    family grows (polynomially many objects vs ``n**m`` index space).
+    """
+
+    def __init__(self, inst: Instance, target_height: int | None = None,
+                 order: AtomOrder | None = None):
+        self.inst = inst
+        self.order = order or AtomOrder.sorted_by_label(inst.atoms())
+        if len(self.order) == 0:
+            raise SparseEncodingError("instance has no atoms")
+        heights = [rel.set_height for rel in inst.schema]
+        self.target_height = (max(heights) if target_height is None
+                              else target_height)
+        if self.target_height < 1:
+            raise SparseEncodingError("nothing to encode: schema is flat")
+        self._codebook = self._build_codebook()
+
+    # -- construction -------------------------------------------------------
+
+    def _collect_objects(self) -> list[Value]:
+        """Distinct set objects of the target height, deterministic order."""
+        from ..objects.ordering import sort_key
+
+        seen: set[Value] = set()
+        for rel in self.inst.relations():
+            for row in rel.tuples:
+                for sub in row.subobjects():
+                    if (isinstance(sub, CSet)
+                            and sub.infer_type().set_height
+                            == self.target_height):
+                        seen.add(sub)
+        return sorted(seen, key=lambda v: sort_key(v, self.order))
+
+    def _build_codebook(self) -> _Codebook:
+        objects = self._collect_objects()
+        n = len(self.order)
+        arity = 1
+        while n ** arity < len(objects):
+            arity += 1
+        if arity > 8:
+            raise SparseEncodingError(
+                f"{len(objects)} objects need index arity {arity} over "
+                f"{n} atoms; the instance is not sparse"
+            )
+        self.index_arity = arity
+        to_index: dict[Value, CTuple] = {}
+        from_index: dict[CTuple, Value] = {}
+        for position, obj in enumerate(objects):
+            digits = []
+            remaining = position
+            for _ in range(arity):
+                digits.append(self.order.atoms[remaining % n])
+                remaining //= n
+            index = CTuple(reversed(digits))
+            to_index[obj] = index
+            from_index[index] = obj
+        return _Codebook(to_index, from_index)
+
+    # -- public API ---------------------------------------------------------
+
+    @property
+    def encoded_objects(self) -> tuple[Value, ...]:
+        return tuple(self._codebook.to_index)
+
+    @property
+    def index_type(self) -> Type:
+        if self.index_arity == 1:
+            return U
+        return TupleType([U] * self.index_arity)
+
+    def encode_value(self, value: Value) -> Value:
+        """Replace encoded sets by their index tuples, recursively."""
+        index = self._codebook.to_index.get(value)
+        if index is not None:
+            return index if self.index_arity > 1 else index.component(1)
+        if isinstance(value, Atom):
+            return value
+        if isinstance(value, CTuple):
+            return CTuple(self.encode_value(item) for item in value.items)
+        if isinstance(value, CSet):
+            return CSet(self.encode_value(element) for element in value)
+        raise SparseEncodingError(f"unknown value {value!r}")
+
+    def decode_value(self, value: Value) -> Value:
+        """Inverse of :meth:`encode_value` on index tuples."""
+        probe = value if isinstance(value, CTuple) else CTuple((value,)) \
+            if self.index_arity == 1 and isinstance(value, Atom) else value
+        if isinstance(probe, CTuple) and probe in self._codebook.from_index:
+            return self._codebook.from_index[probe]
+        if isinstance(value, Atom):
+            return value
+        if isinstance(value, CTuple):
+            return CTuple(self.decode_value(item) for item in value.items)
+        if isinstance(value, CSet):
+            return CSet(self.decode_value(element) for element in value)
+        raise SparseEncodingError(f"unknown value {value!r}")
+
+    def _encode_column_type(self, typ: Type) -> Type:
+        if typ.set_height == self.target_height and isinstance(typ, SetType):
+            return self.index_type
+        if isinstance(typ, (AtomType,)):
+            return typ
+        if isinstance(typ, TupleType):
+            return TupleType(self._encode_column_type(c)
+                             for c in typ.components)
+        if isinstance(typ, SetType):
+            return SetType(self._encode_column_type(typ.element))
+        raise SparseEncodingError(f"unknown type {typ!r}")
+
+    def encode_instance(self) -> Instance:
+        """The instance with encoded objects replaced by index tuples.
+
+        Column types of height ``target_height`` set type become the
+        index tuple type, dropping the schema's set height by one (or to
+        zero for height-1 sets).
+        """
+        relations = []
+        data: dict[str, list[CTuple]] = {}
+        for rel in self.inst.relations():
+            encoded_types = [self._encode_column_type(t)
+                             for t in rel.schema.column_types]
+            relations.append(RelationSchema(rel.name, encoded_types))
+            data[rel.name] = [
+                CTuple(self.encode_value(item) for item in row.items)
+                for row in rel.tuples
+            ]
+        return Instance(DatabaseSchema(relations), data)
+
+    def q_relation_rows(self) -> frozenset[tuple[Value, ...]]:
+        """The proof's ``Q_T``: rows ``(x1, ..., xm, y)`` with ``y`` a
+        member of the object encoded by the index tuple ``(x1..xm)``."""
+        rows: set[tuple[Value, ...]] = set()
+        for obj, index in self._codebook.to_index.items():
+            assert isinstance(obj, CSet)
+            for member in obj:
+                rows.add(tuple(index.items) + (member,))
+        return frozenset(rows)
+
+    def decode_rows(self, rows) -> frozenset[CTuple]:
+        """Decode answer rows (CTuples or value tuples) back to objects."""
+        decoded = set()
+        for row in rows:
+            items = row.items if isinstance(row, CTuple) else row
+            decoded.add(CTuple(self.decode_value(item) for item in items))
+        return frozenset(decoded)

@@ -1,0 +1,84 @@
+"""Instance statistics used by the density/sparsity analysis.
+
+Provides the paper's measures on instances — cardinality ``|I|``, size
+``||I||``, the active atom set — plus per-type sub-object counts, which
+the *single-type* variants of Definition 4.1 need ("|I| is replaced by
+the cardinality of the set of (sub)-objects of type T in I").
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from ..objects.encoding import instance_size
+from ..objects.instance import Instance
+from ..objects.types import Type
+from ..objects.values import Value
+
+
+@dataclass(frozen=True)
+class InstanceStats:
+    """Summary statistics of one instance.
+
+    Attributes:
+        cardinality: ``|I|`` — total tuple count.
+        size: ``||I||`` — tape symbols of the standard encoding.
+        n_atoms: ``|atom(I)|``.
+        per_relation: tuple counts per relation name.
+    """
+
+    cardinality: int
+    size: int
+    n_atoms: int
+    per_relation: dict[str, int]
+
+
+def instance_stats(inst: Instance) -> InstanceStats:
+    """Compute the summary statistics of an instance."""
+    return InstanceStats(
+        cardinality=inst.cardinality,
+        size=instance_size(inst),
+        n_atoms=len(inst.atoms()),
+        per_relation={rel.name: rel.cardinality for rel in inst.relations()},
+    )
+
+
+def subobject_counts(inst: Instance) -> dict[Type, int]:
+    """Count distinct sub-objects per inferred type across the instance.
+
+    Each distinct value is counted once per type, matching the paper's
+    "set of (sub)-objects of type T in I".
+    """
+    seen: dict[Type, set[Value]] = {}
+    for rel in inst.relations():
+        for row in rel.tuples:
+            for sub in row.subobjects():
+                typ = sub.infer_type()
+                seen.setdefault(typ, set()).add(sub)
+    return {typ: len(values) for typ, values in seen.items()}
+
+
+def subobjects_of_type(inst: Instance, typ: Type) -> frozenset[Value]:
+    """The distinct sub-objects of exactly the given (inferred) type."""
+    result: set[Value] = set()
+    for rel in inst.relations():
+        for row in rel.tuples:
+            for sub in row.subobjects():
+                if sub.conforms_to(typ) and sub.infer_type() == typ:
+                    result.add(sub)
+    return frozenset(result)
+
+
+def type_usage_histogram(inst: Instance) -> Counter:
+    """Occurrences (not distinct values) of each inferred type.
+
+    A quick view of how the database "uses" its types (Section 4's
+    opening discussion).
+    """
+    histogram: Counter = Counter()
+    for rel in inst.relations():
+        for row in rel.tuples:
+            for sub in row.subobjects():
+                histogram[sub.infer_type()] += 1
+    return histogram

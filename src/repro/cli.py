@@ -1,0 +1,179 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``query``    — evaluate a query (textual syntax) over a JSON instance;
+* ``analyze``  — type-check a query and run the range-restriction analysis;
+* ``encode``   — print the standard TM-tape encoding of an instance;
+* ``density``  — density/sparsity verdicts of an instance w.r.t. <i,k>;
+* ``example``  — emit a sample instance document to get started.
+
+The instance format is the tagged JSON of :mod:`repro.objects.io`.
+
+Examples::
+
+    python -m repro example > graph.json
+    python -m repro encode graph.json
+    python -m repro query graph.json \\
+        "{[x:{U}, y:{U}] | ifp[S(x:{U}, y:{U})](G(x,y) or \\
+          exists z:{U} (S(x,z) and G(z,y)))(x, y)}"
+    python -m repro analyze graph.json "{[x:{U}] | exists y:{U} (G(x,y))}"
+    python -m repro density graph.json --i 1 --k 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .analysis.density import is_dense_witness, is_sparse_witness, log2_dom_ik
+from .analysis.statistics import instance_stats
+from .core.parser import parse_query
+from .core.range_restriction import analyze_query
+from .core.safety import evaluate_range_restricted
+from .core.evaluation import evaluate
+from .core.typecheck import check_query
+from .objects.encoding import encode_instance
+from .objects.io import instance_from_json, instance_to_json
+from .objects.values import CSet, CTuple
+
+__all__ = ["main"]
+
+
+def _load_instance(path: str):
+    with open(path, encoding="utf-8") as handle:
+        return instance_from_json(json.load(handle))
+
+
+def _format_row(row: CTuple) -> str:
+    return str(row)
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    inst = _load_instance(args.instance)
+    query = parse_query(args.query)
+    if args.mode == "active":
+        answer = evaluate(query, inst, max_domain_size=args.max_domain)
+    else:
+        try:
+            answer = evaluate_range_restricted(query, inst).answer
+        except Exception as error:  # noqa: BLE001 - surfaced to the user
+            if args.mode == "rr":
+                print(f"range-restricted evaluation failed: {error}",
+                      file=sys.stderr)
+                return 2
+            answer = evaluate(query, inst, max_domain_size=args.max_domain)
+    for row in sorted(answer, key=str):
+        print(_format_row(row))
+    print(f"-- {len(answer)} tuple(s)", file=sys.stderr)
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    inst = _load_instance(args.instance)
+    query = parse_query(args.query)
+    report = check_query(query, inst.schema)
+    i, k = report.level
+    print(f"level      : CALC_{i}^{k}"
+          + (" + IFP/PFP" if report.fixpoints else ""))
+    print(f"types      : {sorted(repr(t) for t in report.types)}")
+    result = analyze_query(query, inst.schema)
+    print(f"range-restricted: {result.is_range_restricted}")
+    if result.fixpoint_columns:
+        for name, columns in sorted(result.fixpoint_columns.items()):
+            print(f"  tau*({name}) = {sorted(columns)}")
+    for violation in result.violations:
+        print(f"  violation: {violation}")
+    return 0 if result.is_range_restricted else 1
+
+
+def _cmd_encode(args: argparse.Namespace) -> int:
+    inst = _load_instance(args.instance)
+    print(encode_instance(inst))
+    return 0
+
+
+def _cmd_density(args: argparse.Namespace) -> int:
+    inst = _load_instance(args.instance)
+    stats = instance_stats(inst)
+    log_dom = log2_dom_ik(args.i, args.k, stats.n_atoms)
+    print(f"|I| = {stats.cardinality}, ||I|| = {stats.size}, "
+          f"atoms = {stats.n_atoms}")
+    print(f"log2 |dom({args.i},{args.k})| = {log_dom:.1f}")
+    dense = is_dense_witness(inst, args.i, args.k,
+                             degree=args.degree, coefficient=args.coefficient)
+    sparse = is_sparse_witness(inst, args.i, args.k,
+                               degree=args.degree,
+                               coefficient=args.coefficient)
+    print(f"dense  (|dom| <= {args.coefficient}*|I|^{args.degree}): {dense}")
+    print(f"sparse (|I| <= {args.coefficient}*log^{args.degree}|dom|): "
+          f"{sparse}")
+    return 0
+
+
+def _cmd_example(args: argparse.Namespace) -> int:
+    from .objects import atom, cset, database_schema, instance
+
+    schema = database_schema(G=["{U}", "{U}"])
+    a, b, c = cset(atom("a")), cset(atom("b")), cset(atom("c"))
+    sample = instance(schema, G=[(a, b), (b, c)])
+    json.dump(instance_to_json(sample), sys.stdout, indent=2)
+    print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Tractable query languages for complex object databases",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    query_cmd = commands.add_parser(
+        "query", help="evaluate a query over a JSON instance")
+    query_cmd.add_argument("instance", help="instance JSON file")
+    query_cmd.add_argument("query", help="query in the textual syntax")
+    query_cmd.add_argument(
+        "--mode", choices=("auto", "rr", "active"), default="auto",
+        help="rr: range-restricted only; active: reference semantics; "
+             "auto: rr with active fallback (default)")
+    query_cmd.add_argument("--max-domain", type=int, default=1_000_000,
+                           help="cap on materialised domains (active mode)")
+    query_cmd.set_defaults(func=_cmd_query)
+
+    analyze_cmd = commands.add_parser(
+        "analyze", help="type level + range-restriction analysis")
+    analyze_cmd.add_argument("instance", help="instance JSON file (schema)")
+    analyze_cmd.add_argument("query", help="query in the textual syntax")
+    analyze_cmd.set_defaults(func=_cmd_analyze)
+
+    encode_cmd = commands.add_parser(
+        "encode", help="standard TM-tape encoding of an instance")
+    encode_cmd.add_argument("instance", help="instance JSON file")
+    encode_cmd.set_defaults(func=_cmd_encode)
+
+    density_cmd = commands.add_parser(
+        "density", help="density/sparsity verdicts w.r.t. <i,k>-types")
+    density_cmd.add_argument("instance", help="instance JSON file")
+    density_cmd.add_argument("--i", type=int, default=1)
+    density_cmd.add_argument("--k", type=int, default=2)
+    density_cmd.add_argument("--degree", type=int, default=3)
+    density_cmd.add_argument("--coefficient", type=float, default=8.0)
+    density_cmd.set_defaults(func=_cmd_density)
+
+    example_cmd = commands.add_parser(
+        "example", help="emit a sample instance JSON document")
+    example_cmd.set_defaults(func=_cmd_example)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,130 @@
+"""The paper's primary contribution: CALC_i^k and its fixpoint extensions.
+
+* :mod:`repro.core.syntax` — AST of CALC / CALC+IFP / CALC+PFP;
+* :mod:`repro.core.builder` — Python DSL for constructing formulas;
+* :mod:`repro.core.parser` — textual syntax;
+* :mod:`repro.core.typecheck` — type inference and ``<i,k>``-level;
+* :mod:`repro.core.evaluation` — active-domain and restricted-domain
+  evaluation (Section 3);
+* :mod:`repro.core.fixpoint` — IFP/PFP iteration engines (Definition 3.1);
+* :mod:`repro.core.range_restriction` — Definitions 5.2/5.3 and the range
+  functions of Theorem 5.1;
+* :mod:`repro.core.safety` — C-safe evaluation (Definition 5.1).
+"""
+
+from .syntax import (
+    IFP,
+    PFP,
+    And,
+    Const,
+    Equals,
+    Exists,
+    Fixpoint,
+    FixpointPred,
+    FixpointTerm,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    In,
+    Not,
+    Or,
+    Proj,
+    Query,
+    RelAtom,
+    Subset,
+    SyntaxError_,
+    Term,
+    Var,
+    constants_of,
+    relation_names_of,
+)
+from .builder import C, V, eq, exists, forall, ifp, member, pfp, proj, query, rel, subset
+from .format import format_formula, format_query, format_term, format_value
+from .order_formulas import (
+    ORDER_RELATION,
+    less_than_formula,
+    pair_in,
+    total_order_formula,
+    with_order_relation,
+)
+from .parser import ParseError, parse_formula, parse_query, parse_term
+from .typecheck import (
+    TypeCheckError,
+    TypeReport,
+    assert_calc_ik,
+    check_formula,
+    check_query,
+    formula_level,
+    query_level,
+)
+from .evaluation import (
+    EvalError,
+    Evaluator,
+    active_atoms,
+    evaluate,
+    evaluate_formula,
+)
+from .fixpoint import (
+    FixpointError,
+    PFPDivergenceError,
+    ifp_stages,
+    iterate_ifp,
+    iterate_pfp,
+    pfp_stages,
+)
+from .range_restriction import (
+    RangeComputationError,
+    RRResult,
+    analyze,
+    analyze_query,
+    compute_ranges,
+    is_range_restricted,
+    negate,
+    nnf,
+)
+from .while_lang import (
+    Assign,
+    WhileChange,
+    WhileError,
+    WhileProgram,
+    run_program,
+)
+from .safety import (
+    SafeEvaluationReport,
+    evaluate_range_restricted,
+    safety_diagnostics,
+    verify_safety,
+)
+
+__all__ = [
+    # syntax
+    "IFP", "PFP", "And", "Const", "Equals", "Exists", "Fixpoint",
+    "FixpointPred", "FixpointTerm", "Forall", "Formula", "Iff", "Implies",
+    "In", "Not", "Or", "Proj", "Query", "RelAtom", "Subset", "SyntaxError_",
+    "Term", "Var", "constants_of", "relation_names_of",
+    # builder
+    "C", "V", "eq", "exists", "forall", "ifp", "member", "pfp", "proj",
+    "query", "rel", "subset",
+    # parser / formatter / orders
+    "ParseError", "parse_formula", "parse_query", "parse_term",
+    "format_formula", "format_query", "format_value",
+    "ORDER_RELATION", "less_than_formula", "pair_in",
+    "total_order_formula", "with_order_relation",
+    # typecheck
+    "TypeCheckError", "TypeReport", "assert_calc_ik", "check_formula",
+    "check_query", "formula_level", "query_level",
+    # evaluation
+    "EvalError", "Evaluator", "active_atoms", "evaluate", "evaluate_formula",
+    # fixpoint
+    "FixpointError", "PFPDivergenceError", "ifp_stages", "iterate_ifp",
+    "iterate_pfp", "pfp_stages",
+    # range restriction
+    "RangeComputationError", "RRResult", "analyze", "analyze_query",
+    "compute_ranges", "is_range_restricted", "negate", "nnf",
+    # safety
+    "SafeEvaluationReport", "evaluate_range_restricted",
+    "safety_diagnostics", "verify_safety",
+    # while language
+    "Assign", "WhileChange", "WhileError", "WhileProgram", "run_program",
+]

@@ -1,0 +1,144 @@
+"""Ergonomic Python DSL for building CALC formulas.
+
+The raw AST in :mod:`repro.core.syntax` is verbose; this module provides
+the construction style used throughout the examples and tests::
+
+    from repro.core.builder import V, rel, exists, forall, ifp, query
+
+    x, y, z = V("x", "{U}"), V("y", "{U}"), V("z", "{U}")
+    G = rel("G")
+    phi = G(x, y) | exists(z, G(x, z) & rel("S")(z, y))
+    tc = ifp("S", [x, y], phi)
+    q = query([x, y], tc(x, y))
+
+Overloaded operators on formulas: ``&`` (and), ``|`` (or), ``~`` (not),
+plus ``.implies()`` and ``.iff()``.  Comparison helpers on variables
+build atomic formulas: ``eq``, ``member``, ``subset``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..objects.types import TypeLike
+from .syntax import (
+    IFP,
+    PFP,
+    Const,
+    Equals,
+    Exists,
+    Fixpoint,
+    Forall,
+    Formula,
+    In,
+    Proj,
+    Query,
+    RelAtom,
+    Subset,
+    Term,
+    Var,
+)
+
+__all__ = [
+    "V", "C", "rel", "eq", "member", "subset", "exists", "forall",
+    "ifp", "pfp", "query", "proj",
+]
+
+
+def V(name: str, typ: TypeLike | None = None) -> Var:
+    """A typed variable: ``V("x", "{U}")``."""
+    return Var(name, typ)
+
+
+def C(value: object, typ: TypeLike | None = None) -> Const:
+    """A complex object constant from plain Python data: ``C({"a","b"})``."""
+    return Const(value, typ)
+
+
+def proj(var: Var, index: int) -> Proj:
+    """Projection ``var.index`` (1-indexed)."""
+    return Proj(var, index)
+
+
+class _RelationBuilder:
+    """Callable that builds relation atoms: ``rel("G")(x, y)``."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __call__(self, *args: object) -> RelAtom:
+        return RelAtom(self.name, args)
+
+    def __repr__(self) -> str:
+        return f"rel({self.name!r})"
+
+
+def rel(name: str) -> _RelationBuilder:
+    """A relation-atom builder for relation ``name``."""
+    return _RelationBuilder(name)
+
+
+def eq(left: object, right: object) -> Equals:
+    """``left = right``."""
+    return Equals(left, right)
+
+
+def member(element: object, container: object) -> In:
+    """``element in container``."""
+    return In(element, container)
+
+
+def subset(left: object, right: object) -> Subset:
+    """``left sub right``."""
+    return Subset(left, right)
+
+
+def exists(var: Var | Iterable[Var], body: Formula) -> Formula:
+    """``exists x:T (...)``; accepts a single Var or an iterable of Vars
+    (nested quantifiers, innermost last)."""
+    variables = [var] if isinstance(var, Var) else list(var)
+    result = body
+    for v in reversed(variables):
+        result = Exists(v, result)
+    return result
+
+
+def forall(var: Var | Iterable[Var], body: Formula) -> Formula:
+    """``forall x:T (...)``; accepts a single Var or an iterable of Vars."""
+    variables = [var] if isinstance(var, Var) else list(var)
+    result = body
+    for v in reversed(variables):
+        result = Forall(v, result)
+    return result
+
+
+def _columns(columns: Iterable[Var | tuple[str, TypeLike]]) -> list[tuple[str, TypeLike]]:
+    result: list[tuple[str, TypeLike]] = []
+    for col in columns:
+        if isinstance(col, Var):
+            if col.typ is None:
+                raise ValueError(f"fixpoint column {col.name!r} must be typed")
+            result.append((col.name, col.typ))
+        else:
+            result.append(col)
+    return result
+
+
+def ifp(name: str, columns: Iterable[Var | tuple[str, TypeLike]],
+        body: Formula) -> Fixpoint:
+    """Inflationary fixpoint ``IFP(body(S), S)`` with declared columns."""
+    return Fixpoint(IFP, name, _columns(columns), body)
+
+
+def pfp(name: str, columns: Iterable[Var | tuple[str, TypeLike]],
+        body: Formula) -> Fixpoint:
+    """Partial fixpoint ``PFP(body(S), S)`` with declared columns."""
+    return Fixpoint(PFP, name, _columns(columns), body)
+
+
+def query(head: Iterable[Var | tuple[str, TypeLike]], body: Formula,
+          output_name: str = "S") -> Query:
+    """Build a query ``{[head] | body}`` from typed head variables."""
+    return Query(_columns(head), body, output_name)

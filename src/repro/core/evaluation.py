@@ -1,0 +1,389 @@
+"""Evaluation of CALC / CALC+IFP / CALC+PFP queries.
+
+Implements the paper's two interpretations:
+
+* **active-domain semantics** (Section 3) — every variable of type T
+  ranges over ``dom(T, D)`` where D is the set of atomic constants of the
+  input instance and of the query's constants.  This is the reference
+  semantics; its cost is hyperexponential in general, so all domain
+  materialisation is guarded by ``max_domain_size``.
+* **restricted-domain semantics** (Section 5) — each variable ranges over
+  a supplied finite set of candidate values (a *range*).  The
+  range-restriction analysis (:mod:`repro.core.range_restriction`)
+  produces ranges under which restricted evaluation provably agrees with
+  the active-domain answer for RR formulas, in polynomial time.
+
+The evaluator handles IFP and PFP per Definition 3.1 (see
+:mod:`repro.core.fixpoint`), including fixpoints used as *terms* and
+fixpoints with outer parameters (Example 5.3's range-restricted nest).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Collection, Iterable, Iterator, Mapping
+
+from ..objects.domains import DomainTooLarge, domain_cardinality, materialize_domain
+from ..objects.instance import Instance
+from ..objects.schema import DatabaseSchema
+from ..objects.types import Type
+from ..objects.values import Atom, CSet, CTuple, Value
+from .fixpoint import PFPDivergenceError, iterate_ifp, iterate_pfp
+from .syntax import (
+    IFP,
+    And,
+    Const,
+    Equals,
+    Exists,
+    Fixpoint,
+    FixpointPred,
+    FixpointTerm,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    In,
+    Not,
+    Or,
+    Proj,
+    Query,
+    RelAtom,
+    Subset,
+    Term,
+    Var,
+    constants_of,
+)
+from .typecheck import check_query
+
+__all__ = [
+    "EvalError",
+    "PFPDivergenceError",
+    "Evaluator",
+    "evaluate",
+    "evaluate_formula",
+    "active_atoms",
+]
+
+#: Default cap on any single materialised domain.
+DEFAULT_MAX_DOMAIN = 1_000_000
+#: Default cap on the size of a quantifier/head product enumeration.
+DEFAULT_MAX_PRODUCT = 20_000_000
+
+
+class EvalError(Exception):
+    """Raised when evaluation cannot proceed (ill-typed input, caps...)."""
+
+
+def active_atoms(inst: Instance, query_constants: Iterable[Value] = ()) -> tuple[Atom, ...]:
+    """The active atomic domain: atoms of the instance plus atoms of the
+    query's constants, in deterministic label order."""
+    atoms = set(inst.atoms())
+    for constant in query_constants:
+        atoms |= constant.atoms()
+    return tuple(sorted(atoms, key=lambda a: (type(a.label).__name__, str(a.label))))
+
+
+class _DomainCache:
+    """Materialised ``dom(T, D)`` per type, guarded by a size cap."""
+
+    def __init__(self, atoms: tuple[Atom, ...], max_domain: int):
+        self.atoms = atoms
+        self.max_domain = max_domain
+        self._cache: dict[Type, list[Value]] = {}
+
+    def domain(self, typ: Type) -> list[Value]:
+        if typ not in self._cache:
+            cardinality = domain_cardinality(typ, len(self.atoms))
+            if cardinality > self.max_domain:
+                raise DomainTooLarge(
+                    f"active-domain evaluation needs |dom({typ!r})| = "
+                    f"{cardinality} values (cap {self.max_domain}); use "
+                    "range-restricted evaluation or raise max_domain_size"
+                )
+            self._cache[typ] = materialize_domain(typ, self.atoms, None)
+        return self._cache[typ]
+
+
+class _Context:
+    """State threaded through a single evaluation."""
+
+    def __init__(
+        self,
+        instance: Instance,
+        atoms: tuple[Atom, ...],
+        max_domain: int,
+        max_product: int,
+        variable_ranges: Mapping[str, Collection[Value]] | None,
+        fixpoint_ranges: Mapping[str, Mapping[str, Collection[Value]]] | None,
+    ):
+        self.instance = instance
+        self.domains = _DomainCache(atoms, max_domain)
+        self.max_product = max_product
+        self.variable_ranges = dict(variable_ranges or {})
+        self.fixpoint_ranges = {
+            name: dict(ranges) for name, ranges in (fixpoint_ranges or {}).items()
+        }
+        #: Relations bound by enclosing fixpoints: name -> frozenset of rows.
+        self.rel_env: dict[str, frozenset[tuple[Value, ...]]] = {}
+        #: Cache of fixpoint results keyed by (fixpoint, parameter values).
+        self.fixpoint_cache: dict[tuple, frozenset[tuple[Value, ...]]] = {}
+        #: Statistics (exposed for benchmarks).
+        self.stats = {"atom_checks": 0, "quantifier_iterations": 0,
+                      "fixpoint_stages": 0}
+
+    def candidates(self, var_name: str, typ: Type) -> Collection[Value]:
+        """Values a variable ranges over: its range if given, else dom(T, D)."""
+        if var_name in self.variable_ranges:
+            return self.variable_ranges[var_name]
+        return self.domains.domain(typ)
+
+
+class Evaluator:
+    """Evaluates CALC(+IFP/PFP) queries over complex object instances.
+
+    Parameters:
+        schema: input database schema (used for type checking).
+        max_domain_size: cap on any materialised ``dom(T, D)``.
+        max_product: cap on enumerated variable-product sizes.
+        max_fixpoint_stages: guard on fixpoint iteration counts.
+        variable_ranges: optional restricted-domain ranges, variable name
+            to a collection of candidate values (restricted semantics).
+    """
+
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        max_domain_size: int = DEFAULT_MAX_DOMAIN,
+        max_product: int = DEFAULT_MAX_PRODUCT,
+        max_fixpoint_stages: int | None = 100_000,
+        variable_ranges: Mapping[str, Collection[Value]] | None = None,
+    ):
+        self.schema = schema
+        self.max_domain_size = max_domain_size
+        self.max_product = max_product
+        self.max_fixpoint_stages = max_fixpoint_stages
+        self.variable_ranges = variable_ranges
+        self.last_stats: dict[str, int] | None = None
+
+    # -- public API ------------------------------------------------------
+
+    def evaluate(self, query: Query, inst: Instance) -> frozenset[CTuple]:
+        """Compute ``Q(I)``: the set of head tuples satisfying the body."""
+        report = check_query(query, self.schema)
+        ctx = self._context(query.body, inst)
+        head_vars = [Var(n, t) for n, t in query.head]
+        results: set[CTuple] = set()
+        for env in self._bindings(head_vars, ctx, {}):
+            if self._satisfy(query.body, env, ctx):
+                results.add(CTuple(env[v.name] for v in head_vars))
+        self.last_stats = ctx.stats
+        return frozenset(results)
+
+    def evaluate_formula(
+        self,
+        formula: Formula,
+        inst: Instance,
+        env: Mapping[str, Value] | None = None,
+        free_variable_types: Mapping[str, Type] | None = None,
+    ) -> bool:
+        """Evaluate a (possibly open) formula under a variable binding."""
+        from .typecheck import check_formula
+
+        check_formula(formula, self.schema,
+                      dict(free_variable_types or {}) or None)
+        ctx = self._context(formula, inst)
+        result = self._satisfy(formula, dict(env or {}), ctx)
+        self.last_stats = ctx.stats
+        return result
+
+    def evaluate_fixpoint(
+        self,
+        fixpoint: Fixpoint,
+        inst: Instance,
+        env: Mapping[str, Value] | None = None,
+    ) -> frozenset[tuple[Value, ...]]:
+        """Compute a fixpoint relation directly (rows as value tuples)."""
+        from .typecheck import check_formula
+
+        param_types = {
+            v.name: v.typ for v in fixpoint.parameters() if v.typ is not None
+        }
+        check_formula(FixpointPred(fixpoint,
+                                   [Var(n, t) for n, t in fixpoint.columns]),
+                      self.schema, param_types or None)
+        ctx = self._context(fixpoint.body, inst)
+        result = self._fixpoint_rows(fixpoint, dict(env or {}), ctx)
+        self.last_stats = ctx.stats
+        return result
+
+    # -- machinery ---------------------------------------------------------
+
+    def _context(self, formula: Formula, inst: Instance) -> _Context:
+        atoms = active_atoms(inst, constants_of(formula))
+        fixpoint_ranges: dict[str, dict[str, Collection[Value]]] = {}
+        return _Context(
+            inst, atoms, self.max_domain_size, self.max_product,
+            self.variable_ranges, fixpoint_ranges,
+        )
+
+    def _bindings(
+        self,
+        variables: list[Var],
+        ctx: _Context,
+        base_env: dict[str, Value],
+    ) -> Iterator[dict[str, Value]]:
+        """Enumerate environments extending base_env over the variables."""
+        domains = []
+        total = 1
+        for var in variables:
+            assert var.typ is not None
+            candidates = ctx.candidates(var.name, var.typ)
+            domains.append(list(candidates))
+            total *= len(domains[-1])
+            if total > ctx.max_product:
+                raise EvalError(
+                    f"enumeration of {total}+ bindings exceeds cap "
+                    f"{ctx.max_product}"
+                )
+        for combo in itertools.product(*domains):
+            env = dict(base_env)
+            for var, value in zip(variables, combo):
+                env[var.name] = value
+            ctx.stats["quantifier_iterations"] += 1
+            yield env
+
+    def _eval_term(self, term: Term, env: dict[str, Value], ctx: _Context) -> Value:
+        if isinstance(term, Const):
+            return term.value
+        if isinstance(term, Var):
+            try:
+                return env[term.name]
+            except KeyError:
+                raise EvalError(f"unbound variable {term.name!r}") from None
+        if isinstance(term, Proj):
+            base = self._eval_term(term.base, env, ctx)
+            if not isinstance(base, CTuple):
+                raise EvalError(f"projection on non-tuple value {base!r}")
+            return base.component(term.index)
+        if isinstance(term, FixpointTerm):
+            rows = self._fixpoint_rows(term.fixpoint, env, ctx)
+            if term.fixpoint.arity == 1:
+                return CSet(row[0] for row in rows)
+            return CSet(CTuple(row) for row in rows)
+        raise EvalError(f"unknown term {term!r}")
+
+    def _satisfy(self, formula: Formula, env: dict[str, Value], ctx: _Context) -> bool:
+        ctx.stats["atom_checks"] += 1
+        if isinstance(formula, Equals):
+            return (self._eval_term(formula.left, env, ctx)
+                    == self._eval_term(formula.right, env, ctx))
+        if isinstance(formula, In):
+            container = self._eval_term(formula.container, env, ctx)
+            if not isinstance(container, CSet):
+                raise EvalError(f"'in' on non-set value {container!r}")
+            return self._eval_term(formula.element, env, ctx) in container
+        if isinstance(formula, Subset):
+            left = self._eval_term(formula.left, env, ctx)
+            right = self._eval_term(formula.right, env, ctx)
+            if not isinstance(left, CSet) or not isinstance(right, CSet):
+                raise EvalError("'sub' on non-set values")
+            return left.issubset(right)
+        if isinstance(formula, RelAtom):
+            row = tuple(self._eval_term(a, env, ctx) for a in formula.args)
+            if formula.name in ctx.rel_env:
+                return row in ctx.rel_env[formula.name]
+            return CTuple(row) in ctx.instance.relation(formula.name).tuples
+        if isinstance(formula, FixpointPred):
+            rows = self._fixpoint_rows(formula.fixpoint, env, ctx)
+            row = tuple(self._eval_term(a, env, ctx) for a in formula.args)
+            return row in rows
+        if isinstance(formula, Not):
+            return not self._satisfy(formula.operand, env, ctx)
+        if isinstance(formula, And):
+            return all(self._satisfy(op, env, ctx) for op in formula.operands)
+        if isinstance(formula, Or):
+            return any(self._satisfy(op, env, ctx) for op in formula.operands)
+        if isinstance(formula, Implies):
+            return (not self._satisfy(formula.antecedent, env, ctx)
+                    or self._satisfy(formula.consequent, env, ctx))
+        if isinstance(formula, Iff):
+            return (self._satisfy(formula.left, env, ctx)
+                    == self._satisfy(formula.right, env, ctx))
+        if isinstance(formula, Exists):
+            for extended in self._bindings([formula.var], ctx, env):
+                if self._satisfy(formula.body, extended, ctx):
+                    return True
+            return False
+        if isinstance(formula, Forall):
+            for extended in self._bindings([formula.var], ctx, env):
+                if not self._satisfy(formula.body, extended, ctx):
+                    return False
+            return True
+        raise EvalError(f"unknown formula {formula!r}")
+
+    def _fixpoint_rows(
+        self, fixpoint: Fixpoint, env: dict[str, Value], ctx: _Context
+    ) -> frozenset[tuple[Value, ...]]:
+        # Cache on the fixpoint identity plus the values of its parameters
+        # and the state of any enclosing fixpoint relations it references.
+        param_values = tuple(
+            (v.name, env.get(v.name)) for v in fixpoint.parameters()
+        )
+        outer_rels = tuple(sorted(
+            (name, rows) for name, rows in ctx.rel_env.items()
+        ))
+        key = (fixpoint, param_values, outer_rels)
+        if key in ctx.fixpoint_cache:
+            return ctx.fixpoint_cache[key]
+
+        column_vars = [Var(n, t) for n, t in fixpoint.columns]
+
+        def stage(current: frozenset[tuple[Value, ...]]) -> frozenset[tuple[Value, ...]]:
+            ctx.stats["fixpoint_stages"] += 1
+            previous = ctx.rel_env.get(fixpoint.name)
+            ctx.rel_env[fixpoint.name] = current
+            try:
+                rows = set()
+                for extended in self._bindings(column_vars, ctx, env):
+                    if self._satisfy(fixpoint.body, extended, ctx):
+                        rows.add(tuple(extended[v.name] for v in column_vars))
+                return frozenset(rows)
+            finally:
+                if previous is None:
+                    del ctx.rel_env[fixpoint.name]
+                else:
+                    ctx.rel_env[fixpoint.name] = previous
+
+        if fixpoint.kind == IFP:
+            result = iterate_ifp(stage, self.max_fixpoint_stages)
+        else:
+            result = iterate_pfp(stage, self.max_fixpoint_stages)
+        ctx.fixpoint_cache[key] = result
+        return result
+
+
+def evaluate(
+    query: Query,
+    inst: Instance,
+    schema: DatabaseSchema | None = None,
+    **evaluator_options,
+) -> frozenset[CTuple]:
+    """One-shot convenience: evaluate a query on an instance.
+
+    ``schema`` defaults to the instance's schema.
+    """
+    evaluator = Evaluator(schema or inst.schema, **evaluator_options)
+    return evaluator.evaluate(query, inst)
+
+
+def evaluate_formula(
+    formula: Formula,
+    inst: Instance,
+    env: Mapping[str, Value] | None = None,
+    free_variable_types: Mapping[str, Type] | None = None,
+    schema: DatabaseSchema | None = None,
+    **evaluator_options,
+) -> bool:
+    """One-shot convenience: evaluate a sentence (or open formula + env)."""
+    evaluator = Evaluator(schema or inst.schema, **evaluator_options)
+    return evaluator.evaluate_formula(formula, inst, env, free_variable_types)

@@ -1,0 +1,130 @@
+"""Fixpoint iteration engines (Definition 3.1).
+
+The two operators differ only in how the stage formula is iterated:
+
+* **IFP** (inflationary): ``J_0 = {}``, ``J_i = phi(J_{i-1}) ∪ J_{i-1}``.
+  The sequence is increasing over a finite space, so it always converges;
+  the limit is reached after at most ``|space|`` stages.
+* **PFP** (partial): ``J_0 = {}``, ``J_i = phi(J_{i-1})``.  The sequence
+  converges iff it reaches an actual fixed point; otherwise it enters a
+  cycle of period > 1 and the fixpoint is *undefined* — signalled here by
+  :class:`PFPDivergenceError`.
+
+These engines are generic over the stage function (a callable from a
+frozenset of rows to a frozenset of rows); the calculus evaluator, the
+Datalog engine and the TM simulation all drive them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, Iterator, Tuple, TypeVar
+
+Row = Tuple  # a tuple of values
+Rows = FrozenSet[Row]
+StageFn = Callable[[Rows], Rows]
+
+
+class FixpointError(Exception):
+    """Raised when a fixpoint iteration cannot complete."""
+
+
+class PFPDivergenceError(FixpointError):
+    """Raised when a PFP iteration cycles without reaching a fixed point.
+
+    Carries the cycle's period and the stage at which the repetition was
+    detected, for diagnostics.
+    """
+
+    def __init__(self, period: int, stage: int):
+        super().__init__(
+            f"PFP iteration entered a cycle of period {period} at stage {stage}; "
+            "the partial fixpoint is undefined"
+        )
+        self.period = period
+        self.stage = stage
+
+
+def iterate_ifp(
+    stage: StageFn,
+    max_stages: int | None = None,
+) -> Rows:
+    """Run an inflationary fixpoint to convergence.
+
+    ``stage(J)`` computes ``phi(J)``; the engine adds the union with J.
+    ``max_stages`` guards against runaway stage functions (the theory
+    guarantees convergence, but a buggy stage function might not shrink).
+    """
+    current: Rows = frozenset()
+    count = 0
+    while True:
+        new = frozenset(stage(current)) | current
+        count += 1
+        if new == current:
+            return current
+        current = new
+        if max_stages is not None and count > max_stages:
+            raise FixpointError(
+                f"IFP did not converge within {max_stages} stages"
+            )
+
+
+def iterate_pfp(
+    stage: StageFn,
+    max_stages: int | None = None,
+) -> Rows:
+    """Run a partial fixpoint; raise :class:`PFPDivergenceError` on cycles.
+
+    The space of states is finite, so the sequence eventually repeats;
+    we record every state seen and report the period when a repeat that
+    is not a fixed point occurs.
+    """
+    current: Rows = frozenset()
+    seen: dict[Rows, int] = {current: 0}
+    count = 0
+    while True:
+        new = frozenset(stage(current))
+        count += 1
+        if new == current:
+            return current
+        if new in seen:
+            raise PFPDivergenceError(period=count - seen[new], stage=count)
+        seen[new] = count
+        current = new
+        if max_stages is not None and count > max_stages:
+            raise FixpointError(
+                f"PFP did not converge within {max_stages} stages"
+            )
+
+
+def ifp_stages(stage: StageFn) -> Iterator[Rows]:
+    """Yield the successive stages ``J_0, J_1, ...`` of an IFP iteration,
+    ending with the limit (yielded once)."""
+    current: Rows = frozenset()
+    yield current
+    while True:
+        new = frozenset(stage(current)) | current
+        if new == current:
+            return
+        current = new
+        yield current
+
+
+def pfp_stages(stage: StageFn, max_stages: int = 10_000) -> Iterator[Rows]:
+    """Yield successive PFP stages; stops at the fixed point or raises on
+    a cycle (after yielding the states on the way)."""
+    current: Rows = frozenset()
+    seen: dict[Rows, int] = {current: 0}
+    yield current
+    count = 0
+    while True:
+        new = frozenset(stage(current))
+        count += 1
+        if new == current:
+            return
+        if new in seen:
+            raise PFPDivergenceError(period=count - seen[new], stage=count)
+        seen[new] = count
+        current = new
+        yield current
+        if count > max_stages:
+            raise FixpointError(f"PFP exceeded {max_stages} stages")

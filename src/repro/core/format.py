@@ -1,0 +1,138 @@
+"""Pretty-printing of formulas and queries to the textual syntax.
+
+``parse_query(format_query(q))`` reproduces ``q`` up to type-annotation
+placement (the formatter annotates every variable at its binding site
+and first free occurrence, which is what the parser needs).
+
+The output follows the grammar of :mod:`repro.core.parser`; tests
+round-trip the canonical paper queries through it.
+"""
+
+from __future__ import annotations
+
+from ..objects.values import Atom, CSet, CTuple, Value
+from .syntax import (
+    And,
+    Const,
+    Equals,
+    Exists,
+    Fixpoint,
+    FixpointPred,
+    FixpointTerm,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    In,
+    Not,
+    Or,
+    Proj,
+    Query,
+    RelAtom,
+    Subset,
+    Term,
+    Var,
+)
+
+__all__ = ["format_formula", "format_query", "format_term", "format_value"]
+
+
+def format_value(value: Value) -> str:
+    """Render a constant in the parser's literal syntax."""
+    if isinstance(value, Atom):
+        return f"'{value.label}'"
+    if isinstance(value, CTuple):
+        return "[" + ", ".join(format_value(item) for item in value.items) + "]"
+    if isinstance(value, CSet):
+        elements = sorted(format_value(element) for element in value.elements)
+        return "{" + ", ".join(elements) + "}"
+    raise TypeError(f"unknown value {value!r}")
+
+
+class _Formatter:
+    """Tracks which variables have been annotated already."""
+
+    def __init__(self) -> None:
+        self.annotated: set[str] = set()
+
+    def var(self, var: Var, *, force_annotation: bool = False) -> str:
+        if (force_annotation or var.name not in self.annotated) \
+                and var.typ is not None:
+            self.annotated.add(var.name)
+            return f"{var.name}:{var.typ!r}"
+        return var.name
+
+    def term(self, term: Term) -> str:
+        if isinstance(term, Const):
+            return format_value(term.value)
+        if isinstance(term, Var):
+            return self.var(term)
+        if isinstance(term, Proj):
+            return f"{self.var(term.base)}.{term.index}"
+        if isinstance(term, FixpointTerm):
+            return self.fixpoint(term.fixpoint)
+        raise TypeError(f"unknown term {term!r}")
+
+    def fixpoint(self, fixpoint: Fixpoint) -> str:
+        keyword = "ifp" if fixpoint.kind == "IFP" else "pfp"
+        columns = ", ".join(f"{name}:{typ!r}"
+                            for name, typ in fixpoint.columns)
+        self.annotated.update(fixpoint.column_names)
+        body = self.formula(fixpoint.body)
+        return f"{keyword}[{fixpoint.name}({columns})]({body})"
+
+    def formula(self, formula: Formula) -> str:
+        if isinstance(formula, Equals):
+            return f"{self.term(formula.left)} = {self.term(formula.right)}"
+        if isinstance(formula, In):
+            return (f"{self.term(formula.element)} in "
+                    f"{self.term(formula.container)}")
+        if isinstance(formula, Subset):
+            return f"{self.term(formula.left)} sub {self.term(formula.right)}"
+        if isinstance(formula, RelAtom):
+            args = ", ".join(self.term(a) for a in formula.args)
+            return f"{formula.name}({args})"
+        if isinstance(formula, FixpointPred):
+            head = self.fixpoint(formula.fixpoint)
+            args = ", ".join(self.term(a) for a in formula.args)
+            return f"{head}({args})"
+        if isinstance(formula, Not):
+            return f"not ({self.formula(formula.operand)})"
+        if isinstance(formula, And):
+            return " and ".join(f"({self.formula(op)})"
+                                for op in formula.operands)
+        if isinstance(formula, Or):
+            return " or ".join(f"({self.formula(op)})"
+                               for op in formula.operands)
+        if isinstance(formula, Implies):
+            return (f"({self.formula(formula.antecedent)}) -> "
+                    f"({self.formula(formula.consequent)})")
+        if isinstance(formula, Iff):
+            return (f"({self.formula(formula.left)}) <-> "
+                    f"({self.formula(formula.right)})")
+        if isinstance(formula, (Exists, Forall)):
+            keyword = "exists" if isinstance(formula, Exists) else "forall"
+            binding = self.var(formula.var, force_annotation=True)
+            return f"{keyword} {binding} ({self.formula(formula.body)})"
+        raise TypeError(f"unknown formula {formula!r}")
+
+
+def format_term(term: Term) -> str:
+    """Render a term in parseable textual syntax."""
+    return _Formatter().term(term)
+
+
+def format_formula(formula: Formula) -> str:
+    """Render a formula in parseable textual syntax."""
+    return _Formatter().formula(formula)
+
+
+def format_query(query: Query) -> str:
+    """Render a query in parseable textual syntax."""
+    formatter = _Formatter()
+    head_parts = []
+    for name, typ in query.head:
+        formatter.annotated.add(name)
+        head_parts.append(f"{name}:{typ!r}")
+    body = formatter.formula(query.body)
+    return "{[" + ", ".join(head_parts) + "] | " + body + "}"

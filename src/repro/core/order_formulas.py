@@ -1,0 +1,262 @@
+"""CALC formulas defining the induced orders ``<_T`` (Lemma 4.3).
+
+Given an order ``<_U`` on the atomic constants — provided as a binary
+database relation (conventionally named ``LTU``) — Lemma 4.3 constructs,
+for every ``<i,k>``-type T, a ``CALC_i^k`` formula defining the induced
+order ``<_T`` on ``dom(T, D)`` of Definition 4.2:
+
+* tuples: lexicographic — a disjunction over the first differing
+  component;
+* sets: ``x <_T y`` iff ``x != y`` and either ``x - y`` is empty or both
+  differences are non-empty and ``max(x - y) <_S max(y - x)``, where the
+  maxima are characterised by a universally quantified sub-formula
+  (the proof's ``Max`` predicate).
+
+:func:`less_than_formula` returns a *formula builder* — a function from
+two terms of type T to the comparison formula — so the recursion can
+compare tuple components (projection terms) in place.  The tests check
+the generated formulas against the native comparator
+:func:`repro.objects.ordering.compare` on entire small domains, and the
+Theorem 5.2 machinery (ordered inputs) reuses the same ``LTU``
+convention via :func:`with_order_relation`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable
+
+from ..objects.instance import Instance
+from ..objects.ordering import AtomOrder
+from ..objects.schema import DatabaseSchema, RelationSchema
+from ..objects.types import AtomType, SetType, TupleType, Type
+from .syntax import (
+    And,
+    Equals,
+    Exists,
+    Forall,
+    Formula,
+    Implies,
+    In,
+    Not,
+    Or,
+    Proj,
+    RelAtom,
+    Term,
+    Var,
+)
+
+__all__ = [
+    "ORDER_RELATION",
+    "less_than_formula",
+    "max_diff_formula",
+    "pair_in",
+    "total_order_formula",
+    "with_order_relation",
+    "order_schema",
+]
+
+#: Conventional name of the atom-order relation ``<_U``.
+ORDER_RELATION = "LTU"
+
+TermBuilder = Callable[[Term, Term], Formula]
+
+
+class _FreshNames:
+    """Generates fresh variable names (rename-apart discipline)."""
+
+    def __init__(self, prefix: str = "_o"):
+        self.prefix = prefix
+        self.counter = itertools.count(1)
+
+    def var(self, typ: Type) -> Var:
+        return Var(f"{self.prefix}{next(self.counter)}", typ)
+
+
+def less_than_formula(
+    typ: Type,
+    order_relation: str = ORDER_RELATION,
+    _fresh: _FreshNames | None = None,
+) -> TermBuilder:
+    """A builder ``(x, y) -> formula`` for the strict order ``x <_T y``.
+
+    The returned formulas are plain CALC (no fixpoints) over the input
+    schema extended with the binary atom-order relation.
+    """
+    fresh = _fresh or _FreshNames()
+
+    if isinstance(typ, AtomType):
+        def atom_lt(x: Term, y: Term) -> Formula:
+            return RelAtom(order_relation, (x, y))
+
+        return atom_lt
+
+    if isinstance(typ, TupleType):
+        component_lt = [
+            less_than_formula(comp, order_relation, fresh)
+            for comp in typ.components
+        ]
+
+        def tuple_lt(x: Term, y: Term) -> Formula:
+            if not isinstance(x, Var) or not isinstance(y, Var):
+                raise ValueError(
+                    "tuple comparison requires variable terms (projections "
+                    "x.i only apply to variables); bind components first"
+                )
+            disjuncts: list[Formula] = []
+            for index in range(1, typ.arity + 1):
+                conjuncts: list[Formula] = [
+                    Equals(Proj(x, j), Proj(y, j)) for j in range(1, index)
+                ]
+                conjuncts.append(
+                    component_lt[index - 1](Proj(x, index), Proj(y, index))
+                )
+                disjuncts.append(
+                    conjuncts[0] if len(conjuncts) == 1 else And(conjuncts)
+                )
+            return disjuncts[0] if len(disjuncts) == 1 else Or(disjuncts)
+
+        return tuple_lt
+
+    if isinstance(typ, SetType):
+        element_type = typ.element
+        element_lt = less_than_formula(element_type, order_relation, fresh)
+
+        def set_lt(x: Term, y: Term) -> Formula:
+            z = fresh.var(element_type)
+            z2 = fresh.var(element_type)
+            not_equal = Not(Equals(x, y))
+            x_minus_y_empty = _subset_formula(x, y, element_type, fresh)
+            both_maxima = Exists(z, Exists(z2, And((
+                max_diff_formula(x, y, z, element_type, element_lt, fresh),
+                max_diff_formula(y, x, z2, element_type, element_lt, fresh),
+                element_lt(z, z2),
+            ))))
+            return And((not_equal, Or((x_minus_y_empty, both_maxima))))
+
+        return set_lt
+
+    raise TypeError(f"unknown type {typ!r}")
+
+
+def _subset_formula(x: Term, y: Term, element_type: Type,
+                    fresh: _FreshNames) -> Formula:
+    """``x sub y`` spelled with a quantifier (avoids the sub primitive so
+    the construction matches the proof's vocabulary)."""
+    w = fresh.var(element_type)
+    return Forall(w, Implies(In(w, x), In(w, y)))
+
+
+def max_diff_formula(
+    x: Term,
+    y: Term,
+    z: Var,
+    element_type: Type,
+    element_lt: TermBuilder,
+    fresh: _FreshNames,
+) -> Formula:
+    """The proof's ``Max_{<S}(x - y, z)``: z is the ``<_S``-maximum of x - y.
+
+    ``z in x``, ``z not in y``, and every other member of the difference
+    is ``<_S z`` or equal to it.
+    """
+    w = fresh.var(element_type)
+    return And((
+        In(z, x),
+        Not(In(z, y)),
+        Forall(w, Implies(
+            And((In(w, x), Not(In(w, y)))),
+            Or((element_lt(w, z), Equals(w, z))),
+        )),
+    ))
+
+
+def pair_in(container: Term, left: Term, right: Term,
+            fresh: "_FreshNames | None" = None) -> Formula:
+    """``[left, right] in container`` for a ``{[U,U]}``-typed container.
+
+    The term language has no tuple constructor (the paper's doesn't
+    either), so the membership is spelled with an existential pair
+    variable: ``exists p:[U,U] (p in container and p.1 = left and
+    p.2 = right)``.
+    """
+    from ..objects.types import TupleType, U as AtomU
+
+    fresh = fresh or _FreshNames("_p")
+    p = fresh.var(TupleType((AtomU, AtomU)))
+    return Exists(p, And((
+        In(p, container),
+        Equals(Proj(p, 1), left),
+        Equals(Proj(p, 2), right),
+    )))
+
+
+def total_order_formula(
+    order_var: Var,
+    fresh: "_FreshNames | None" = None,
+    guard: "Callable[[Var], Formula] | None" = None,
+) -> Formula:
+    """The proof of Theorem 4.1's ``order(<_U)``: the ``{[U,U]}``-typed
+    value of ``order_var`` holds a strict total order on ``dom(U)``.
+
+    Irreflexive, totally comparable, and transitive.  (The formula
+    printed in the paper reads ``x <_U x`` where it plainly means its
+    negation — we implement the intended strict order.)
+
+    This is the formula that lets dense databases *postulate* an order
+    instead of being handed one: ``exists ord ( order(ord) and psi(ord) )``.
+
+    ``guard`` optionally relativises the quantified atom variables (e.g.
+    ``lambda v: RelAtom("P", (v,))``): the value then need only order
+    the guarded atoms.  Theorem 5.3's RR_T discipline requires such
+    guards — every variable *not* of the dense type must be range
+    restricted, and a database guard is what restricts them.
+    """
+    from ..objects.types import U as AtomU
+
+    fresh = fresh or _FreshNames("_q")
+    x = fresh.var(AtomU)
+    y = fresh.var(AtomU)
+    z = fresh.var(AtomU)
+    irreflexive = Not(pair_in(order_var, x, x, fresh))
+    total = Implies(Not(Equals(x, y)),
+                    Or((pair_in(order_var, x, y, fresh),
+                        pair_in(order_var, y, x, fresh))))
+    transitive = Implies(And((pair_in(order_var, x, y, fresh),
+                              pair_in(order_var, y, z, fresh))),
+                         pair_in(order_var, x, z, fresh))
+    body: Formula = And((irreflexive, total, transitive))
+    if guard is not None:
+        body = Implies(And((guard(x), guard(y), guard(z))), body)
+    return Forall(x, Forall(y, Forall(z, body)))
+
+
+def order_schema(schema: DatabaseSchema,
+                 order_relation: str = ORDER_RELATION) -> DatabaseSchema:
+    """The schema extended with the binary atom-order relation."""
+    relations = list(schema)
+    relations.append(RelationSchema(order_relation, ("U", "U")))
+    return DatabaseSchema(relations)
+
+
+def with_order_relation(
+    inst: Instance,
+    order: AtomOrder | None = None,
+    order_relation: str = ORDER_RELATION,
+) -> Instance:
+    """Extend an instance with ``LTU`` holding the strict order ``<_U``.
+
+    This is the paper's "+ <_U" construction (ordered inputs,
+    Theorem 5.2).  If no order is supplied, the canonical label order on
+    ``atom(I)`` is used.
+    """
+    order = order or AtomOrder.sorted_by_label(inst.atoms())
+    pairs = [
+        (a, b)
+        for position, a in enumerate(order.atoms)
+        for b in order.atoms[position + 1:]
+    ]
+    schema = order_schema(inst.schema, order_relation)
+    data = {rel.name: list(rel.tuples) for rel in inst.relations()}
+    data[order_relation] = pairs
+    return Instance(schema, data)

@@ -1,0 +1,867 @@
+"""Range restriction: the syntactic safety discipline of Section 5.
+
+Two related pieces:
+
+1. **The decision analysis** (Definitions 5.2 and 5.3): compute the set
+   of *range-restricted variables* of a formula by the paper's inference
+   rules 1-9 (CALC) and 1', 9', 10 (fixpoints, with the column-wise
+   ``tau`` iteration).  A formula is range restricted iff every variable
+   — free and bound — is range restricted; :func:`analyze` reports the
+   verdict together with per-binder diagnostics.
+
+2. **Range functions** (the proof of Theorem 5.1 turned into an
+   algorithm): :func:`compute_ranges` derives, for a range-restricted
+   query and an input instance, a finite candidate set per variable such
+   that the *restricted-domain* evaluation over those sets provably
+   agrees with the active-domain answer — in time polynomial in the
+   instance, instead of hyperexponential.
+
+Variables and projections
+-------------------------
+
+Following the paper, "variables" include the projections ``x.i`` of
+tuple-typed variables.  We represent both as *paths*: ``("x",)`` for the
+variable and ``("x", i)`` for its i-th projection.  Rules 2 and 3 close a
+set of paths under projection (a restricted tuple restricts its
+components, and a tuple all of whose components are restricted is itself
+restricted).
+
+Soundness of union ranges
+-------------------------
+
+The proof of Theorem 5.1 fixes *one* derivation per variable and builds
+its canonical range.  We instead take the union of the ranges arising
+from every base derivation (every relation-atom occurrence, every
+constant equation, ...).  This is sound: for a range-restricted formula,
+any satisfying assignment takes its values inside the canonical ranges,
+so (a) enlarging an existential range adds no witnesses (values outside
+cannot satisfy the body), and (b) enlarging a universal range adds only
+vacuously-true instances (a value outside the canonical range of
+``nnf(not body)`` cannot falsify the body).  Union ranges stay
+polynomial, so the complexity claims are unaffected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from ..objects.types import SetType, TupleType, Type
+from ..objects.values import CSet, CTuple, Value
+from .syntax import (
+    And,
+    Const,
+    Equals,
+    Exists,
+    Fixpoint,
+    FixpointPred,
+    FixpointTerm,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    In,
+    Not,
+    Or,
+    Proj,
+    Query,
+    RelAtom,
+    Subset,
+    Term,
+    Var,
+)
+
+__all__ = [
+    "Path",
+    "RRResult",
+    "analyze",
+    "analyze_query",
+    "is_range_restricted",
+    "compute_ranges",
+    "nnf",
+    "negate",
+]
+
+#: A variable path: ("x",) for x itself, ("x", i) for x.i.
+Path = tuple
+
+
+def term_path(term: Term) -> Path | None:
+    """The path of a Var or Proj term, None for other terms."""
+    if isinstance(term, Var):
+        return (term.name,)
+    if isinstance(term, Proj):
+        return (term.base.name, term.index)
+    return None
+
+
+def free_paths(formula: Formula) -> frozenset[Path]:
+    """Paths of *free* variables occurring in a formula.
+
+    Quantified variables and fixpoint column variables are excluded
+    within their scopes.
+    """
+    result: set[Path] = set()
+
+    def visit(f: Formula, bound: frozenset[str]) -> None:
+        for term in f.terms():
+            path = term_path(term)
+            if path is not None and path[0] not in bound:
+                result.add(path)
+            if isinstance(term, FixpointTerm):
+                fix = term.fixpoint
+                visit(fix.body, bound | set(fix.column_names))
+        if isinstance(f, (Exists, Forall)):
+            visit(f.body, bound | {f.var.name})
+            return
+        if isinstance(f, FixpointPred):
+            fix = f.fixpoint
+            visit(fix.body, bound | set(fix.column_names))
+            return
+        for child in f.children():
+            visit(child, bound)
+
+    visit(formula, frozenset())
+    return frozenset(result)
+
+
+# ---------------------------------------------------------------------------
+# Negation normal form (needed by rule 7)
+# ---------------------------------------------------------------------------
+
+def negate(formula: Formula) -> Formula:
+    """``not formula`` with the negation pushed inside (rule 7's footnote)."""
+    return nnf(Not(formula))
+
+
+def nnf(formula: Formula) -> Formula:
+    """Negation normal form: negations pushed to atoms; ``->`` and ``<->``
+    expanded."""
+    if isinstance(formula, Not):
+        inner = formula.operand
+        if isinstance(inner, Not):
+            return nnf(inner.operand)
+        if isinstance(inner, And):
+            return Or(nnf(Not(op)) for op in inner.operands)
+        if isinstance(inner, Or):
+            return And(nnf(Not(op)) for op in inner.operands)
+        if isinstance(inner, Implies):
+            return And((nnf(inner.antecedent), nnf(Not(inner.consequent))))
+        if isinstance(inner, Iff):
+            return Or((
+                And((nnf(inner.left), nnf(Not(inner.right)))),
+                And((nnf(Not(inner.left)), nnf(inner.right))),
+            ))
+        if isinstance(inner, Exists):
+            return Forall(inner.var, nnf(Not(inner.body)))
+        if isinstance(inner, Forall):
+            return Exists(inner.var, nnf(Not(inner.body)))
+        return Not(inner)  # negated atom
+    if isinstance(formula, And):
+        return And(nnf(op) for op in formula.operands)
+    if isinstance(formula, Or):
+        return Or(nnf(op) for op in formula.operands)
+    if isinstance(formula, Implies):
+        return Or((nnf(Not(formula.antecedent)), nnf(formula.consequent)))
+    if isinstance(formula, Iff):
+        # Keep Iff intact: rule 9 pattern-matches it.  Its operands are
+        # normalised; rule-based analysis translates it when needed.
+        return Iff(nnf(formula.left), nnf(formula.right))
+    if isinstance(formula, Exists):
+        return Exists(formula.var, nnf(formula.body))
+    if isinstance(formula, Forall):
+        return Forall(formula.var, nnf(formula.body))
+    return formula  # atoms
+
+
+# ---------------------------------------------------------------------------
+# The decision analysis
+# ---------------------------------------------------------------------------
+
+@dataclass
+class RRResult:
+    """Verdict of the range-restriction analysis.
+
+    Attributes:
+        restricted: range-restricted paths of the whole formula.
+        violations: human-readable reasons why bound variables (or the
+            formula's free variables) fail to be range restricted.
+        fixpoint_columns: for each analysed fixpoint (by name), the final
+            ``tau*`` set of range-restricted column indices (1-based).
+    """
+
+    restricted: frozenset[Path] = frozenset()
+    violations: list[str] = field(default_factory=list)
+    fixpoint_columns: dict[str, frozenset[int]] = field(default_factory=dict)
+
+    @property
+    def is_range_restricted(self) -> bool:
+        return not self.violations
+
+
+class _Analyzer:
+    """Implements Definitions 5.2 / 5.3.
+
+    ``variable_types`` drives the projection closure (rules 2/3).
+    ``tau`` maps fixpoint-bound relation names to their currently-assumed
+    range-restricted columns (Definition 5.3's mapping).
+    """
+
+    def __init__(self, variable_types: Mapping[str, Type],
+                 database_relations: frozenset[str],
+                 exempt_types: frozenset[Type] = frozenset()):
+        self.variable_types = dict(variable_types)
+        self.database_relations = database_relations
+        self.exempt_types = exempt_types
+        self.violations: list[str] = []
+        self.fixpoint_columns: dict[str, frozenset[int]] = {}
+        self.tau: dict[str, frozenset[int]] = {}
+
+    def _is_exempt(self, name: str) -> bool:
+        """Theorem 5.3's RR_T discipline: variables of a *dense* type are
+        exempt from range restriction (their full domain is polynomial),
+        and count as restricted for propagation purposes."""
+        typ = self.variable_types.get(name)
+        return typ is not None and typ in self.exempt_types
+
+    # -- closure under rules 2/3 -------------------------------------------
+
+    def close(self, paths: frozenset[Path]) -> frozenset[Path]:
+        result = set(paths)
+        # Exempt-typed variables are restricted by fiat (Theorem 5.3).
+        for name in self.variable_types:
+            if self._is_exempt(name):
+                result.add((name,))
+        changed = True
+        while changed:
+            changed = False
+            for path in list(result):
+                name = path[0]
+                typ = self.variable_types.get(name)
+                if typ is None or not isinstance(typ, TupleType):
+                    continue
+                if len(path) == 1:
+                    # rule 2: x restricted -> every x.i restricted
+                    for index in range(1, typ.arity + 1):
+                        if (name, index) not in result:
+                            result.add((name, index))
+                            changed = True
+            # rule 3: all x.i restricted -> x restricted
+            by_name: dict[str, set[int]] = {}
+            for path in result:
+                if len(path) == 2:
+                    by_name.setdefault(path[0], set()).add(path[1])
+            for name, indices in by_name.items():
+                typ = self.variable_types.get(name)
+                if (isinstance(typ, TupleType)
+                        and indices >= set(range(1, typ.arity + 1))
+                        and (name,) not in result):
+                    result.add((name,))
+                    changed = True
+        return frozenset(result)
+
+    def _has(self, paths: frozenset[Path], path: Path) -> bool:
+        return path in self.close(paths)
+
+    # -- the rules -----------------------------------------------------------
+
+    def rr(self, formula: Formula) -> frozenset[Path]:
+        """Range-restricted paths of a (sub)formula.
+
+        Also records violations for bound variables whose binding-site
+        check fails (rules 7/8 and the query-level requirement).
+        """
+        if isinstance(formula, RelAtom):
+            return self._rr_rel_atom(formula)
+        if isinstance(formula, Equals):
+            return self._rr_equals(formula)
+        if isinstance(formula, (In, Subset)):
+            return frozenset()  # contribute only inside conjunctions (rule 4)
+        if isinstance(formula, FixpointPred):
+            return self._rr_fixpoint_pred(formula)
+        if isinstance(formula, Not):
+            self.rr(formula.operand)  # still analyse for inner violations
+            return frozenset()
+        if isinstance(formula, And):
+            return self._rr_and(formula.operands)
+        if isinstance(formula, Or):
+            return self._rr_or(formula.operands)
+        if isinstance(formula, Implies):
+            return self._rr_or((negate(formula.antecedent), formula.consequent))
+        if isinstance(formula, Iff):
+            return self._rr_and((
+                Implies(formula.left, formula.right),
+                Implies(formula.right, formula.left),
+            ))
+        if isinstance(formula, Exists):
+            body_rr = self.close(self.rr(formula.body))
+            if (formula.var.name,) not in body_rr:
+                self.violations.append(
+                    f"existential variable {formula.var.name!r} is not "
+                    f"range restricted in {formula.body!r}"
+                )
+            return frozenset(
+                p for p in body_rr if p[0] != formula.var.name
+            )
+        if isinstance(formula, Forall):
+            return self._rr_forall(formula)
+        raise TypeError(f"unknown formula {formula!r}")
+
+    def _rr_rel_atom(self, formula: RelAtom) -> frozenset[Path]:
+        paths: set[Path] = set()
+        if formula.name in self.database_relations:
+            # rule 1: every variable of the atom is range restricted.
+            for arg in formula.args:
+                path = term_path(arg)
+                if path is not None:
+                    paths.add(path)
+        elif formula.name in self.tau:
+            # rule 1': only arguments in restricted columns.
+            for index, arg in enumerate(formula.args, start=1):
+                if index in self.tau[formula.name]:
+                    path = term_path(arg)
+                    if path is not None:
+                        paths.add(path)
+        return frozenset(paths)
+
+    def _rr_equals(self, formula: Equals) -> frozenset[Path]:
+        paths: set[Path] = set()
+        # rule 4, "x = c" case (either orientation).
+        left_path, right_path = term_path(formula.left), term_path(formula.right)
+        if left_path is not None and isinstance(formula.right, Const):
+            paths.add(left_path)
+        if right_path is not None and isinstance(formula.left, Const):
+            paths.add(right_path)
+        # rule 9': x = IFP(phi, S) — restricted iff all columns are.
+        for var_path, term in ((left_path, formula.right),
+                               (right_path, formula.left)):
+            if var_path is not None and isinstance(term, FixpointTerm):
+                tau_star, body_rr = self._fixpoint_tau_star(term.fixpoint)
+                paths |= self._fixpoint_param_paths(term.fixpoint, body_rr)
+                if tau_star >= set(range(1, term.fixpoint.arity + 1)):
+                    paths.add(var_path)
+        return frozenset(paths)
+
+    def _rr_and(self, operands) -> frozenset[Path]:
+        operands = tuple(operands)
+        # rule 5 (union) then rule 4 chaining to a fixpoint.
+        current: set[Path] = set()
+        for op in operands:
+            current |= self.rr(op)
+        changed = True
+        while changed:
+            changed = False
+            closed = self.close(frozenset(current))
+            for op in operands:
+                if isinstance(op, Equals):
+                    lp, rp = term_path(op.left), term_path(op.right)
+                    if lp is not None and rp is not None:
+                        if rp in closed and lp not in closed:
+                            current.add(lp)
+                            changed = True
+                        if lp in closed and rp not in closed:
+                            current.add(rp)
+                            changed = True
+                elif isinstance(op, In):
+                    ep = term_path(op.element)
+                    cp = term_path(op.container)
+                    if (ep is not None and cp is not None
+                            and cp in closed and ep not in closed):
+                        current.add(ep)
+                        changed = True
+                    # membership in a constant set also bounds the element
+                    if (ep is not None and isinstance(op.container, Const)
+                            and ep not in closed):
+                        current.add(ep)
+                        changed = True
+        return self.close(frozenset(current))
+
+    def _rr_or(self, operands) -> frozenset[Path]:
+        operands = tuple(operands)
+        # rule 6.  The paper words it "x in var(phi_i) implies x in
+        # RR(phi_i)", which read literally would admit a variable missing
+        # from one disjunct — unsound, since that disjunct leaves it
+        # unconstrained.  The proof's range construction
+        # ``r(x) = r_{phi_1}(x) ∪ r_{phi_2}(x)`` presupposes x restricted
+        # in *both*, so we implement that (intended) reading: restricted
+        # in every disjunct.
+        rrs = [self.close(self.rr(op)) for op in operands]
+        result = set(rrs[0])
+        for other in rrs[1:]:
+            result &= other
+        return frozenset(result)
+
+    def _rr_forall(self, formula: Forall) -> frozenset[Path]:
+        var = formula.var
+        body = formula.body
+        # rule 9: forall y (y in s <-> phi'(y)) with y restricted in phi'.
+        pattern = self._match_rule9(body, var.name)
+        if pattern is not None:
+            container_path, phi = pattern
+            phi_rr = self.close(self.rr(phi))
+            if (var.name,) in phi_rr:
+                return frozenset((container_path,))
+        # rule 7: y restricted in nnf(not body).
+        negated = negate(body)
+        negated_rr = self.close(self.rr(negated))
+        if (var.name,) not in negated_rr:
+            self.violations.append(
+                f"universal variable {var.name!r} is not range restricted "
+                f"in the negation of {body!r}"
+            )
+        return frozenset()
+
+    @staticmethod
+    def _match_rule9(body: Formula, var_name: str):
+        """Match ``y in s <-> phi'(y)`` (either orientation).
+
+        Returns ``(path_of_s, phi')`` or None.  ``s`` must be a variable
+        or projection distinct from y.
+        """
+        if not isinstance(body, Iff):
+            return None
+        for membership, phi in ((body.left, body.right),
+                                (body.right, body.left)):
+            if not isinstance(membership, In):
+                continue
+            element, container = membership.element, membership.container
+            if not (isinstance(element, Var) and element.name == var_name):
+                continue
+            container_path = term_path(container)
+            if container_path is None or container_path[0] == var_name:
+                continue
+            return container_path, phi
+        return None
+
+    # -- fixpoints (Definition 5.3) ------------------------------------------
+
+    def _fixpoint_tau_star(
+        self, fixpoint: Fixpoint
+    ) -> tuple[frozenset[int], frozenset[Path]]:
+        """Rule 10: iterate tau to its greatest fixed point tau*.
+
+        Returns ``(tau*(S), RR_{tau*}(body))``.  Violations recorded
+        during intermediate iterations are discarded; only the final
+        iteration's violations are kept.
+        """
+        name = fixpoint.name
+        columns = list(range(1, fixpoint.arity + 1))
+        tau_current = frozenset(columns)
+        saved_violations = list(self.violations)
+        while True:
+            self.violations = list(saved_violations)
+            self.tau[name] = tau_current
+            try:
+                body_rr = self.close(self.rr(fixpoint.body))
+            finally:
+                del self.tau[name]
+            tau_next = frozenset(
+                index for index in tau_current
+                if (fixpoint.column_names[index - 1],) in body_rr
+            )
+            if tau_next == tau_current:
+                self.fixpoint_columns[name] = tau_current
+                return tau_current, body_rr
+            tau_current = tau_next
+
+    def _fixpoint_param_paths(
+        self, fixpoint: Fixpoint, body_rr: frozenset[Path]
+    ) -> frozenset[Path]:
+        """Parameter paths of the fixpoint that are restricted in its body."""
+        column_names = set(fixpoint.column_names)
+        return frozenset(
+            p for p in body_rr if p[0] not in column_names
+        )
+
+    def _rr_fixpoint_pred(self, formula: FixpointPred) -> frozenset[Path]:
+        fixpoint = formula.fixpoint
+        tau_star, body_rr = self._fixpoint_tau_star(fixpoint)
+        paths: set[Path] = set(self._fixpoint_param_paths(fixpoint, body_rr))
+        for index, arg in enumerate(formula.args, start=1):
+            if index in tau_star:
+                path = term_path(arg)
+                if path is not None:
+                    paths.add(path)
+        return frozenset(paths)
+
+
+def analyze(
+    formula: Formula,
+    variable_types: Mapping[str, Type],
+    database_relations: frozenset[str] | set[str],
+    required_free: frozenset[str] | set[str] | None = None,
+    exempt_types: frozenset[Type] | set[Type] = frozenset(),
+) -> RRResult:
+    """Run the Definition 5.2/5.3 analysis on a formula.
+
+    ``variable_types`` must cover every variable (use
+    :func:`repro.core.typecheck.check_formula` to obtain it);
+    ``database_relations`` are the relation names of the input schema.
+    ``required_free`` lists free variables (e.g. the query head) that
+    must come out range restricted for the formula to pass.
+    ``exempt_types`` implements Theorem 5.3's ``RR_T`` discipline:
+    variables of those (dense, non-trivial) types are exempt — they
+    count as restricted, their ranges being the full (polynomial, by
+    density) domains.
+    """
+    analyzer = _Analyzer(variable_types, frozenset(database_relations),
+                         frozenset(exempt_types))
+    restricted = analyzer.close(analyzer.rr(formula))
+    for name in sorted(required_free or ()):
+        if (name,) not in restricted:
+            analyzer.violations.append(
+                f"free variable {name!r} is not range restricted"
+            )
+    return RRResult(
+        restricted=restricted,
+        violations=analyzer.violations,
+        fixpoint_columns=analyzer.fixpoint_columns,
+    )
+
+
+def analyze_query(query: Query, schema,
+                  exempt_types: frozenset[Type] | set[Type] = frozenset()
+                  ) -> RRResult:
+    """Analyse a query: head variables must be range restricted
+    (except those of an exempt type, per Theorem 5.3)."""
+    from .typecheck import check_query
+
+    report = check_query(query, schema)
+    return analyze(
+        query.body,
+        report.variable_types,
+        frozenset(schema.relation_names),
+        required_free=set(query.head_names),
+        exempt_types=exempt_types,
+    )
+
+
+def is_range_restricted(query: Query, schema) -> bool:
+    """True iff the query is in RR-CALC(+IFP/+PFP) over the schema."""
+    return analyze_query(query, schema).is_range_restricted
+
+
+# ---------------------------------------------------------------------------
+# Range functions (Theorem 5.1's proof, as an algorithm)
+# ---------------------------------------------------------------------------
+
+class RangeComputationError(Exception):
+    """Raised when ranges cannot be derived (formula not RR, caps...)."""
+
+
+class _RangeComputer:
+    """Derives per-path candidate sets by iterating the range-flow rules.
+
+    Seeds: projections of database relations at relation-atom argument
+    positions; constants in equations and memberships.  Flows: equality
+    chaining, membership element extraction, fixpoint column circulation
+    (rule 10), nest construction (rule 9) and fixpoint terms (rule 9').
+    Iterates to a global fixed point; every step only adds values that
+    are projections/members of instance data or of previously derived
+    values, so the result stays polynomial in the instance.
+    """
+
+    MAX_ROUNDS = 200
+
+    def __init__(self, instance, variable_types: Mapping[str, Type],
+                 database_relations: frozenset[str]):
+        self.instance = instance
+        self.variable_types = dict(variable_types)
+        self.database_relations = database_relations
+        self.ranges: dict[Path, set[Value]] = {}
+        self.changed = False
+
+    def add(self, path: Path, values) -> None:
+        bucket = self.ranges.setdefault(path, set())
+        before = len(bucket)
+        bucket.update(values)
+        if len(bucket) != before:
+            self.changed = True
+
+    def run(self, formula: Formula) -> dict[Path, set[Value]]:
+        for round_index in range(self.MAX_ROUNDS):
+            self.changed = False
+            self._collect(formula)
+            self._projection_closure()
+            if not self.changed:
+                return self.ranges
+        raise RangeComputationError(
+            f"range computation did not stabilise in {self.MAX_ROUNDS} rounds"
+        )
+
+    # -- seeds and flows, one pass over the syntax tree ---------------------
+
+    def _collect(self, formula: Formula) -> None:
+        if isinstance(formula, RelAtom):
+            self._collect_rel_atom(formula)
+            return
+        if isinstance(formula, Equals):
+            self._collect_equals(formula)
+            return
+        if isinstance(formula, In):
+            self._collect_in(formula)
+            return
+        if isinstance(formula, Subset):
+            return
+        if isinstance(formula, FixpointPred):
+            self._collect_fixpoint(formula.fixpoint, formula.args)
+            return
+        if isinstance(formula, (Exists, Forall)):
+            self._collect(formula.body)
+            if isinstance(formula, Forall):
+                self._collect_rule9(formula)
+            return
+        for child in formula.children():
+            self._collect(child)
+        for term in formula.terms():
+            if isinstance(term, FixpointTerm):
+                self._collect_fixpoint(term.fixpoint, None)
+
+    def _collect_rel_atom(self, formula: RelAtom) -> None:
+        if formula.name in self.database_relations:
+            rel = self.instance.relation(formula.name)
+            for index, arg in enumerate(formula.args, start=1):
+                path = term_path(arg)
+                if path is not None:
+                    self.add(path, (row.component(index) for row in rel.tuples))
+                if isinstance(arg, FixpointTerm):
+                    self._collect_fixpoint(arg.fixpoint, None)
+        # Fixpoint-bound relation atoms: flow column ranges to arguments.
+        # Column variables share names with the fixpoint's declared
+        # columns, whose ranges are derived from the body's own seeds.
+        else:
+            for index, arg in enumerate(formula.args, start=1):
+                path = term_path(arg)
+                column_path = self._column_paths.get((formula.name, index))
+                if path is not None and column_path is not None:
+                    self.add(path, self.ranges.get(column_path, ()))
+
+    #: (relation name, column index) -> column variable path, set while
+    #: a fixpoint body is being collected.
+    @property
+    def _column_paths(self) -> dict[tuple[str, int], Path]:
+        if not hasattr(self, "_column_paths_store"):
+            self._column_paths_store: dict[tuple[str, int], Path] = {}
+        return self._column_paths_store
+
+    def _collect_equals(self, formula: Equals) -> None:
+        lp, rp = term_path(formula.left), term_path(formula.right)
+        if lp is not None and isinstance(formula.right, Const):
+            self.add(lp, (formula.right.value,))
+        if rp is not None and isinstance(formula.left, Const):
+            self.add(rp, (formula.left.value,))
+        if lp is not None and rp is not None:
+            self.add(lp, self.ranges.get(rp, ()))
+            self.add(rp, self.ranges.get(lp, ()))
+        # rule 9': x = IFP(...) — the fixpoint result itself is a value.
+        for path, term in ((lp, formula.right), (rp, formula.left)):
+            if path is not None and isinstance(term, FixpointTerm):
+                self._collect_fixpoint(term.fixpoint, None)
+                self._flow_fixpoint_term(path, term)
+
+    def _collect_in(self, formula: In) -> None:
+        ep, cp = term_path(formula.element), term_path(formula.container)
+        if ep is not None and isinstance(formula.container, Const):
+            container = formula.container.value
+            if isinstance(container, CSet):
+                self.add(ep, container.elements)
+        if ep is not None and cp is not None:
+            for value in self.ranges.get(cp, set()):
+                if isinstance(value, CSet):
+                    self.add(ep, value.elements)
+
+    def _collect_fixpoint(self, fixpoint: Fixpoint, args) -> None:
+        # Register column paths so S-atoms inside the body can flow.
+        for index, name in enumerate(fixpoint.column_names, start=1):
+            self._column_paths[(fixpoint.name, index)] = (name,)
+        try:
+            self._collect(fixpoint.body)
+        finally:
+            for index in range(1, fixpoint.arity + 1):
+                self._column_paths.pop((fixpoint.name, index), None)
+        if args is not None:
+            for index, arg in enumerate(args, start=1):
+                path = term_path(arg)
+                if path is not None:
+                    column = fixpoint.column_names[index - 1]
+                    self.add(path, self.ranges.get((column,), ()))
+
+    def _flow_fixpoint_term(self, path: Path, term: FixpointTerm) -> None:
+        """Rule 9' range: evaluate the fixpoint per parameter binding."""
+        fixpoint = term.fixpoint
+        for env in self._parameter_bindings(fixpoint):
+            value = self._evaluate_fixpoint_term(term, env)
+            if value is not None:
+                self.add(path, (value,))
+
+    def _collect_rule9(self, formula: Forall) -> None:
+        """Rule 9 range: the set {y | phi'(y)} per parameter binding."""
+        pattern = _Analyzer._match_rule9(formula.body, formula.var.name)
+        if pattern is None:
+            return
+        container_path, phi = pattern
+        y_name = formula.var.name
+        params = sorted(
+            name for name in phi.free_variables() if name != y_name
+        )
+        y_type = self.variable_types.get(y_name)
+        if y_type is None:
+            return
+        y_range = self.ranges.get((y_name,))
+        if y_range is None:
+            return
+        for env in self._env_product(params):
+            members = []
+            for candidate in y_range:
+                inner_env = dict(env)
+                inner_env[y_name] = candidate
+                if self._holds(phi, inner_env):
+                    members.append(candidate)
+            self.add(container_path, (CSet(members),))
+
+    # -- helpers needing evaluation -----------------------------------------
+
+    def _parameter_bindings(self, fixpoint: Fixpoint) -> Iterator[dict]:
+        params = sorted(v.name for v in fixpoint.parameters())
+        yield from self._env_product(params)
+
+    def _env_product(self, names: list[str]) -> Iterator[dict]:
+        import itertools as _it
+
+        pools = []
+        for name in names:
+            pool = self.ranges.get((name,))
+            if pool is None:
+                return  # parameters not yet ranged; later round will retry
+            pools.append(sorted(pool, key=repr))
+        for combo in _it.product(*pools):
+            yield dict(zip(names, combo))
+
+    def _holds(self, formula: Formula, env: dict) -> bool:
+        from .evaluation import Evaluator
+
+        evaluator = Evaluator(
+            self.instance.schema,
+            variable_ranges={p[0]: v for p, v in self.ranges.items()
+                             if len(p) == 1},
+        )
+        return evaluator.evaluate_formula(
+            formula, self.instance, env,
+            free_variable_types={
+                n: self.variable_types[n]
+                for n in formula.free_variables()
+                if n in self.variable_types
+            },
+        )
+
+    def _evaluate_fixpoint_term(self, term: FixpointTerm, env: dict):
+        from .evaluation import Evaluator
+
+        evaluator = Evaluator(
+            self.instance.schema,
+            variable_ranges={p[0]: v for p, v in self.ranges.items()
+                             if len(p) == 1},
+        )
+        try:
+            rows = evaluator.evaluate_fixpoint(term.fixpoint, self.instance, env)
+        except Exception:  # noqa: BLE001 - retried on a later round
+            return None
+        if term.fixpoint.arity == 1:
+            return CSet(row[0] for row in rows)
+        return CSet(CTuple(row) for row in rows)
+
+    # -- rules 2/3 on ranges --------------------------------------------------
+
+    def _projection_closure(self) -> None:
+        for path in list(self.ranges):
+            name = path[0]
+            typ = self.variable_types.get(name)
+            if not isinstance(typ, TupleType):
+                continue
+            if len(path) == 1:
+                for index in range(1, typ.arity + 1):
+                    self.add((name, index), (
+                        v.component(index) for v in self.ranges[path]
+                        if isinstance(v, CTuple) and v.arity >= index
+                    ))
+        # rule 3: join component ranges into tuple ranges
+        by_name: dict[str, set[int]] = {}
+        for path in self.ranges:
+            if len(path) == 2:
+                by_name.setdefault(path[0], set()).add(path[1])
+        import itertools as _it
+
+        for name, indices in by_name.items():
+            typ = self.variable_types.get(name)
+            if not isinstance(typ, TupleType):
+                continue
+            needed = set(range(1, typ.arity + 1))
+            if indices >= needed and (name,) not in self.ranges:
+                pools = [sorted(self.ranges[(name, index)], key=repr)
+                         for index in sorted(needed)]
+                total = 1
+                for pool in pools:
+                    total *= len(pool)
+                if total > 2_000_000:
+                    raise RangeComputationError(
+                        f"joined range for {name!r} would have {total} tuples"
+                    )
+                self.add((name,), (CTuple(combo)
+                                   for combo in _it.product(*pools)))
+
+
+def compute_ranges(
+    query: Query,
+    instance,
+    schema=None,
+    exempt_types: frozenset[Type] | set[Type] = frozenset(),
+    max_exempt_domain: int = 1_000_000,
+) -> dict[str, set[Value]]:
+    """Derive candidate value sets per variable for a RR query.
+
+    Returns a map from variable name to a finite set of values; feeding it
+    to :class:`repro.core.evaluation.Evaluator` as ``variable_ranges``
+    evaluates the query under the restricted-domain semantics, which for
+    range-restricted queries coincides with the active-domain answer
+    (Theorem 5.1).
+
+    Raises :class:`RangeComputationError` if the analysis of
+    Definition 5.2/5.3 rejects the query.
+    """
+    from .typecheck import check_query
+
+    schema = schema or instance.schema
+    result = analyze_query(query, schema, exempt_types=frozenset(exempt_types))
+    if not result.is_range_restricted:
+        raise RangeComputationError(
+            "query is not range restricted: " + "; ".join(result.violations)
+        )
+    report = check_query(query, schema)
+    computer = _RangeComputer(
+        instance, report.variable_types, frozenset(schema.relation_names)
+    )
+    # Exempt variables (Theorem 5.3) range over their full domains —
+    # polynomial by the density assumption that justifies the exemption.
+    # Seeded *before* the flow iteration so dependent variables (e.g.
+    # membership witnesses in the exempt value) inherit from them.
+    if exempt_types:
+        from ..objects.domains import materialize_domain
+        from .evaluation import active_atoms
+        from .syntax import constants_of
+
+        atoms = active_atoms(instance, constants_of(query.body))
+        for name, typ in report.variable_types.items():
+            if typ in exempt_types:
+                computer.add(
+                    (name,),
+                    materialize_domain(typ, atoms, max_exempt_domain))
+    path_ranges = computer.run(query.body)
+    ranges: dict[str, set[Value]] = {}
+    for path, values in path_ranges.items():
+        if len(path) == 1:
+            ranges[path[0]] = values
+    # Variables never seeded (possible only if analysis and flows
+    # disagree) get empty ranges, which is sound for RR formulas.
+    for name in report.variable_types:
+        ranges.setdefault(name, set())
+    return ranges

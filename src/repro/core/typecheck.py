@@ -1,0 +1,355 @@
+"""Type checking and type inference for CALC formulas and queries.
+
+The calculus is strongly typed: every term has a type, and atomic
+formulas impose the obvious compatibility constraints (``=`` and ``sub``
+relate same-typed terms, ``in`` relates ``T`` with ``{T}``, relation atoms
+match their schema's column types).
+
+Following the paper's footnote 6, we assume — and this checker enforces —
+that *no variable symbol occurs both free and bound, or is bound by more
+than one quantifier* (fixpoint columns count as binders).  This keeps the
+variable-to-type assignment a flat map, which the evaluator and the
+range-restriction analysis both rely on.
+
+:func:`check_query` / :func:`check_formula` return a :class:`TypeReport`
+with the resolved variable types, the set of types occurring in the
+formula (the paper's "types of a formula"), and its ``<i,k>``-level —
+the minimal ``i`` (set height) and ``k`` (tuple width) such that the
+formula is in ``CALC_i^k``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..objects.schema import DatabaseSchema
+from ..objects.types import SetType, TupleType, Type
+from .syntax import (
+    And,
+    Const,
+    Equals,
+    Exists,
+    Fixpoint,
+    FixpointPred,
+    FixpointTerm,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    In,
+    Not,
+    Or,
+    Proj,
+    Query,
+    RelAtom,
+    Subset,
+    SyntaxError_,
+    Term,
+    Var,
+)
+
+
+class TypeCheckError(Exception):
+    """Raised when a formula or query is ill-typed."""
+
+
+@dataclass
+class TypeReport:
+    """Result of type checking.
+
+    Attributes:
+        variable_types: resolved type of every variable (free and bound).
+        types: every type occurring in the formula (types of all terms,
+            quantifier annotations and fixpoint columns).
+        set_height: maximal set height among those types.
+        tuple_width: maximal tuple width among those types.
+        fixpoints: every fixpoint operator occurring in the formula.
+    """
+
+    variable_types: dict[str, Type] = field(default_factory=dict)
+    types: set[Type] = field(default_factory=set)
+    fixpoints: list[Fixpoint] = field(default_factory=list)
+
+    @property
+    def set_height(self) -> int:
+        return max((t.set_height for t in self.types), default=0)
+
+    @property
+    def tuple_width(self) -> int:
+        return max((t.tuple_width for t in self.types), default=0)
+
+    def is_calc_ik(self, i: int, k: int) -> bool:
+        """True iff every type of the formula is an ``<i,k>``-type."""
+        return all(t.is_ik_type(i, k) for t in self.types)
+
+    @property
+    def level(self) -> tuple[int, int]:
+        """The minimal ``(i, k)`` with the formula in ``CALC_i^k``."""
+        return (self.set_height, self.tuple_width)
+
+
+class _Checker:
+    """Single-pass checker: walks the formula with a binding environment."""
+
+    def __init__(self, schema: DatabaseSchema | None):
+        self.schema = schema
+        self.report = TypeReport()
+        #: Relations bound by enclosing fixpoint operators: name -> column types.
+        self.bound_relations: dict[str, tuple[Type, ...]] = {}
+        #: Names bound (at least once) as fixpoint columns.
+        self._column_bound: set[str] = set()
+        #: Fixpoints already fully checked (dedupes repeated applications).
+        self._checked_fixpoints: set = set()
+
+    # -- variables ---------------------------------------------------------
+    #
+    # Footnote 6 assumes no variable symbol is bound twice — with one
+    # exception baked into the paper's own notation: the column variables
+    # of a fixpoint are the free variables of its body, so expressions
+    # like ``IFP(phi(S), S)(x, y)`` reuse the outer x, y.  We therefore
+    # allow a fixpoint column to coincide with an already-bound variable
+    # of the *same type* (semantically, the column is a fresh variable
+    # shadowing it), and reject every other form of rebinding.
+
+    def bind(self, name: str, typ: Type, *, binder: str) -> None:
+        existing = self.report.variable_types.get(name)
+        if existing is not None:
+            is_column = binder.startswith("fixpoint")
+            previous_was_column = name in self._column_bound
+            if (is_column or previous_was_column) and existing == typ:
+                if is_column:
+                    self._column_bound.add(name)
+                return
+            raise TypeCheckError(
+                f"variable {name!r} bound more than once (by {binder}); "
+                "rename apart (paper footnote 6)"
+            )
+        if binder.startswith("fixpoint"):
+            self._column_bound.add(name)
+        self.report.variable_types[name] = typ
+        self._note_type(typ)
+
+    def lookup(self, var: Var) -> Type:
+        typ = self.report.variable_types.get(var.name)
+        if typ is None:
+            raise TypeCheckError(
+                f"cannot infer type of variable {var.name!r}: annotate it "
+                "or bind it with a typed quantifier/head"
+            )
+        if var.typ is not None and var.typ != typ:
+            raise TypeCheckError(
+                f"variable {var.name!r} annotated {var.typ!r} but bound as {typ!r}"
+            )
+        return typ
+
+    def _note_type(self, typ: Type) -> None:
+        self.report.types.add(typ)
+
+    # -- terms ---------------------------------------------------------------
+
+    def term_type(self, term: Term) -> Type:
+        if isinstance(term, Const):
+            self._note_type(term.typ)
+            return term.typ
+        if isinstance(term, Var):
+            if var_typ := self.report.variable_types.get(term.name):
+                result = self.lookup(term)
+                return result
+            # Unbound variable with an annotation: treat as free, self-typed.
+            if term.typ is not None:
+                self.bind(term.name, term.typ, binder="annotation")
+                return term.typ
+            raise TypeCheckError(f"untyped free variable {term.name!r}")
+        if isinstance(term, Proj):
+            base = self.term_type(term.base)
+            if not isinstance(base, TupleType):
+                raise TypeCheckError(
+                    f"projection {term!r} applied to non-tuple type {base!r}"
+                )
+            if term.index > base.arity:
+                raise TypeCheckError(
+                    f"projection index {term.index} exceeds arity {base.arity} "
+                    f"of {term.base.name!r}"
+                )
+            result = base.component(term.index)
+            self._note_type(result)
+            return result
+        if isinstance(term, FixpointTerm):
+            self.check_fixpoint(term.fixpoint)
+            self._note_type(term.typ)
+            return term.typ
+        raise TypeCheckError(f"unknown term {term!r}")
+
+    # -- formulas --------------------------------------------------------------
+
+    def check(self, formula: Formula) -> None:
+        if isinstance(formula, Equals):
+            left = self.term_type(formula.left)
+            right = self.term_type(formula.right)
+            if left != right:
+                raise TypeCheckError(
+                    f"'=' relates distinct types {left!r} and {right!r} "
+                    f"in {formula!r}"
+                )
+            return
+        if isinstance(formula, Subset):
+            left = self.term_type(formula.left)
+            right = self.term_type(formula.right)
+            if left != right or not isinstance(left, SetType):
+                raise TypeCheckError(
+                    f"'sub' needs two equal set types, got {left!r} / {right!r}"
+                )
+            return
+        if isinstance(formula, In):
+            element = self.term_type(formula.element)
+            container = self.term_type(formula.container)
+            if not isinstance(container, SetType) or container.element != element:
+                raise TypeCheckError(
+                    f"'in' needs element type {element!r} against container "
+                    f"{{{element!r}}}, got {container!r}"
+                )
+            return
+        if isinstance(formula, RelAtom):
+            column_types = self._relation_columns(formula.name, formula)
+            if len(formula.args) != len(column_types):
+                raise TypeCheckError(
+                    f"relation {formula.name!r} has arity {len(column_types)}, "
+                    f"got {len(formula.args)} arguments"
+                )
+            for arg, expected in zip(formula.args, column_types):
+                actual = self.term_type(arg)
+                if actual != expected:
+                    raise TypeCheckError(
+                        f"argument {arg!r} of {formula.name!r} has type "
+                        f"{actual!r}, expected {expected!r}"
+                    )
+            return
+        if isinstance(formula, FixpointPred):
+            self.check_fixpoint(formula.fixpoint)
+            for arg, expected in zip(formula.args, formula.fixpoint.column_types):
+                actual = self.term_type(arg)
+                if actual != expected:
+                    raise TypeCheckError(
+                        f"fixpoint argument {arg!r} has type {actual!r}, "
+                        f"expected {expected!r}"
+                    )
+            return
+        if isinstance(formula, Not):
+            self.check(formula.operand)
+            return
+        if isinstance(formula, (And, Or)):
+            for operand in formula.operands:
+                self.check(operand)
+            return
+        if isinstance(formula, Implies):
+            self.check(formula.antecedent)
+            self.check(formula.consequent)
+            return
+        if isinstance(formula, Iff):
+            self.check(formula.left)
+            self.check(formula.right)
+            return
+        if isinstance(formula, (Exists, Forall)):
+            assert formula.var.typ is not None
+            self.bind(formula.var.name, formula.var.typ, binder="quantifier")
+            self.check(formula.body)
+            return
+        raise TypeCheckError(f"unknown formula {formula!r}")
+
+    def _relation_columns(self, name: str, context: Formula) -> tuple[Type, ...]:
+        if name in self.bound_relations:
+            return self.bound_relations[name]
+        if self.schema is not None and name in self.schema:
+            return self.schema[name].column_types
+        raise TypeCheckError(
+            f"relation {name!r} in {context!r} is neither a database relation "
+            "nor bound by an enclosing fixpoint"
+        )
+
+    def check_fixpoint(self, fixpoint: Fixpoint) -> None:
+        if fixpoint in self._checked_fixpoints:
+            # The same fixpoint expression may be applied several times
+            # in one formula (e.g. square(x, y) and square(z, y));
+            # re-checking would spuriously flag its bound variables.
+            return
+        if fixpoint.name in self.bound_relations:
+            raise TypeCheckError(
+                f"fixpoint relation {fixpoint.name!r} shadows an enclosing "
+                "fixpoint relation; rename apart"
+            )
+        if self.schema is not None and fixpoint.name in self.schema:
+            raise TypeCheckError(
+                f"fixpoint relation {fixpoint.name!r} clashes with a database "
+                "relation (Definition 3.1 requires S not in the schema)"
+            )
+        self.report.fixpoints.append(fixpoint)
+        self._checked_fixpoints.add(fixpoint)
+        for name, typ in fixpoint.columns:
+            self.bind(name, typ, binder=f"fixpoint {fixpoint.name!r}")
+        self.bound_relations[fixpoint.name] = fixpoint.column_types
+        try:
+            self.check(fixpoint.body)
+        finally:
+            del self.bound_relations[fixpoint.name]
+
+
+def check_formula(
+    formula: Formula,
+    schema: DatabaseSchema | None = None,
+    free_variable_types: dict[str, Type] | None = None,
+) -> TypeReport:
+    """Type check a formula against a database schema.
+
+    ``free_variable_types`` supplies types for free variables (e.g. the
+    head of a query).  Returns a :class:`TypeReport`; raises
+    :class:`TypeCheckError` on any violation.
+    """
+    checker = _Checker(schema)
+    for name, typ in (free_variable_types or {}).items():
+        checker.bind(name, typ, binder="free-variable declaration")
+    checker.check(formula)
+    return checker.report
+
+
+def check_query(query: Query, schema: DatabaseSchema | None = None) -> TypeReport:
+    """Type check a query: head types feed the body's free variables."""
+    if not isinstance(query, Query):
+        raise TypeCheckError(f"expected Query, got {query!r}")
+    return check_formula(
+        query.body, schema, free_variable_types=dict(query.head)
+    )
+
+
+def formula_level(
+    formula: Formula,
+    schema: DatabaseSchema | None = None,
+    free_variable_types: dict[str, Type] | None = None,
+) -> tuple[int, int]:
+    """The minimal ``(i, k)`` with the formula in ``CALC_i^k``."""
+    return check_formula(formula, schema, free_variable_types).level
+
+
+def query_level(query: Query, schema: DatabaseSchema | None = None) -> tuple[int, int]:
+    """The minimal ``(i, k)`` with the query in ``CALC_i^k``."""
+    return check_query(query, schema).level
+
+
+def assert_calc_ik(
+    query: Query, schema: DatabaseSchema, i: int, k: int
+) -> TypeReport:
+    """Check that a query is a ``CALC_i^k`` query over the given schema.
+
+    Per Section 3, this also requires the input schema itself to be an
+    ``<i,k>``-database schema.
+    """
+    if not schema.is_ik_schema(i, k):
+        raise TypeCheckError(f"schema is not an <{i},{k}>-database schema")
+    report = check_query(query, schema)
+    if not report.is_calc_ik(i, k):
+        offending = sorted(
+            repr(t) for t in report.types if not t.is_ik_type(i, k)
+        )
+        raise TypeCheckError(
+            f"query uses types beyond <{i},{k}>: {offending}"
+        )
+    return report

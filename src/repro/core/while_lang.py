@@ -1,0 +1,213 @@
+"""The *while* queries over complex objects (Sections 1 and 3).
+
+The paper positions its languages against "the relational calculus or
+its recursive extensions, the fixpoint queries and the while queries
+[CH80]", and uses the equivalences FO+IFP = fixpoint [GS85] and
+FO+PFP = while [AV89].  This module implements the imperative side of
+that equivalence for complex objects:
+
+* a **program** is a sequence of statements over typed relation
+  variables (initialised empty);
+* statements are **assignments** ``X := {(vars) | phi}`` — the right
+  side is a CALC formula over the database relations *and* the program
+  variables — and **while-change loops** ``while X changes: body``
+  (equivalently, loops guarded by non-emptiness, the [AV89] dialect);
+* a program's result is the final value of a designated output variable.
+
+:func:`run_program` executes programs directly;
+:func:`while_to_pfp_equivalent` does not exist — instead the tests
+realise the [AV89] equivalence *semantically*: canonical while programs
+(transitive closure, difference-driven loops) are checked to agree with
+their CALC+PFP formulations, and a diverging while program is shown to
+correspond to an undefined partial fixpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from ..objects.instance import Instance
+from ..objects.schema import DatabaseSchema, RelationSchema
+from ..objects.types import Type, TypeLike, as_type
+from ..objects.values import CTuple, Value
+from .evaluation import Evaluator
+from .syntax import Formula, Var
+
+__all__ = [
+    "WhileError",
+    "Assign",
+    "WhileChange",
+    "WhileProgram",
+    "run_program",
+]
+
+Row = tuple
+Rows = frozenset
+
+
+class WhileError(Exception):
+    """Raised for malformed while programs or runaway loops."""
+
+
+@dataclass(frozen=True)
+class Assign:
+    """``target := { (columns) | body }``.
+
+    ``columns`` are typed variables; ``body`` is a CALC formula that may
+    mention database relations and any program variable (including
+    ``target`` itself — the previous value is read).
+    """
+
+    target: str
+    columns: tuple[tuple[str, Type], ...]
+    body: Formula
+
+    def __init__(self, target: str,
+                 columns: Iterable[tuple[str, TypeLike] | Var],
+                 body: Formula):
+        resolved = []
+        for col in columns:
+            if isinstance(col, Var):
+                if col.typ is None:
+                    raise WhileError(f"column {col.name!r} must be typed")
+                resolved.append((col.name, col.typ))
+            else:
+                name, typ = col
+                resolved.append((name, as_type(typ)))
+        object.__setattr__(self, "target", target)
+        object.__setattr__(self, "columns", tuple(resolved))
+        object.__setattr__(self, "body", body)
+
+
+@dataclass(frozen=True)
+class WhileChange:
+    """``while <watched> changes: body`` — re-run the body until the
+    watched variables' values repeat a fixpoint (no change over one
+    pass).  Divergence (a non-repeating or cycling state) is cut off by
+    ``max_iterations``."""
+
+    watched: tuple[str, ...]
+    body: tuple["Statement", ...]
+
+    def __init__(self, watched: Iterable[str] | str,
+                 body: Iterable["Statement"]):
+        if isinstance(watched, str):
+            watched = (watched,)
+        object.__setattr__(self, "watched", tuple(watched))
+        object.__setattr__(self, "body", tuple(body))
+
+
+Statement = Assign | WhileChange
+
+
+class WhileProgram:
+    """A while program: variable declarations, statements, output var."""
+
+    def __init__(
+        self,
+        variables: Mapping[str, Sequence[TypeLike]],
+        statements: Iterable[Statement],
+        output: str,
+    ):
+        self.variables = {
+            name: tuple(as_type(t) for t in types)
+            for name, types in variables.items()
+        }
+        self.statements = tuple(statements)
+        if output not in self.variables:
+            raise WhileError(f"output variable {output!r} not declared")
+        self.output = output
+        self._check(self.statements)
+
+    def _check(self, statements: tuple[Statement, ...]) -> None:
+        for statement in statements:
+            if isinstance(statement, Assign):
+                if statement.target not in self.variables:
+                    raise WhileError(
+                        f"assignment to undeclared variable "
+                        f"{statement.target!r}"
+                    )
+                declared = self.variables[statement.target]
+                column_types = tuple(t for _, t in statement.columns)
+                if column_types != declared:
+                    raise WhileError(
+                        f"{statement.target!r} declared {declared}, "
+                        f"assigned {column_types}"
+                    )
+            elif isinstance(statement, WhileChange):
+                for name in statement.watched:
+                    if name not in self.variables:
+                        raise WhileError(
+                            f"while watches undeclared variable {name!r}"
+                        )
+                self._check(statement.body)
+            else:
+                raise WhileError(f"unknown statement {statement!r}")
+
+
+def _extended_schema(schema: DatabaseSchema,
+                     variables: Mapping[str, tuple[Type, ...]]) -> DatabaseSchema:
+    relations = list(schema)
+    for name, types in variables.items():
+        if name in schema:
+            raise WhileError(
+                f"program variable {name!r} shadows a database relation"
+            )
+        relations.append(RelationSchema(name, types))
+    return DatabaseSchema(relations)
+
+
+def run_program(
+    program: WhileProgram,
+    inst: Instance,
+    max_iterations: int = 10_000,
+    max_domain_size: int = 1_000_000,
+) -> Rows:
+    """Execute a while program; returns the output variable's rows.
+
+    Raises :class:`WhileError` if a loop exceeds ``max_iterations``
+    (the while queries are partial: non-terminating programs denote
+    undefined results, like diverging PFPs).
+    """
+    schema = _extended_schema(inst.schema, program.variables)
+    state: dict[str, frozenset[Row]] = {
+        name: frozenset() for name in program.variables
+    }
+
+    def materialised_instance() -> Instance:
+        data = {rel.name: list(rel.tuples) for rel in inst.relations()}
+        for name, rows in state.items():
+            data[name] = [CTuple(row) for row in rows]
+        return Instance(schema, data)
+
+    def execute(statements: tuple[Statement, ...]) -> None:
+        for statement in statements:
+            if isinstance(statement, Assign):
+                evaluator = Evaluator(schema,
+                                      max_domain_size=max_domain_size)
+                from .syntax import Query
+
+                query = Query(statement.columns, statement.body)
+                answer = evaluator.evaluate(query, materialised_instance())
+                state[statement.target] = frozenset(
+                    tuple(row.items) for row in answer
+                )
+            else:
+                iterations = 0
+                while True:
+                    snapshot = tuple(state[name]
+                                     for name in statement.watched)
+                    execute(statement.body)
+                    iterations += 1
+                    if tuple(state[name]
+                             for name in statement.watched) == snapshot:
+                        break
+                    if iterations > max_iterations:
+                        raise WhileError(
+                            f"while loop exceeded {max_iterations} "
+                            "iterations (diverging program)"
+                        )
+
+    execute(program.statements)
+    return state[program.output]

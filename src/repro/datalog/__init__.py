@@ -1,0 +1,25 @@
+"""Complex-object Datalog with inflationary semantics (inf-Datalog)."""
+
+from .syntax import (
+    BuiltinLiteral,
+    DatalogError,
+    DConst,
+    DTerm,
+    DVar,
+    Literal,
+    Program,
+    Rule,
+)
+from .engine import (
+    evaluate_inflationary,
+    evaluate_partial,
+    inflationary_stages,
+)
+from .translation import program_to_query
+
+__all__ = [
+    "BuiltinLiteral", "DatalogError", "DConst", "DTerm", "DVar", "Literal",
+    "Program", "Rule",
+    "evaluate_inflationary", "evaluate_partial", "inflationary_stages",
+    "program_to_query",
+]

@@ -1,0 +1,6 @@
+"""Ehrenfeucht-Fraisse games for complex objects ([GV90], cited for the
+CALC_i vs CALC_i+IFP separation)."""
+
+from .ef_game import GameError, duplicator_wins, partially_isomorphic
+
+__all__ = ["GameError", "duplicator_wins", "partially_isomorphic"]

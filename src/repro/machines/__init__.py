@@ -1,0 +1,48 @@
+"""Turing machine substrate and the Theorem 4.1 simulation pipeline."""
+
+from .turing import (
+    BLANK,
+    LEFT,
+    RIGHT,
+    STAY,
+    Configuration,
+    RunResult,
+    TMError,
+    Transition,
+    TuringMachine,
+    binary_increment_machine,
+    copy_machine,
+    erase_machine,
+    identity_machine,
+    parity_machine,
+)
+from .code_relations import (
+    CodeRelation,
+    CodeRow,
+    code_relation,
+    code_u_table,
+    code_word,
+    index_arity,
+)
+from .simulation import (
+    NO_HEAD,
+    PFPSimulation,
+    RMRow,
+    SimulationError,
+    SimulationResult,
+    TMSimulation,
+    initial_configuration_rows,
+    simulate_query,
+    simulate_query_pfp,
+)
+
+__all__ = [
+    "BLANK", "LEFT", "RIGHT", "STAY", "Configuration", "RunResult",
+    "TMError", "Transition", "TuringMachine", "binary_increment_machine",
+    "copy_machine", "erase_machine", "identity_machine", "parity_machine",
+    "CodeRelation", "CodeRow", "code_relation", "code_u_table", "code_word",
+    "index_arity",
+    "NO_HEAD", "PFPSimulation", "RMRow", "SimulationError",
+    "SimulationResult", "TMSimulation", "initial_configuration_rows",
+    "simulate_query", "simulate_query_pfp",
+]

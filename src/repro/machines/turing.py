@@ -1,0 +1,309 @@
+"""Deterministic single-tape Turing machines.
+
+The substrate for Section 4's simulation results: queries are defined via
+Turing machines that read a standard encoding ``enc(I)`` of the input
+instance from the tape and leave ``enc(q(I))`` behind (Theorem 4.1's
+proof).  This module provides the machine model itself plus a small
+library of machines used by the tests and benchmarks.
+
+The tape is right-infinite with a designated blank.  Transitions map
+``(state, symbol) -> (state', symbol', move)`` with moves ``L``, ``R``,
+``S``; missing transitions halt the machine (useful for acceptors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+__all__ = [
+    "BLANK",
+    "LEFT",
+    "RIGHT",
+    "STAY",
+    "TMError",
+    "Transition",
+    "TuringMachine",
+    "Configuration",
+    "RunResult",
+    "copy_machine",
+    "identity_machine",
+    "erase_machine",
+    "parity_machine",
+    "binary_increment_machine",
+]
+
+BLANK = "_"
+LEFT = "L"
+RIGHT = "R"
+STAY = "S"
+
+
+class TMError(Exception):
+    """Raised for malformed machines or runaway runs."""
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One machine instruction."""
+
+    new_state: str
+    write: str
+    move: str
+
+    def __post_init__(self) -> None:
+        if self.move not in (LEFT, RIGHT, STAY):
+            raise TMError(f"bad move {self.move!r}")
+
+
+@dataclass
+class Configuration:
+    """A machine configuration: tape, head position, current state.
+
+    The tape is stored sparsely (position -> non-blank symbol).
+    """
+
+    state: str
+    head: int = 0
+    tape: dict[int, str] = field(default_factory=dict)
+
+    def read(self) -> str:
+        return self.tape.get(self.head, BLANK)
+
+    def write(self, symbol: str) -> None:
+        if symbol == BLANK:
+            self.tape.pop(self.head, None)
+        else:
+            self.tape[self.head] = symbol
+
+    def tape_string(self) -> str:
+        """Non-blank tape contents from cell 0 to the last non-blank cell."""
+        if not self.tape:
+            return ""
+        last = max(self.tape)
+        first = min(0, min(self.tape))
+        return "".join(self.tape.get(i, BLANK) for i in range(first, last + 1)).rstrip(BLANK)
+
+    def snapshot(self, width: int) -> tuple[str, ...]:
+        """The first ``width`` cells as a tuple (for trace comparisons)."""
+        return tuple(self.tape.get(i, BLANK) for i in range(width))
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of a run: halting state, final tape, and step count."""
+
+    state: str
+    output: str
+    steps: int
+    accepted: bool
+
+
+class TuringMachine:
+    """A deterministic single-tape Turing machine.
+
+    ``transitions`` maps ``(state, symbol)`` to a :class:`Transition`.
+    ``accept_states`` / ``reject_states`` halt immediately when entered;
+    a missing transition also halts (in whatever state the machine is).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        transitions: Mapping[tuple[str, str], Transition | tuple[str, str, str]],
+        initial_state: str,
+        accept_states: frozenset[str] | set[str] = frozenset(),
+        reject_states: frozenset[str] | set[str] = frozenset(),
+    ):
+        normalised: dict[tuple[str, str], Transition] = {}
+        for key, value in transitions.items():
+            if not isinstance(value, Transition):
+                value = Transition(*value)
+            normalised[key] = value
+        self.name = name
+        self.transitions = normalised
+        self.initial_state = initial_state
+        self.accept_states = frozenset(accept_states)
+        self.reject_states = frozenset(reject_states)
+
+    @property
+    def states(self) -> frozenset[str]:
+        result = {self.initial_state} | self.accept_states | self.reject_states
+        for (state, _), transition in self.transitions.items():
+            result.add(state)
+            result.add(transition.new_state)
+        return frozenset(result)
+
+    @property
+    def alphabet(self) -> frozenset[str]:
+        result = {BLANK}
+        for (_, symbol), transition in self.transitions.items():
+            result.add(symbol)
+            result.add(transition.write)
+        return frozenset(result)
+
+    def initial_configuration(self, tape_input: str) -> Configuration:
+        tape = {i: s for i, s in enumerate(tape_input) if s != BLANK}
+        return Configuration(state=self.initial_state, head=0, tape=tape)
+
+    def step(self, config: Configuration) -> bool:
+        """Apply one transition in place; False if the machine has halted."""
+        if (config.state in self.accept_states
+                or config.state in self.reject_states):
+            return False
+        transition = self.transitions.get((config.state, config.read()))
+        if transition is None:
+            return False
+        config.write(transition.write)
+        if transition.move == LEFT:
+            config.head -= 1
+        elif transition.move == RIGHT:
+            config.head += 1
+        config.state = transition.new_state
+        return True
+
+    def run(self, tape_input: str, max_steps: int = 1_000_000) -> RunResult:
+        """Run to halt; raise :class:`TMError` past ``max_steps``."""
+        config = self.initial_configuration(tape_input)
+        steps = 0
+        while self.step(config):
+            steps += 1
+            if steps > max_steps:
+                raise TMError(
+                    f"machine {self.name!r} exceeded {max_steps} steps"
+                )
+        return RunResult(
+            state=config.state,
+            output=config.tape_string(),
+            steps=steps,
+            accepted=config.state in self.accept_states,
+        )
+
+    def trace(self, tape_input: str,
+              max_steps: int = 100_000) -> Iterator[Configuration]:
+        """Yield successive configurations (including the initial one).
+
+        Each yielded configuration is an independent snapshot.
+        """
+        config = self.initial_configuration(tape_input)
+        yield Configuration(config.state, config.head, dict(config.tape))
+        steps = 0
+        while self.step(config):
+            yield Configuration(config.state, config.head, dict(config.tape))
+            steps += 1
+            if steps > max_steps:
+                raise TMError(f"trace exceeded {max_steps} steps")
+
+    def __repr__(self) -> str:
+        return (f"TuringMachine({self.name!r}, {len(self.states)} states, "
+                f"{len(self.transitions)} transitions)")
+
+
+# ---------------------------------------------------------------------------
+# Library machines
+# ---------------------------------------------------------------------------
+
+def identity_machine(alphabet: frozenset[str] | set[str]) -> TuringMachine:
+    """Halts immediately, leaving the input unchanged (the identity query)."""
+    return TuringMachine(
+        "identity", {}, initial_state="halt", accept_states={"halt"}
+    )
+
+
+def erase_machine(alphabet: frozenset[str] | set[str]) -> TuringMachine:
+    """Erases the tape (the empty-answer query)."""
+    transitions = {
+        ("scan", symbol): Transition("scan", BLANK, RIGHT)
+        for symbol in alphabet if symbol != BLANK
+    }
+    transitions[("scan", BLANK)] = Transition("done", BLANK, STAY)
+    return TuringMachine(
+        "erase", transitions, initial_state="scan", accept_states={"done"}
+    )
+
+
+def copy_machine(alphabet: frozenset[str] | set[str]) -> TuringMachine:
+    """Copies the input word after a separator: ``w`` becomes ``w:w``.
+
+    A classic quadratic-time machine, used to exercise the simulation on
+    something that actually moves both ways.  The tape stays one-way
+    infinite: cell 0 gets a left-end marker ``M<s>``, already-copied
+    symbols are shadowed as ``m<s>``, and rewinds anchor on the marked
+    prefix instead of searching for a left blank.
+    """
+    symbols = sorted(s for s in alphabet if s != BLANK and s != ":")
+    transitions: dict[tuple[str, str], Transition] = {}
+    for s in symbols:
+        # Start: mark cell 0 as left end and carry its symbol.
+        transitions[("start", s)] = Transition(f"carry_{s}", f"M{s}", RIGHT)
+        # Carry right over the unmarked suffix; at the first blank the
+        # separator is not yet written — write it, then place the symbol.
+        for t in symbols:
+            transitions[(f"carry_{s}", t)] = Transition(f"carry_{s}", t, RIGHT)
+            transitions[(f"carry2_{s}", t)] = Transition(f"carry2_{s}", t, RIGHT)
+        transitions[(f"carry_{s}", ":")] = Transition(f"carry2_{s}", ":", RIGHT)
+        transitions[(f"carry_{s}", BLANK)] = Transition(f"place_{s}", ":", RIGHT)
+        transitions[(f"place_{s}", BLANK)] = Transition("rewind", s, LEFT)
+        transitions[(f"carry2_{s}", BLANK)] = Transition("rewind", s, LEFT)
+        # Find: step right off the marked prefix onto the next symbol.
+        transitions[("find", f"m{s}")] = Transition("find", f"m{s}", RIGHT)
+        transitions[("find", f"M{s}")] = Transition("find", f"M{s}", RIGHT)
+        transitions[("find", s)] = Transition(f"carry_{s}", f"m{s}", RIGHT)
+        # Rewind: left until a marked symbol anchors us.
+        transitions[("rewind", s)] = Transition("rewind", s, LEFT)
+        transitions[("rewind", f"m{s}")] = Transition("find", f"m{s}", RIGHT)
+        transitions[("rewind", f"M{s}")] = Transition("find", f"M{s}", RIGHT)
+        # Unmark: restore the input once everything is copied.
+        transitions[("unmark", f"m{s}")] = Transition("unmark", s, LEFT)
+        transitions[("unmark", f"M{s}")] = Transition("done", s, STAY)
+    transitions[("rewind", ":")] = Transition("rewind", ":", LEFT)
+    transitions[("find", ":")] = Transition("unmark", ":", LEFT)
+    transitions[("start", BLANK)] = Transition("done", BLANK, STAY)
+    return TuringMachine(
+        "copy", transitions, initial_state="start", accept_states={"done"}
+    )
+
+
+def parity_machine() -> TuringMachine:
+    """Accepts binary words with an even number of 1s, leaving ``1`` at
+    cell 0 iff the parity is even (a boolean query).
+
+    Cell 0 is marked on the first step so the machine can rewind on a
+    one-way-infinite tape; the scanned symbols are erased on the way
+    back, so the final tape is exactly the verdict bit.
+    """
+    transitions = {
+        # Mark the left end, record the first symbol's contribution.
+        ("start", "0"): Transition("even", "L", RIGHT),
+        ("start", "1"): Transition("odd", "L", RIGHT),
+        ("start", BLANK): Transition("yes", "1", STAY),  # empty word
+        # Scan right, tracking parity, shadowing symbols with x.
+        ("even", "0"): Transition("even", "x", RIGHT),
+        ("even", "1"): Transition("odd", "x", RIGHT),
+        ("odd", "0"): Transition("odd", "x", RIGHT),
+        ("odd", "1"): Transition("even", "x", RIGHT),
+        # End of input: rewind, erasing the shadow symbols.
+        ("even", BLANK): Transition("rew_even", BLANK, LEFT),
+        ("odd", BLANK): Transition("rew_odd", BLANK, LEFT),
+        ("rew_even", "x"): Transition("rew_even", BLANK, LEFT),
+        ("rew_odd", "x"): Transition("rew_odd", BLANK, LEFT),
+        # Back at the left marker: write the verdict.
+        ("rew_even", "L"): Transition("yes", "1", STAY),
+        ("rew_odd", "L"): Transition("no", BLANK, STAY),
+    }
+    return TuringMachine(
+        "parity", transitions, initial_state="start",
+        accept_states={"yes"}, reject_states={"no"},
+    )
+
+
+def binary_increment_machine() -> TuringMachine:
+    """Increments a binary number written LSB-first starting at cell 0."""
+    transitions = {
+        ("inc", "0"): Transition("done", "1", STAY),
+        ("inc", "1"): Transition("inc", "0", RIGHT),
+        ("inc", BLANK): Transition("done", "1", STAY),
+    }
+    return TuringMachine(
+        "increment", transitions, initial_state="inc", accept_states={"done"}
+    )

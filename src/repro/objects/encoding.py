@@ -1,0 +1,264 @@
+"""Standard Turing-machine tape encodings of complex objects (Section 2).
+
+The paper presents instances to Turing machines in a *standard encoding*
+determined by an enumeration of the atomic constants (Figure 2)::
+
+    P[01#{00#01}#[10#{00#10}]][10#{10}#[00#{01#10}]]
+
+Conventions (reverse-engineered from Figure 2 and Lemma 4.4, and checked
+verbatim against the paper's figure in the tests):
+
+* each atomic constant is written in binary, fixed width
+  ``ceil(log2 |D|)`` bits (minimum 1);
+* a tuple ``[o1, ..., on]`` encodes as ``[`` e1 ``#`` ... ``#`` en ``]``;
+* a set encodes as ``{`` e1 ``#`` ... ``#`` em ``}`` with elements in
+  increasing induced order ``<_T`` (so the encoding is canonical given the
+  atom enumeration); the empty set is ``{}``;
+* a relation encodes as its name followed by its tuples' encodings, tuples
+  in increasing induced order;
+* an instance is the concatenation of its relations' encodings in schema
+  order.
+
+``size`` measures (the paper's ``||o||``, ``||I||``) count tape symbols.
+:func:`domain_encoding_size` computes ``||dom(T, D)||`` *analytically*
+(exact big-integer arithmetic, no enumeration), which is what the
+Proposition 2.1 benchmark sweeps; tests cross-check it against brute-force
+enumeration on small domains.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from .domains import domain_cardinality
+from .instance import Instance, Relation
+from .ordering import AtomOrder, sort_key
+from .schema import DatabaseSchema, RelationSchema
+from .types import AtomType, SetType, TupleType, Type
+from .values import Atom, CSet, CTuple, Value
+
+
+class EncodingError(Exception):
+    """Raised on malformed encodings or decoding mismatches."""
+
+
+def atom_bits(n: int) -> int:
+    """Bits per atomic constant for a universe of ``n`` atoms (min 1)."""
+    if n <= 0:
+        raise EncodingError("atom universe must be non-empty")
+    return max(1, (n - 1).bit_length())
+
+
+def encode_atom(a: Atom, order: AtomOrder) -> str:
+    """Fixed-width binary code of an atom under the given enumeration."""
+    width = atom_bits(len(order))
+    return format(order.index(a), f"0{width}b")
+
+
+def encode_value(value: Value, order: AtomOrder) -> str:
+    """``enc(o)``: the canonical tape encoding of a complex object."""
+    if isinstance(value, Atom):
+        return encode_atom(value, order)
+    if isinstance(value, CTuple):
+        inner = "#".join(encode_value(item, order) for item in value.items)
+        return "[" + inner + "]"
+    if isinstance(value, CSet):
+        elements = sorted(value.elements, key=lambda v: sort_key(v, order))
+        inner = "#".join(encode_value(element, order) for element in elements)
+        return "{" + inner + "}"
+    raise EncodingError(f"unknown value {value!r}")
+
+
+def encode_relation(rel: Relation, order: AtomOrder) -> str:
+    """Relation name followed by its tuples in increasing induced order."""
+    rows = sorted(rel.tuples, key=lambda v: sort_key(v, order))
+    return rel.name + "".join(encode_value(row, order) for row in rows)
+
+
+def encode_instance(inst: Instance, order: AtomOrder | None = None) -> str:
+    """``enc(I)``: the standard encoding of an instance.
+
+    If ``order`` is omitted, the canonical label-sorted enumeration of
+    ``atom(I)`` is used.  All atoms of the instance must be in the order.
+    """
+    if order is None:
+        order = AtomOrder.sorted_by_label(inst.atoms())
+    missing = inst.atoms() - set(order.atoms)
+    if missing:
+        raise EncodingError(f"atoms missing from enumeration: {missing}")
+    return "".join(encode_relation(rel, order) for rel in inst.relations())
+
+
+def value_size(value: Value, n_atoms: int) -> int:
+    """``||o||``: number of tape symbols in ``enc(o)``, for ``|D| = n_atoms``.
+
+    Depends only on the universe size, not on the particular enumeration.
+    """
+    if isinstance(value, Atom):
+        return atom_bits(n_atoms)
+    if isinstance(value, CTuple):
+        inner = sum(value_size(item, n_atoms) for item in value.items)
+        return 2 + inner + (value.arity - 1)
+    if isinstance(value, CSet):
+        if not value.elements:
+            return 2
+        inner = sum(value_size(element, n_atoms) for element in value.elements)
+        return 2 + inner + (len(value.elements) - 1)
+    raise EncodingError(f"unknown value {value!r}")
+
+
+def instance_size(inst: Instance, n_atoms: int | None = None) -> int:
+    """``||I||``: total tape symbols in the standard encoding of ``I``."""
+    if n_atoms is None:
+        n_atoms = max(1, len(inst.atoms()))
+    total = 0
+    for rel in inst.relations():
+        total += len(rel.name)
+        total += sum(value_size(row, n_atoms) for row in rel.tuples)
+    return total
+
+
+@lru_cache(maxsize=4096)
+def domain_encoding_size(typ: Type, n: int) -> int:
+    """Exact ``||dom(T, D)||`` for ``|D| = n``: total symbols needed to
+    write every object of ``dom(T, D)`` (concatenated), per the encoding
+    conventions above.
+
+    Computed analytically:
+
+    * ``U``: ``n * atom_bits(n)``;
+    * ``{T'}`` with ``N = |dom(T', D)|``: every object of ``dom(T')``
+      appears in ``2**(N-1)`` subsets, separators contribute
+      ``N*2**(N-1) - (2**N - 1)``, braces ``2 * 2**N``;
+    * ``[T1..Tm]``: each component domain is repeated once per choice of
+      the other components, plus ``m-1`` separators and 2 brackets per
+      tuple.
+    """
+    if isinstance(typ, AtomType):
+        return n * atom_bits(n)
+    if isinstance(typ, SetType):
+        inner_card = domain_cardinality(typ.element, n)
+        inner_size = domain_encoding_size(typ.element, n)
+        if inner_card == 0:
+            return 2  # only the empty set
+        subsets = 1 << inner_card
+        content = (1 << (inner_card - 1)) * inner_size
+        separators = inner_card * (1 << (inner_card - 1)) - (subsets - 1)
+        braces = 2 * subsets
+        return content + separators + braces
+    if isinstance(typ, TupleType):
+        cards = [domain_cardinality(c, n) for c in typ.components]
+        total_tuples = 1
+        for card in cards:
+            total_tuples *= card
+        if total_tuples == 0:
+            return 0
+        content = 0
+        for index, comp in enumerate(typ.components):
+            repeats = total_tuples // cards[index] if cards[index] else 0
+            content += repeats * domain_encoding_size(comp, n)
+        separators = (typ.arity - 1) * total_tuples
+        brackets = 2 * total_tuples
+        return content + separators + brackets
+    raise EncodingError(f"unknown type {typ!r}")
+
+
+# ---------------------------------------------------------------------------
+# Decoding
+# ---------------------------------------------------------------------------
+
+class _Decoder:
+    """Recursive-descent decoder for the standard encoding."""
+
+    def __init__(self, text: str, order: AtomOrder):
+        self.text = text
+        self.order = order
+        self.pos = 0
+        self.width = atom_bits(len(order))
+
+    def decode_value(self, typ: Type) -> Value:
+        if isinstance(typ, AtomType):
+            return self._decode_atom()
+        if isinstance(typ, TupleType):
+            self._expect("[")
+            items = [self.decode_value(typ.components[0])]
+            for comp in typ.components[1:]:
+                self._expect("#")
+                items.append(self.decode_value(comp))
+            self._expect("]")
+            return CTuple(items)
+        if isinstance(typ, SetType):
+            self._expect("{")
+            elements: list[Value] = []
+            if self._peek() != "}":
+                elements.append(self.decode_value(typ.element))
+                while self._peek() == "#":
+                    self.pos += 1
+                    elements.append(self.decode_value(typ.element))
+            self._expect("}")
+            return CSet(elements)
+        raise EncodingError(f"unknown type {typ!r}")
+
+    def _decode_atom(self) -> Atom:
+        bits = self.text[self.pos:self.pos + self.width]
+        if len(bits) != self.width or any(b not in "01" for b in bits):
+            raise EncodingError(
+                f"bad atom code at position {self.pos}: {bits!r}"
+            )
+        self.pos += self.width
+        index = int(bits, 2)
+        if index >= len(self.order):
+            raise EncodingError(f"atom index {index} out of range")
+        return self.order.atoms[index]
+
+    def _peek(self) -> str:
+        if self.pos >= len(self.text):
+            raise EncodingError("unexpected end of encoding")
+        return self.text[self.pos]
+
+    def _expect(self, char: str) -> None:
+        got = self._peek()
+        if got != char:
+            raise EncodingError(
+                f"expected {char!r} at position {self.pos}, got {got!r}"
+            )
+        self.pos += 1
+
+    def decode_relation(self, schema: RelationSchema) -> list[CTuple]:
+        name = self.text[self.pos:self.pos + len(schema.name)]
+        if name != schema.name:
+            raise EncodingError(
+                f"expected relation name {schema.name!r} at {self.pos}, got {name!r}"
+            )
+        self.pos += len(schema.name)
+        row_type = TupleType(schema.column_types)
+        rows: list[CTuple] = []
+        while self.pos < len(self.text) and self._peek() == "[":
+            rows.append(self.decode_value(row_type))  # type: ignore[arg-type]
+        return rows
+
+
+def decode_value(text: str, typ: Type, order: AtomOrder) -> Value:
+    """Decode a single object encoding back to a value."""
+    decoder = _Decoder(text, order)
+    value = decoder.decode_value(typ)
+    if decoder.pos != len(text):
+        raise EncodingError(f"trailing input at {decoder.pos} in {text!r}")
+    return value
+
+
+def decode_instance(
+    text: str, schema: DatabaseSchema, order: AtomOrder
+) -> Instance:
+    """Decode ``enc(I)`` back to an instance of ``schema``.
+
+    Relations must appear in schema order (as :func:`encode_instance`
+    produces them).
+    """
+    decoder = _Decoder(text, order)
+    data: dict[str, list[CTuple]] = {}
+    for rel_schema in schema:
+        data[rel_schema.name] = decoder.decode_relation(rel_schema)
+    if decoder.pos != len(text):
+        raise EncodingError(f"trailing input at position {decoder.pos}")
+    return Instance(schema, data)

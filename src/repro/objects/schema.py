@@ -1,0 +1,174 @@
+"""Database schemas for complex object databases.
+
+A relation schema ``R[T1, ..., Tn]`` names a relation whose tuples have
+component types ``T1..Tn``.  A database schema is a finite collection of
+relation schemas with distinct names.  An ``<i,k>``-database schema is one
+in which every component type is an ``<i,k>``-type (Section 2); note that
+the *arity* ``n`` of a relation is not restricted by ``k``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from .types import Type, TypeLike, as_type
+
+
+class SchemaError(Exception):
+    """Raised for malformed schemas or schema mismatches."""
+
+
+class RelationSchema:
+    """A named relation schema ``R[T1, ..., Tn]``.
+
+    ``column_types`` are the component types of the relation's tuples.
+    The schema is immutable and hashable.
+    """
+
+    __slots__ = ("name", "column_types")
+
+    def __init__(self, name: str, column_types: Iterable[TypeLike]):
+        if not name or not isinstance(name, str):
+            raise SchemaError(f"relation name must be a non-empty string: {name!r}")
+        types = tuple(as_type(t) for t in column_types)
+        if not types:
+            raise SchemaError(f"relation {name!r} needs at least one column")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "column_types", types)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("RelationSchema is immutable")
+
+    @property
+    def arity(self) -> int:
+        return len(self.column_types)
+
+    @property
+    def set_height(self) -> int:
+        """Maximum set height among column types."""
+        return max(t.set_height for t in self.column_types)
+
+    @property
+    def tuple_width(self) -> int:
+        """Maximum tuple width among column types."""
+        return max(t.tuple_width for t in self.column_types)
+
+    def is_ik_schema(self, i: int, k: int) -> bool:
+        """True iff every column type is an ``<i,k>``-type."""
+        return all(t.is_ik_type(i, k) for t in self.column_types)
+
+    def is_flat(self) -> bool:
+        """True iff every column type has set height zero."""
+        return self.set_height == 0
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, RelationSchema)
+            and self.name == other.name
+            and self.column_types == other.column_types
+        )
+
+    def __hash__(self) -> int:
+        return hash((RelationSchema, self.name, self.column_types))
+
+    def __repr__(self) -> str:
+        cols = ", ".join(repr(t) for t in self.column_types)
+        return f"{self.name}[{cols}]"
+
+
+class DatabaseSchema:
+    """A database schema: relation schemas with distinct names.
+
+    Iterating yields the relation schemas in declaration order;
+    ``schema["R"]`` looks one up by name.
+    """
+
+    __slots__ = ("_relations",)
+
+    def __init__(self, relations: Iterable[RelationSchema]):
+        ordered: dict[str, RelationSchema] = {}
+        for rel in relations:
+            if not isinstance(rel, RelationSchema):
+                raise SchemaError(f"expected RelationSchema, got {rel!r}")
+            if rel.name in ordered:
+                raise SchemaError(f"duplicate relation name {rel.name!r}")
+            ordered[rel.name] = rel
+        object.__setattr__(self, "_relations", ordered)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("DatabaseSchema is immutable")
+
+    @property
+    def relation_names(self) -> tuple[str, ...]:
+        return tuple(self._relations)
+
+    def __iter__(self) -> Iterator[RelationSchema]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._relations
+
+    def __getitem__(self, name: str) -> RelationSchema:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(f"no relation named {name!r} in schema") from None
+
+    def get(self, name: str) -> RelationSchema | None:
+        return self._relations.get(name)
+
+    @property
+    def set_height(self) -> int:
+        return max(rel.set_height for rel in self)
+
+    @property
+    def tuple_width(self) -> int:
+        return max(rel.tuple_width for rel in self)
+
+    def is_ik_schema(self, i: int, k: int) -> bool:
+        """True iff every relation is over ``<i,k>``-types."""
+        return all(rel.is_ik_schema(i, k) for rel in self)
+
+    def is_flat(self) -> bool:
+        return all(rel.is_flat() for rel in self)
+
+    def column_type_set(self) -> frozenset[Type]:
+        """All distinct column types appearing in the schema."""
+        return frozenset(t for rel in self for t in rel.column_types)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, DatabaseSchema)
+            and tuple(self) == tuple(other)
+        )
+
+    def __hash__(self) -> int:
+        return hash((DatabaseSchema, tuple(self)))
+
+    def __repr__(self) -> str:
+        return "DatabaseSchema(" + ", ".join(repr(r) for r in self) + ")"
+
+
+def relation(name: str, *column_types: TypeLike) -> RelationSchema:
+    """Shorthand constructor: ``relation("P", "U", "{U}", "[U,{U}]")``."""
+    return RelationSchema(name, column_types)
+
+
+def database_schema(
+    *relations_: RelationSchema,
+    **by_name: "Iterable[TypeLike] | Mapping",
+) -> DatabaseSchema:
+    """Build a database schema.
+
+    Either pass :class:`RelationSchema` objects positionally, or keyword
+    arguments mapping names to column-type sequences::
+
+        database_schema(G=["{U}", "{U}"], Color=["U"])
+    """
+    rels = list(relations_)
+    for name, cols in by_name.items():
+        rels.append(RelationSchema(name, cols))
+    return DatabaseSchema(rels)

@@ -1,0 +1,319 @@
+"""Type algebra for complex objects.
+
+Complex object types are built recursively from the atomic type ``U``
+using the set constructor ``{T}`` and tuple constructors ``[T1, ..., Tn]``
+(Grumbach & Vianu, Section 2).  Types are immutable, hashable values with
+structural equality, so they can key dictionaries and live in sets.
+
+The module also implements the two structural measures the paper's
+language restrictions are built on:
+
+* the *set height* of a type — the maximum number of set nodes on a
+  root-to-leaf path of its type tree;
+* the *tuple width* — the maximal arity among tuple nodes in the tree.
+
+A type is an ``<i, k>``-type when its set height is at most ``i`` and its
+tuple width is at most ``k``; the calculus ``CALC_i^k`` only manipulates
+such types.
+
+A small text grammar mirrors the paper's notation::
+
+    U                  atomic type
+    {T}                set of T
+    [T1, ..., Tn]      n-ary tuple
+
+so ``parse_type("{[U,{[U,U]}]}")`` produces the paper's running example
+(set height 2, tuple width 2).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Iterator, Union
+
+
+class TypeError_(Exception):
+    """Raised when a type expression is malformed."""
+
+
+class Type:
+    """Abstract base class for complex object types.
+
+    Concrete subclasses are :class:`AtomType`, :class:`SetType` and
+    :class:`TupleType`.  All are immutable and hashable.
+    """
+
+    __slots__ = ()
+
+    @property
+    def set_height(self) -> int:
+        """Maximum number of set nodes on a root-to-leaf path."""
+        raise NotImplementedError
+
+    @property
+    def tuple_width(self) -> int:
+        """Maximal arity among tuple constructors in this type (0 if none)."""
+        raise NotImplementedError
+
+    def is_ik_type(self, i: int, k: int) -> bool:
+        """Return True iff this is an ``<i, k>``-type.
+
+        That is, set height at most ``i`` and tuple width at most ``k``.
+        """
+        return self.set_height <= i and self.tuple_width <= k
+
+    def subtypes(self) -> Iterator["Type"]:
+        """Yield every node of the type tree (including this type itself).
+
+        Duplicates are yielded once per occurrence; use ``set()`` on the
+        result for the distinct subtypes.
+        """
+        raise NotImplementedError
+
+    def is_non_trivial(self) -> bool:
+        """Return True iff set height >= 1 and tuple width >= 2.
+
+        Non-trivial types can represent binary relations over atoms (e.g.
+        an order ``<_U``), which is what Theorems 4.1 and 5.3 require.
+        """
+        return self.set_height >= 1 and self.tuple_width >= 2
+
+    # Subclasses provide __eq__/__hash__/__repr__.
+
+
+class AtomType(Type):
+    """The atomic type ``U``.
+
+    There is a single atomic sort; all atomic constants share it.  Use the
+    module-level singleton :data:`U` rather than constructing new
+    instances.
+    """
+
+    __slots__ = ()
+
+    @property
+    def set_height(self) -> int:
+        return 0
+
+    @property
+    def tuple_width(self) -> int:
+        return 0
+
+    def subtypes(self) -> Iterator[Type]:
+        yield self
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, AtomType)
+
+    def __hash__(self) -> int:
+        return hash(AtomType)
+
+    def __repr__(self) -> str:
+        return "U"
+
+
+class SetType(Type):
+    """A set type ``{T}`` with element type ``T``."""
+
+    __slots__ = ("element",)
+
+    def __init__(self, element: Type):
+        if not isinstance(element, Type):
+            raise TypeError_(f"set element must be a Type, got {element!r}")
+        object.__setattr__(self, "element", element)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("SetType is immutable")
+
+    @property
+    def set_height(self) -> int:
+        return 1 + self.element.set_height
+
+    @property
+    def tuple_width(self) -> int:
+        return self.element.tuple_width
+
+    def subtypes(self) -> Iterator[Type]:
+        yield self
+        yield from self.element.subtypes()
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SetType) and self.element == other.element
+
+    def __hash__(self) -> int:
+        return hash((SetType, self.element))
+
+    def __repr__(self) -> str:
+        return "{" + repr(self.element) + "}"
+
+
+class TupleType(Type):
+    """A tuple type ``[T1, ..., Tn]`` with component types ``T1..Tn``."""
+
+    __slots__ = ("components",)
+
+    def __init__(self, components):
+        components = tuple(components)
+        if not components:
+            raise TypeError_("tuple type needs at least one component")
+        for comp in components:
+            if not isinstance(comp, Type):
+                raise TypeError_(f"tuple component must be a Type, got {comp!r}")
+        object.__setattr__(self, "components", components)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("TupleType is immutable")
+
+    @property
+    def arity(self) -> int:
+        """Number of components of the tuple."""
+        return len(self.components)
+
+    @property
+    def set_height(self) -> int:
+        return max(comp.set_height for comp in self.components)
+
+    @property
+    def tuple_width(self) -> int:
+        inner = max(comp.tuple_width for comp in self.components)
+        return max(len(self.components), inner)
+
+    def subtypes(self) -> Iterator[Type]:
+        yield self
+        for comp in self.components:
+            yield from comp.subtypes()
+
+    def component(self, i: int) -> Type:
+        """Return the type of the ``i``-th component, 1-indexed (paper's x.i)."""
+        if not 1 <= i <= len(self.components):
+            raise TypeError_(
+                f"component index {i} out of range for arity {len(self.components)}"
+            )
+        return self.components[i - 1]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, TupleType) and self.components == other.components
+
+    def __hash__(self) -> int:
+        return hash((TupleType, self.components))
+
+    def __repr__(self) -> str:
+        return "[" + ", ".join(repr(c) for c in self.components) + "]"
+
+
+#: Singleton atomic type.
+U = AtomType()
+
+
+def set_of(element: Type) -> SetType:
+    """Build the set type ``{element}``."""
+    return SetType(element)
+
+
+def tuple_of(*components: Type) -> TupleType:
+    """Build the tuple type ``[components...]``."""
+    return TupleType(components)
+
+
+TypeLike = Union[Type, str]
+
+
+def as_type(value: TypeLike) -> Type:
+    """Coerce a :class:`Type` or a textual type expression to a Type."""
+    if isinstance(value, Type):
+        return value
+    if isinstance(value, str):
+        return parse_type(value)
+    raise TypeError_(f"cannot interpret {value!r} as a type")
+
+
+class _TypeParser:
+    """Recursive-descent parser for the textual type grammar."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def parse(self) -> Type:
+        result = self._parse_type()
+        self._skip_ws()
+        if self.pos != len(self.text):
+            raise TypeError_(
+                f"trailing input at position {self.pos} in type {self.text!r}"
+            )
+        return result
+
+    def _skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def _peek(self) -> str:
+        self._skip_ws()
+        if self.pos >= len(self.text):
+            raise TypeError_(f"unexpected end of type expression {self.text!r}")
+        return self.text[self.pos]
+
+    def _expect(self, char: str) -> None:
+        got = self._peek()
+        if got != char:
+            raise TypeError_(
+                f"expected {char!r} at position {self.pos} in {self.text!r}, got {got!r}"
+            )
+        self.pos += 1
+
+    def _parse_type(self) -> Type:
+        char = self._peek()
+        if char == "U":
+            self.pos += 1
+            return U
+        if char == "{":
+            self.pos += 1
+            element = self._parse_type()
+            self._expect("}")
+            return SetType(element)
+        if char == "[":
+            self.pos += 1
+            components = [self._parse_type()]
+            while self._peek() == ",":
+                self.pos += 1
+                components.append(self._parse_type())
+            self._expect("]")
+            return TupleType(components)
+        raise TypeError_(
+            f"unexpected character {char!r} at position {self.pos} in {self.text!r}"
+        )
+
+
+@lru_cache(maxsize=1024)
+def parse_type(text: str) -> Type:
+    """Parse a textual type expression, e.g. ``"{[U,{[U,U]}]}"``.
+
+    The grammar follows the paper's notation: ``U`` for the atomic type,
+    ``{T}`` for sets, ``[T1,...,Tn]`` for tuples.  Whitespace is ignored.
+    """
+    return _TypeParser(text).parse()
+
+
+def type_tree_lines(typ: Type, indent: str = "") -> list[str]:
+    """Render a type as an ASCII tree (the paper's labelled-tree figure).
+
+    Set nodes print as ``(+)``, tuple nodes as ``[x]`` and leaves as ``[]``,
+    echoing the paper's circled-plus / crossed-box / square convention.
+    """
+    if isinstance(typ, AtomType):
+        return [indent + "[] U"]
+    if isinstance(typ, SetType):
+        lines = [indent + "(+) set"]
+        lines.extend(type_tree_lines(typ.element, indent + "    "))
+        return lines
+    if isinstance(typ, TupleType):
+        lines = [indent + f"[x] tuple/{typ.arity}"]
+        for comp in typ.components:
+            lines.extend(type_tree_lines(comp, indent + "    "))
+        return lines
+    raise TypeError_(f"unknown type node {typ!r}")
+
+
+def format_type_tree(typ: Type) -> str:
+    """Return the ASCII tree rendering of ``typ`` as a single string."""
+    return "\n".join(type_tree_lines(typ))

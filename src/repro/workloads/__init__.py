@@ -1,0 +1,46 @@
+"""Workload generators and canonical paper queries."""
+
+from .queries import (
+    bipartite_query,
+    cyclic_nodes_query,
+    nest_query,
+    nest_query_ifp,
+    pfp_transitive_closure_query,
+    same_members_query,
+    transitive_closure_query,
+    transitive_closure_term_query,
+)
+from .generators import (
+    all_subsets_instance,
+    atoms_universe,
+    bipartite_graph,
+    chain_graph,
+    course_catalog_dense,
+    course_catalog_sparse,
+    cycle_graph,
+    dense_family,
+    flat_graph_schema,
+    full_domain_instance,
+    random_graph,
+    schedule_instance,
+    set_chain_graph,
+    set_graph_schema,
+    set_random_graph,
+    sparse_chain_family,
+    verso_family,
+    verso_instance,
+)
+
+__all__ = [
+    "bipartite_query", "cyclic_nodes_query", "nest_query",
+    "nest_query_ifp", "pfp_transitive_closure_query",
+    "same_members_query", "transitive_closure_query",
+    "transitive_closure_term_query",
+    "all_subsets_instance", "atoms_universe", "bipartite_graph",
+    "chain_graph", "course_catalog_dense", "course_catalog_sparse",
+    "cycle_graph", "dense_family", "flat_graph_schema",
+    "full_domain_instance", "random_graph", "schedule_instance",
+    "set_chain_graph",
+    "set_graph_schema", "set_random_graph", "sparse_chain_family",
+    "verso_family", "verso_instance",
+]

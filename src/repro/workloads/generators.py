@@ -1,0 +1,277 @@
+"""Workload generators: the instance families the experiments run on.
+
+Families are callables ``n -> Instance`` with documented density/sparsity
+behaviour (checked empirically in the tests via
+:func:`repro.analysis.density.classify_family`):
+
+* **dense** families (Theorem 4.1's hypothesis): full-domain relations
+  (:func:`full_domain_instance`, :func:`all_subsets_instance`), the
+  no-prerequisite course catalog of Example 4.2;
+* **sparse** families (Proposition 5.2's hypothesis): keyed VERSO-style
+  nested relations (Example 4.1), chain/cycle graphs over singleton sets,
+  the bounded-prerequisite course catalog;
+* **graphs**, flat and set-typed, for the transitive-closure and
+  bipartiteness queries of Section 3.
+
+All randomness is seeded; every generator is deterministic given its
+arguments.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterable, Sequence
+
+from ..objects.domains import DomainTooLarge, domain_cardinality, materialize_domain
+from ..objects.instance import Instance
+from ..objects.schema import DatabaseSchema, database_schema
+from ..objects.types import Type, as_type
+from ..objects.values import Atom, CSet, CTuple, Value
+
+__all__ = [
+    "atoms_universe",
+    "full_domain_instance",
+    "all_subsets_instance",
+    "dense_family",
+    "schedule_instance",
+    "sparse_chain_family",
+    "verso_instance",
+    "verso_family",
+    "course_catalog_dense",
+    "course_catalog_sparse",
+    "flat_graph_schema",
+    "set_graph_schema",
+    "chain_graph",
+    "cycle_graph",
+    "random_graph",
+    "bipartite_graph",
+    "set_chain_graph",
+    "set_random_graph",
+]
+
+
+def atoms_universe(n: int, prefix: str = "a") -> list[Atom]:
+    """``n`` distinct atoms with sortable labels ``a00, a01, ...``."""
+    width = max(2, len(str(max(0, n - 1))))
+    return [Atom(f"{prefix}{index:0{width}d}") for index in range(n)]
+
+
+# ---------------------------------------------------------------------------
+# Dense families
+# ---------------------------------------------------------------------------
+
+def full_domain_instance(typ: Type | str, n: int,
+                         max_size: int = 1_000_000) -> Instance:
+    """Unary relation ``R[typ]`` containing *all* of ``dom(typ, D_n)``.
+
+    The canonical dense workload: ``|I| = |dom(typ, D)|``, so the family
+    is dense w.r.t. any ``<i,k>`` with ``typ`` among the largest
+    ``<i,k>``-types.
+    """
+    typ = as_type(typ)
+    atoms = atoms_universe(n)
+    values = materialize_domain(typ, atoms, max_size)
+    schema = database_schema(R=[typ])
+    return Instance(schema, {"R": [(v,) for v in values]})
+
+
+def all_subsets_instance(n: int) -> Instance:
+    """``R[{U}]`` holding every subset of an ``n``-atom universe.
+
+    Dense w.r.t. ``<1,1>``-types: ``|I| = 2**n`` while
+    ``|dom(1,1,D)| = n + 2**n + ...`` stays polynomial in it.
+    """
+    return full_domain_instance("{U}", n)
+
+
+def dense_family(typ: Type | str):
+    """Family ``n -> full_domain_instance(typ, n)``."""
+    typ = as_type(typ)
+
+    def make(n: int) -> Instance:
+        return full_domain_instance(typ, n)
+
+    return make
+
+
+# ---------------------------------------------------------------------------
+# Sparse families
+# ---------------------------------------------------------------------------
+
+def sparse_chain_family(n: int) -> Instance:
+    """``G[{U},{U}]`` chain over singleton sets: {a0}->{a1}->...
+
+    ``|I| = n - 1`` while ``log2|dom(1,2,D)| >= n**2``: sparse w.r.t.
+    ``<1,2>``-types.
+    """
+    atoms = atoms_universe(n)
+    nodes = [CSet((a,)) for a in atoms]
+    schema = database_schema(G=["{U}", "{U}"])
+    return Instance(schema, {"G": list(zip(nodes, nodes[1:]))})
+
+
+def verso_instance(n: int, values_per_key: int = 3,
+                   seed: int = 7) -> Instance:
+    """Example 4.1's VERSO-style relation: atomic key -> one nested set.
+
+    ``R[U, {U}]`` with each key appearing once (the key functionally
+    determines the set), hence at most ``n`` sets are used out of the
+    ``2**n`` possible: sparse w.r.t. the type ``{U}``.
+    """
+    rng = random.Random(seed)
+    atoms = atoms_universe(n)
+    rows = []
+    for key in atoms:
+        members = rng.sample(atoms, min(values_per_key, n))
+        rows.append((key, CSet(members)))
+    schema = database_schema(R=["U", "{U}"])
+    return Instance(schema, {"R": rows})
+
+
+def verso_family(values_per_key: int = 3, seed: int = 7):
+    """Family ``n -> verso_instance(n, values_per_key, seed)``."""
+
+    def make(n: int) -> Instance:
+        return verso_instance(n, values_per_key, seed)
+
+    return make
+
+
+def course_catalog_dense(n_classes: int) -> Instance:
+    """Example 4.2, no prerequisites: every combination of classes occurs.
+
+    ``Takes[{U}]`` holds all ``2**n`` class subsets — dense w.r.t. the
+    type "set of classes".
+    """
+    atoms = atoms_universe(n_classes, prefix="c")
+    schema = database_schema(Takes=["{U}"])
+    subsets = []
+    for size in range(n_classes + 1):
+        for combo in itertools.combinations(atoms, size):
+            subsets.append((CSet(combo),))
+    return Instance(schema, {"Takes": subsets})
+
+
+def course_catalog_sparse(n_classes: int, max_simultaneous: int = 2) -> Instance:
+    """Example 4.2, tight prerequisites: at most ``max_simultaneous``
+    classes at a time — polynomially many valid sets, sparse w.r.t. the
+    type "set of classes"."""
+    atoms = atoms_universe(n_classes, prefix="c")
+    schema = database_schema(Takes=["{U}"])
+    subsets = []
+    for size in range(min(max_simultaneous, n_classes) + 1):
+        for combo in itertools.combinations(atoms, size):
+            subsets.append((CSet(combo),))
+    return Instance(schema, {"Takes": subsets})
+
+
+# ---------------------------------------------------------------------------
+# Graphs
+# ---------------------------------------------------------------------------
+
+def flat_graph_schema() -> DatabaseSchema:
+    """``G[U, U]`` — a graph on atomic nodes."""
+    return database_schema(G=["U", "U"])
+
+
+def set_graph_schema() -> DatabaseSchema:
+    """``G[{U}, {U}]`` — a graph whose nodes are sets (Example 3.1)."""
+    return database_schema(G=["{U}", "{U}"])
+
+
+def _flat_instance(edges: Iterable[tuple[Atom, Atom]]) -> Instance:
+    return Instance(flat_graph_schema(), {"G": list(edges)})
+
+
+def chain_graph(n: int) -> Instance:
+    """Path a0 -> a1 -> ... -> a(n-1) on atomic nodes."""
+    atoms = atoms_universe(n)
+    return _flat_instance(zip(atoms, atoms[1:]))
+
+
+def cycle_graph(n: int) -> Instance:
+    """Directed cycle on ``n`` atomic nodes."""
+    atoms = atoms_universe(n)
+    edges = list(zip(atoms, atoms[1:])) + ([(atoms[-1], atoms[0])] if n > 1 else [])
+    return _flat_instance(edges)
+
+
+def random_graph(n: int, p: float = 0.3, seed: int = 11) -> Instance:
+    """G(n, p) on atomic nodes (seeded)."""
+    rng = random.Random(seed)
+    atoms = atoms_universe(n)
+    edges = [(u, v) for u in atoms for v in atoms
+             if u != v and rng.random() < p]
+    return _flat_instance(edges)
+
+
+def bipartite_graph(n_left: int, n_right: int, p: float = 0.5,
+                    seed: int = 13) -> Instance:
+    """A random bipartite graph (edges only across the two sides)."""
+    rng = random.Random(seed)
+    left = atoms_universe(n_left, prefix="l")
+    right = atoms_universe(n_right, prefix="r")
+    edges = [(u, v) for u in left for v in right if rng.random() < p]
+    return _flat_instance(edges)
+
+
+def set_chain_graph(n_atoms: int, length: int | None = None) -> Instance:
+    """Chain over distinct subsets of an ``n_atoms`` universe.
+
+    Nodes are the first ``length`` subsets in a deterministic enumeration
+    (singletons, then pairs, ...), giving a graph of set-typed nodes as
+    in Example 3.1.
+    """
+    atoms = atoms_universe(n_atoms)
+    nodes: list[CSet] = []
+    for size in range(1, n_atoms + 1):
+        for combo in itertools.combinations(atoms, size):
+            nodes.append(CSet(combo))
+            if length is not None and len(nodes) >= length:
+                break
+        if length is not None and len(nodes) >= length:
+            break
+    return Instance(set_graph_schema(), {"G": list(zip(nodes, nodes[1:]))})
+
+
+def set_random_graph(n_atoms: int, n_nodes: int, p: float = 0.3,
+                     seed: int = 17) -> Instance:
+    """Random graph over ``n_nodes`` random subset-nodes (seeded)."""
+    rng = random.Random(seed)
+    atoms = atoms_universe(n_atoms)
+    universe_size = 2 ** n_atoms
+    picks = rng.sample(range(universe_size), min(n_nodes, universe_size))
+    nodes = []
+    for code in picks:
+        members = [a for index, a in enumerate(atoms) if code >> index & 1]
+        nodes.append(CSet(members))
+    edges = [(u, v) for u in nodes for v in nodes
+             if u != v and rng.random() < p]
+    return Instance(set_graph_schema(), {"G": edges})
+
+
+def schedule_instance(n_employees: int, n_days: int = 7,
+                      n_teams: int = 3, seed: int = 19) -> Instance:
+    """Remark 4.1's multi-sorted database: employees, days, teams.
+
+    ``Schedule[U, {U}]`` maps each employee (sort ``emp``, labels
+    ``e...``) to a working-day set (sort ``day``, labels ``d...``),
+    cycling through *all* ``2**n_days`` day subsets — dense w.r.t.
+    ``{U@day}`` once ``n_employees >= 2**n_days``.  ``Team[{U}]`` stores
+    only ``n_teams`` employee sets — sparse w.r.t. ``{U@emp}``.
+    """
+    rng = random.Random(seed)
+    employees = atoms_universe(n_employees, prefix="e")
+    days = atoms_universe(n_days, prefix="d")
+    schedule_rows = []
+    for index, employee in enumerate(employees):
+        code = index % (2 ** n_days)
+        day_set = CSet(d for bit, d in enumerate(days) if code >> bit & 1)
+        schedule_rows.append((employee, day_set))
+    team_rows = []
+    for _ in range(n_teams):
+        members = rng.sample(employees, max(1, n_employees // n_teams))
+        team_rows.append((CSet(members),))
+    schema = database_schema(Schedule=["U", "{U}"], Team=["{U}"])
+    return Instance(schema, {"Schedule": schedule_rows, "Team": team_rows})

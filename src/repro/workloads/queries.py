@@ -1,0 +1,129 @@
+"""Canonical queries from the paper, as reusable constructors.
+
+Each returns a :class:`repro.core.syntax.Query` over the corresponding
+workload schema; examples, tests and benchmarks all share these.
+
+* :func:`transitive_closure_query` — Example 3.1 (three variants);
+* :func:`cyclic_nodes_query` — Example 3.1's "nodes on a cycle";
+* :func:`bipartite_query` — the Section 3 bipartiteness test;
+* :func:`nest_query` / :func:`nest_query_ifp` — Examples 5.1 and 5.3;
+* :func:`same_members_query` — a pure set-comparison query;
+* :func:`pfp_transitive_closure_query` — the PFP variant.
+"""
+
+from __future__ import annotations
+
+from ..core.builder import V, eq, exists, forall, ifp, member, pfp, proj, query, rel
+from ..core.syntax import Query
+from ..objects.types import TypeLike
+
+__all__ = [
+    "transitive_closure_query",
+    "transitive_closure_term_query",
+    "pfp_transitive_closure_query",
+    "cyclic_nodes_query",
+    "bipartite_query",
+    "nest_query",
+    "nest_query_ifp",
+    "same_members_query",
+]
+
+
+def transitive_closure_query(node_type: TypeLike = "{U}",
+                             relation: str = "G") -> Query:
+    """Example 3.1: TC of a graph via ``IFP`` used as a predicate.
+
+    ``{(x, y) | IFP(phi(S), S)(x, y)}`` with
+    ``phi(S) = G(x, y) or exists z (S(x, z) and G(z, y))``.
+    """
+    x, y, z = V("x", node_type), V("y", node_type), V("z", node_type)
+    G, S = rel(relation), rel("S")
+    fixpoint = ifp("S", [x, y], G(x, y) | exists(z, S(x, z) & G(z, y)))
+    return query([x, y], fixpoint(x, y))
+
+
+def transitive_closure_term_query(node_type: TypeLike = "{U}",
+                                  relation: str = "G") -> Query:
+    """Example 3.1's second variant: the whole closure as one set object.
+
+    ``{x | x = IFP(phi(S), S)}`` — a ``CALC_2^2 + IFP`` query when the
+    node type is ``{U}``.
+    """
+    from ..objects.types import SetType, TupleType, as_type
+
+    node = as_type(node_type)
+    x, y, z = V("x", node), V("y", node), V("z", node)
+    G, S = rel(relation), rel("S")
+    fixpoint = ifp("S", [x, y], G(x, y) | exists(z, S(x, z) & G(z, y)))
+    result_type = SetType(TupleType((node, node)))
+    w = V("w", result_type)
+    return query([w], eq(w, fixpoint.as_term()))
+
+
+def pfp_transitive_closure_query(node_type: TypeLike = "{U}",
+                                 relation: str = "G") -> Query:
+    """TC via PFP (the stage must re-assert S to converge)."""
+    x, y, z = V("x", node_type), V("y", node_type), V("z", node_type)
+    G, S = rel(relation), rel("S")
+    fixpoint = pfp(
+        "S", [x, y],
+        S(x, y) | G(x, y) | exists(z, S(x, z) & G(z, y)),
+    )
+    return query([x, y], fixpoint(x, y))
+
+
+def cyclic_nodes_query(node_type: TypeLike = "{U}",
+                       relation: str = "G") -> Query:
+    """Example 3.1's third query: nodes belonging to some cycle."""
+    x, y, z = V("x", node_type), V("y", node_type), V("z", node_type)
+    G, S = rel(relation), rel("S")
+    fixpoint = ifp("S", [x, y], G(x, y) | exists(z, S(x, z) & G(z, y)))
+    return query([x], exists(y, fixpoint(x, y) & eq(x, y)))
+
+
+def bipartite_query(relation: str = "G") -> Query:
+    """The Section 3 example: the graph itself if bipartite, else empty.
+
+    ``{t : [U,U] | G(t) and exists X, Y (disjoint and every edge crosses)}``.
+    """
+    t, v = V("t", "[U,U]"), V("v", "[U,U]")
+    X, Y, n = V("X", "{U}"), V("Y", "{U}"), V("n", "U")
+    G = rel(relation)
+    crossing = forall(v, G(proj(v, 1), proj(v, 2)).implies(
+        (member(proj(v, 1), X) & member(proj(v, 2), Y))
+        | (member(proj(v, 1), Y) & member(proj(v, 2), X))
+    ))
+    disjoint = ~exists(n, member(n, X) & member(n, Y))
+    return query(
+        [t],
+        G(proj(t, 1), proj(t, 2)) & exists([X, Y], disjoint & crossing),
+    )
+
+
+def nest_query(relation: str = "P") -> Query:
+    """Example 5.1: nest the second column of a binary flat relation,
+    range-restricted through rule 9 (the ``<->`` form)."""
+    x, s, y, z = V("x", "U"), V("s", "{U}"), V("y", "U"), V("z", "U")
+    P = rel(relation)
+    return query(
+        [x, s],
+        exists(z, P(x, z)) & forall(y, member(y, s).iff(P(x, y))),
+    )
+
+
+def nest_query_ifp(relation: str = "P") -> Query:
+    """Example 5.3: the same nest via an IFP term (rule 9 not needed)."""
+    x, s, z = V("x", "U"), V("s", "{U}"), V("z", "U")
+    P, Q = rel(relation), rel("Q")
+    fixpoint = ifp("Q", [("yv", "U")], P(x, V("yv")) | Q(V("yv")))
+    return query([x, s], exists(z, P(x, z)) & eq(s, fixpoint.as_term()))
+
+
+def same_members_query(relation: str = "R") -> Query:
+    """Pairs of stored sets with the same members (trivially equal):
+    a sanity query exercising the set primitives on ``R[{U}]``."""
+    x, y = V("x", "{U}"), V("y", "{U}")
+    R = rel(relation)
+    from ..core.builder import subset
+
+    return query([x, y], R(x) & R(y) & subset(x, y) & subset(y, x))

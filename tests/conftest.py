@@ -1,0 +1,96 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.objects import (
+    Atom,
+    AtomOrder,
+    CSet,
+    CTuple,
+    Instance,
+    database_schema,
+    instance,
+    parse_type,
+    relation,
+)
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis strategies for complex objects
+# ---------------------------------------------------------------------------
+
+def atoms_strategy(labels: str = "abcd"):
+    """Atoms over a tiny universe (keeps domains enumerable)."""
+    return st.sampled_from([Atom(ch) for ch in labels])
+
+
+def values_of_type(typ, labels: str = "abcd"):
+    """A strategy generating values conforming to a given type."""
+    from repro.objects.types import AtomType, SetType, TupleType
+
+    if isinstance(typ, AtomType):
+        return atoms_strategy(labels)
+    if isinstance(typ, SetType):
+        return st.frozensets(
+            values_of_type(typ.element, labels), max_size=4
+        ).map(CSet)
+    if isinstance(typ, TupleType):
+        return st.tuples(
+            *[values_of_type(c, labels) for c in typ.components]
+        ).map(CTuple)
+    raise TypeError(f"unknown type {typ!r}")
+
+
+def small_types():
+    """A strategy over small type expressions (height <= 2, width <= 2)."""
+    return st.sampled_from([
+        parse_type(text)
+        for text in ["U", "{U}", "[U,U]", "[U,{U}]", "{[U,U]}",
+                     "{{U}}", "[{U},{U}]", "{[U,{U}]}"]
+    ])
+
+
+# ---------------------------------------------------------------------------
+# Fixtures: the paper's worked instances
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def figure1_schema():
+    """Schema of the paper's Figure 1: P[U, {U}, [U, {U}]]."""
+    return database_schema(relation("P", "U", "{U}", "[U,{U}]"))
+
+
+@pytest.fixture
+def figure1_instance(figure1_schema):
+    """The exact instance I of Figure 1."""
+    return instance(
+        figure1_schema,
+        P=[("b", {"a", "b"}, ("c", {"a", "c"})),
+           ("c", {"c"}, ("a", {"b", "c"}))],
+    )
+
+
+@pytest.fixture
+def abc_order():
+    """The enumeration 'abc' used throughout the paper's examples."""
+    return AtomOrder.from_labels("abc")
+
+
+@pytest.fixture
+def set_graph_schema():
+    return database_schema(G=["{U}", "{U}"])
+
+
+@pytest.fixture
+def set_graph_instance(set_graph_schema):
+    """A 3-node path over singleton-set nodes: {a} -> {b} -> {c}."""
+    a, b, c = (CSet((Atom(ch),)) for ch in "abc")
+    return instance(set_graph_schema, G=[(a, b), (b, c)])
+
+
+@pytest.fixture
+def flat_graph_schema():
+    return database_schema(G=["U", "U"])

@@ -1,0 +1,172 @@
+"""Tests for the nested relational algebra baseline (E20)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import (
+    AlgebraError,
+    AndCond,
+    BaseRel,
+    ColEqCol,
+    ColEqConst,
+    ColInCol,
+    Difference,
+    Intersection,
+    Join,
+    Nest,
+    NotCond,
+    Powerset,
+    Product,
+    Project,
+    Select,
+    Union,
+    Unnest,
+    is_transitive,
+    tc_via_loop,
+    tc_via_powerset,
+)
+from repro.objects import CSet, atom, cset, ctuple, database_schema, instance
+from repro.workloads import chain_graph, cycle_graph, random_graph
+
+
+@pytest.fixture
+def p_instance():
+    schema = database_schema(P=["U", "U"])
+    return instance(schema, P=[("a", "b"), ("a", "c"), ("b", "c")])
+
+
+class TestBasicOperators:
+    def test_base_and_select(self, p_instance):
+        expr = Select(BaseRel("P"), ColEqConst(1, atom("a")))
+        rows = expr.evaluate(p_instance)
+        assert len(rows) == 2
+
+    def test_select_col_eq_col(self):
+        schema = database_schema(P=["U", "U"])
+        inst = instance(schema, P=[("a", "a"), ("a", "b")])
+        rows = Select(BaseRel("P"), ColEqCol(1, 2)).evaluate(inst)
+        assert rows == frozenset({(atom("a"), atom("a"))})
+
+    def test_project_reorders(self, p_instance):
+        rows = Project(BaseRel("P"), [2, 1]).evaluate(p_instance)
+        assert (atom("b"), atom("a")) in rows
+
+    def test_product(self, p_instance):
+        rows = Product(BaseRel("P"), BaseRel("P")).evaluate(p_instance)
+        assert len(rows) == 9
+
+    def test_join(self, p_instance):
+        # P join P on P.2 = P.1: composition pairs
+        rows = Join(BaseRel("P"), BaseRel("P"), on=[(2, 1)]).evaluate(p_instance)
+        projected = {(r[0], r[3]) for r in rows}
+        assert projected == {(atom("a"), atom("c"))}
+
+    def test_set_operations(self, p_instance):
+        p = BaseRel("P")
+        full = Union(p, p).evaluate(p_instance)
+        assert len(full) == 3
+        assert Difference(p, p).evaluate(p_instance) == frozenset()
+        assert Intersection(p, p).evaluate(p_instance) == full
+
+    def test_condition_combinators(self, p_instance):
+        cond = AndCond(NotCond(ColEqConst(1, atom("b"))),
+                       ColEqConst(2, atom("c")))
+        rows = Select(BaseRel("P"), cond).evaluate(p_instance)
+        assert rows == frozenset({(atom("a"), atom("c"))})
+
+
+class TestNestUnnest:
+    def test_nest_matches_paper_example(self, p_instance):
+        """Nest on column 2 grouped by column 1 == Example 5.1's answer."""
+        rows = Nest(BaseRel("P"), [1], [2]).evaluate(p_instance)
+        as_strings = {f"[{r[0]}, {r[1]}]" for r in rows}
+        assert as_strings == {"[a, {b, c}]", "[b, {c}]"}
+
+    def test_unnest_inverts_nest(self, p_instance):
+        nested = Nest(BaseRel("P"), [1], [2])
+        roundtrip = Unnest(nested, 2).evaluate(p_instance)
+        assert roundtrip == BaseRel("P").evaluate(p_instance)
+
+    def test_nest_multi_column(self):
+        schema = database_schema(R=["U", "U", "U"])
+        inst = instance(schema, R=[("k", "a", "b"), ("k", "c", "d")])
+        rows = Nest(BaseRel("R"), [1], [2, 3]).evaluate(inst)
+        assert len(rows) == 1
+        key, nested = next(iter(rows))
+        assert key == atom("k")
+        assert ctuple(atom("a"), atom("b")) in nested
+
+    def test_unnest_on_stored_sets(self):
+        schema = database_schema(R=["U", "{U}"])
+        inst = instance(schema, R=[("k", {"a", "b"})])
+        rows = Unnest(BaseRel("R"), 2).evaluate(inst)
+        assert rows == frozenset({(atom("k"), atom("a")),
+                                  (atom("k"), atom("b"))})
+
+    def test_unnest_non_set_column(self, p_instance):
+        with pytest.raises(AlgebraError):
+            Unnest(BaseRel("P"), 1).evaluate(p_instance)
+
+    def test_membership_condition(self):
+        schema = database_schema(R=["U", "{U}"])
+        inst = instance(schema, R=[("a", {"a", "b"}), ("c", {"b"})])
+        rows = Select(BaseRel("R"), ColInCol(1, 2)).evaluate(inst)
+        assert len(rows) == 1
+
+
+class TestPowerset:
+    def test_counts(self, p_instance):
+        rows = Powerset(BaseRel("P")).evaluate(p_instance)
+        assert len(rows) == 2 ** 3
+
+    def test_members_are_subsets(self, p_instance):
+        base = BaseRel("P").evaluate(p_instance)
+        base_tuples = {ctuple(*row) for row in base}
+        for (subset_value,) in Powerset(BaseRel("P")).evaluate(p_instance):
+            assert isinstance(subset_value, CSet)
+            assert set(subset_value.elements) <= base_tuples
+
+    def test_cap(self, p_instance):
+        with pytest.raises(AlgebraError):
+            Powerset(BaseRel("P"), max_subsets=4).evaluate(p_instance)
+
+
+class TestTransitiveClosureThreeWays:
+    def test_loop_on_chain(self):
+        closure = tc_via_loop(chain_graph(4))
+        assert len(closure) == 6
+
+    def test_loop_on_cycle(self):
+        closure = tc_via_loop(cycle_graph(3))
+        assert len(closure) == 9
+
+    def test_powerset_matches_loop_small(self):
+        for inst in (chain_graph(3), cycle_graph(3)):
+            assert tc_via_powerset(inst) == tc_via_loop(inst)
+
+    def test_powerset_matches_calc_ifp(self):
+        from repro.core.evaluation import evaluate
+        from repro.workloads import transitive_closure_query
+
+        inst = chain_graph(3)
+        calc = evaluate(transitive_closure_query("U"), inst)
+        calc_pairs = frozenset((row.component(1), row.component(2))
+                               for row in calc)
+        assert tc_via_powerset(inst) == calc_pairs
+
+    def test_is_transitive(self):
+        a, b, c = atom("a"), atom("b"), atom("c")
+        assert is_transitive(frozenset({(a, b), (b, c), (a, c)}))
+        assert not is_transitive(frozenset({(a, b), (b, c)}))
+
+    def test_powerset_cap(self):
+        with pytest.raises(AlgebraError):
+            tc_via_powerset(random_graph(8, p=0.5), max_subsets=1000)
+
+    @given(st.integers(min_value=2, max_value=4))
+    @settings(max_examples=3, deadline=None)
+    def test_loop_is_idempotent(self, n):
+        inst = cycle_graph(n)
+        closure = tc_via_loop(inst)
+        assert is_transitive(closure)

@@ -1,0 +1,105 @@
+"""Tests for CODE relations (Lemma 4.4; experiment E10)."""
+
+import pytest
+
+from repro.machines.code_relations import (
+    code_relation,
+    code_u_table,
+    code_word,
+    index_arity,
+)
+from repro.objects import (
+    AtomOrder,
+    atom,
+    cset,
+    encode_value,
+    materialize_domain,
+    parse_type,
+)
+
+
+class TestCodeUTable:
+    def test_paper_five_constant_table_verbatim(self):
+        """The exact CODE_U table from the Lemma 4.4 figure (order abcde)."""
+        order = AtomOrder.from_labels("abcde")
+        rows = [(str(r.obj), str(r.index[0]), r.symbol)
+                for r in code_u_table(order)]
+        assert rows == [
+            ("a", "a", "0"),
+            ("b", "a", "1"),
+            ("c", "a", "1"), ("c", "b", "0"),
+            ("d", "a", "1"), ("d", "b", "1"),
+            ("e", "a", "1"), ("e", "b", "0"), ("e", "c", "0"),
+        ]
+
+    def test_codes_are_minimal_binary(self):
+        """The m-th constant's digit word is the binary numeral of m."""
+        order = AtomOrder.from_labels("abcdefgh")
+        rows = code_u_table(order)
+        for position, constant in enumerate(order.atoms):
+            digits = [r.symbol for r in rows if r.obj == constant]
+            word = "".join(digits)
+            assert word == format(position, "b")
+
+    def test_empty_order(self):
+        assert code_u_table(AtomOrder([])) == []
+
+    def test_single_constant(self):
+        rows = code_u_table(AtomOrder.from_labels("a"))
+        assert len(rows) == 1
+        assert rows[0].symbol == "0"
+
+
+class TestIndexArity:
+    @pytest.mark.parametrize("length,n,expected", [
+        (1, 3, 1), (3, 3, 1), (4, 3, 2), (9, 3, 2), (10, 3, 3),
+        (1, 2, 1), (5, 2, 3),
+    ])
+    def test_smallest_m(self, length, n, expected):
+        assert index_arity(length, n) == expected
+
+    def test_rejects_empty_universe(self):
+        with pytest.raises(ValueError):
+            index_arity(4, 0)
+
+
+class TestCodeRelation:
+    def test_words_match_standard_encoding(self):
+        order = AtomOrder.from_labels("abc")
+        typ = parse_type("{U}")
+        relation = code_relation(typ, order)
+        for value in materialize_domain(typ, order.atoms):
+            assert relation.word_of(value) == encode_value(value, order)
+
+    def test_tuple_type(self):
+        order = AtomOrder.from_labels("ab")
+        typ = parse_type("[U,{U}]")
+        relation = code_relation(typ, order)
+        for value in materialize_domain(typ, order.atoms):
+            assert relation.word_of(value) == encode_value(value, order)
+
+    def test_index_tuples_are_atoms(self):
+        order = AtomOrder.from_labels("abc")
+        relation = code_relation(parse_type("{U}"), order)
+        for row in relation.rows:
+            assert all(a in order for a in row.index)
+            assert len(row.index) == relation.index_arity
+
+    def test_positions_unique_per_object(self):
+        order = AtomOrder.from_labels("ab")
+        relation = code_relation(parse_type("{U}"), order)
+        seen = set()
+        for row in relation.rows:
+            key = (row.obj, row.index)
+            assert key not in seen, "duplicate position"
+            seen.add(key)
+
+    def test_cap(self):
+        order = AtomOrder.from_labels("abcdef")
+        with pytest.raises(ValueError):
+            code_relation(parse_type("{[U,U]}"), order, max_objects=100)
+
+    def test_code_word_helper(self):
+        order = AtomOrder.from_labels("abc")
+        value = cset(atom("a"), atom("c"))
+        assert code_word(value, order) == "{00#10}"

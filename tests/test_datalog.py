@@ -1,0 +1,218 @@
+"""Tests for complex-object Datalog (Section 3's deductive connection;
+experiment E19)."""
+
+import pytest
+
+from repro.core.evaluation import evaluate
+from repro.core.fixpoint import PFPDivergenceError
+from repro.datalog import (
+    BuiltinLiteral,
+    DatalogError,
+    DConst,
+    DVar,
+    Literal,
+    Program,
+    Rule,
+    evaluate_inflationary,
+    evaluate_partial,
+    inflationary_stages,
+    program_to_query,
+)
+from repro.objects import atom, cset, database_schema, instance
+
+
+@pytest.fixture
+def set_graph():
+    schema = database_schema(G=["{U}", "{U}"])
+    a, b, c, d = (cset(atom(ch)) for ch in "abcd")
+    return instance(schema, G=[(a, b), (b, c), (c, d)])
+
+
+@pytest.fixture
+def tc_program():
+    return Program(
+        rules=[
+            Rule(Literal("T", ["x", "y"]), [Literal("G", ["x", "y"])]),
+            Rule(Literal("T", ["x", "y"]),
+                 [Literal("T", ["x", "z"]), Literal("G", ["z", "y"])]),
+        ],
+        idb_types={"T": ["{U}", "{U}"]},
+    )
+
+
+class TestSyntax:
+    def test_bare_lowercase_strings_are_variables(self):
+        lit = Literal("P", ["x", DConst("A")])
+        assert isinstance(lit.terms[0], DVar)
+        assert isinstance(lit.terms[1], DConst)
+
+    def test_head_must_be_positive(self):
+        with pytest.raises(DatalogError):
+            Rule(Literal("T", ["x"], positive=False), [])
+
+    def test_undeclared_idb_rejected(self):
+        with pytest.raises(DatalogError):
+            Program([Rule(Literal("T", ["x"]), [Literal("P", ["x"])])],
+                    idb_types={})
+
+    def test_head_arity_checked(self):
+        with pytest.raises(DatalogError):
+            Program([Rule(Literal("T", ["x"]), [Literal("P", ["x"])])],
+                    idb_types={"T": ["U", "U"]})
+
+    def test_program_level(self, tc_program):
+        assert tc_program.level() == (1, 0)
+
+    def test_edb_predicates(self, tc_program):
+        assert tc_program.edb_predicates() == {"G"}
+
+
+class TestInflationary:
+    def test_transitive_closure(self, set_graph, tc_program):
+        result = evaluate_inflationary(tc_program, set_graph)
+        assert len(result["T"]) == 6  # 3 + 2 + 1
+
+    def test_matches_calc_ifp(self, set_graph, tc_program):
+        """The Section 3 claim: inf-Datalog == CALC+IFP on this query."""
+        query = program_to_query(tc_program, set_graph.schema)
+        calc_rows = frozenset(
+            tuple(row.items) for row in evaluate(query, set_graph)
+        )
+        assert calc_rows == evaluate_inflationary(tc_program, set_graph)["T"]
+
+    def test_stages_grow_monotonically(self, set_graph, tc_program):
+        sizes = [len(stage["T"])
+                 for stage in inflationary_stages(tc_program, set_graph)]
+        assert sizes == sorted(sizes)
+        assert sizes[-1] == 6
+
+    def test_negation_against_previous_stage(self, set_graph):
+        """Inflationary negation: 'unreached' tuples derived at stage 1
+        persist even after the positive atom appears later."""
+        program = Program(
+            rules=[
+                Rule(Literal("T", ["x", "y"]), [Literal("G", ["x", "y"])]),
+                Rule(Literal("T", ["x", "y"]),
+                     [Literal("T", ["x", "z"]), Literal("G", ["z", "y"])]),
+                Rule(Literal("New", ["x", "y"]),
+                     [Literal("G", ["x", "z"]), Literal("G", ["z", "y"]),
+                      Literal("T", ["x", "y"], positive=False)]),
+            ],
+            idb_types={"T": ["{U}", "{U}"], "New": ["{U}", "{U}"]},
+        )
+        result = evaluate_inflationary(program, set_graph)
+        # At stage 1, T is empty, so every 2-step pair lands in New.
+        assert len(result["New"]) == 2
+
+    def test_constants_in_rules(self, set_graph):
+        a = cset(atom("a"))
+        program = Program(
+            rules=[Rule(Literal("FromA", ["y"]),
+                        [Literal("G", [DConst(a), "y"])])],
+            idb_types={"FromA": ["{U}"]},
+        )
+        result = evaluate_inflationary(program, set_graph)
+        assert result["FromA"] == frozenset({(cset(atom("b")),)})
+
+    def test_builtin_equality_binds(self, set_graph):
+        program = Program(
+            rules=[Rule(Literal("Pairs", ["x", "y"]),
+                        [Literal("G", ["x", "z"]),
+                         BuiltinLiteral("=", "y", "z")])],
+            idb_types={"Pairs": ["{U}", "{U}"]},
+        )
+        result = evaluate_inflationary(program, set_graph)
+        assert len(result["Pairs"]) == 3
+
+    def test_builtin_membership_generates(self, set_graph):
+        program = Program(
+            rules=[Rule(Literal("M", ["e"]),
+                        [Literal("G", ["x", "y"]),
+                         BuiltinLiteral("in", "e", "x")])],
+            idb_types={"M": ["U"]},
+        )
+        result = evaluate_inflationary(program, set_graph)
+        assert {str(r[0]) for r in result["M"]} == {"a", "b", "c"}
+
+    def test_builtin_subset_filter(self, set_graph):
+        program = Program(
+            rules=[Rule(Literal("Sub", ["x", "y"]),
+                        [Literal("G", ["x", "w"]), Literal("G", ["y", "w2"]),
+                         BuiltinLiteral("sub", "x", "y"),
+                         BuiltinLiteral("=", "x", "y", positive=False)])],
+            idb_types={"Sub": ["{U}", "{U}"]},
+        )
+        # singleton nodes: no strict subset pairs
+        assert evaluate_inflationary(program, set_graph)["Sub"] == frozenset()
+
+    def test_unsafe_rule_rejected(self, set_graph):
+        program = Program(
+            rules=[Rule(Literal("Bad", ["x"]),
+                        [Literal("G", ["y", "z"],  positive=False)])],
+            idb_types={"Bad": ["{U}"]},
+        )
+        with pytest.raises(DatalogError):
+            evaluate_inflationary(program, set_graph)
+
+
+class TestPartialSemantics:
+    def test_fixed_point_reached(self, set_graph, tc_program):
+        """TC rules re-derive every tuple each stage once T is complete,
+        so partial semantics converges to the same closure here... but
+        the non-inflationary stage loses the base at stage 2 unless the
+        rules re-assert it; the plain program does re-assert G-edges
+        every stage, so it oscillates only if derivations shrink."""
+        result = evaluate_partial(tc_program, set_graph)
+        assert len(result["T"]) == 6
+
+    def test_divergence(self, set_graph):
+        program = Program(
+            rules=[Rule(Literal("Flip", ["x"]),
+                        [Literal("G", ["x", "y"]),
+                         Literal("Flip", ["x"], positive=False)])],
+            idb_types={"Flip": ["{U}"]},
+        )
+        with pytest.raises(PFPDivergenceError):
+            evaluate_partial(program, set_graph)
+
+
+class TestTranslation:
+    def test_single_idb_required(self, set_graph):
+        program = Program(
+            rules=[
+                Rule(Literal("A", ["x"]), [Literal("G", ["x", "y"])]),
+                Rule(Literal("B", ["x"]), [Literal("G", ["y", "x"])]),
+            ],
+            idb_types={"A": ["{U}"], "B": ["{U}"]},
+        )
+        with pytest.raises(DatalogError):
+            program_to_query(program, set_graph.schema)
+
+    def test_translation_with_negation(self, set_graph):
+        """Safe negation (all variables bound positively) translates."""
+        program = Program(
+            rules=[Rule(Literal("OneWay", ["x", "y"]),
+                        [Literal("G", ["x", "y"]),
+                         Literal("G", ["y", "x"], positive=False)])],
+            idb_types={"OneWay": ["{U}", "{U}"]},
+        )
+        query = program_to_query(program, set_graph.schema)
+        calc_rows = frozenset(
+            tuple(row.items) for row in evaluate(query, set_graph)
+        )
+        datalog_rows = evaluate_inflationary(program, set_graph)["OneWay"]
+        assert calc_rows == datalog_rows
+        assert len(datalog_rows) == 3  # the chain has no back edges
+
+    def test_translation_with_builtin(self, set_graph):
+        program = Program(
+            rules=[Rule(Literal("M", ["e"]),
+                        [Literal("G", ["x", "y"]),
+                         BuiltinLiteral("in", "e", "x")])],
+            idb_types={"M": ["U"]},
+        )
+        query = program_to_query(program, set_graph.schema)
+        calc_rows = frozenset(
+            tuple(row.items) for row in evaluate(query, set_graph)
+        )
+        assert calc_rows == evaluate_inflationary(program, set_graph)["M"]

@@ -1,0 +1,169 @@
+"""Tests for density and sparsity (Definition 4.1, Lemma 4.1,
+Examples 4.1/4.2; experiments E07, E08)."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    classify_family,
+    instance_stats,
+    is_dense_for_type,
+    is_dense_witness,
+    is_sparse_for_type,
+    is_sparse_witness,
+    lemma41_witness,
+    log2_dom_ik,
+    log2_domain_cardinality,
+    subobject_counts,
+    subobjects_of_type,
+    type_usage_histogram,
+)
+from repro.objects import cset, atom, database_schema, instance, parse_type
+from repro.objects.domains import dom_ik_cardinality
+from repro.workloads import (
+    all_subsets_instance,
+    course_catalog_dense,
+    course_catalog_sparse,
+    full_domain_instance,
+    sparse_chain_family,
+    verso_instance,
+)
+
+
+class TestLogDomain:
+    def test_log2_matches_exact(self):
+        for text, n in [("U", 4), ("{U}", 5), ("[U,{U}]", 3), ("{[U,U]}", 2)]:
+            typ = parse_type(text)
+            from repro.objects.domains import domain_cardinality
+
+            exact = math.log2(domain_cardinality(typ, n))
+            assert abs(log2_domain_cardinality(typ, n) - exact) < 1e-9
+
+    def test_log2_dom_ik_close_to_exact(self):
+        from repro.objects.domains import all_ik_types
+
+        for i, k, n in [(1, 1, 4), (1, 2, 3)]:
+            exact = math.log2(dom_ik_cardinality(i, k, n))
+            approx = log2_dom_ik(i, k, n)
+            slack = math.log2(len(all_ik_types(i, k))) + 0.1
+            assert exact <= approx <= exact + slack
+
+    def test_beyond_exact_reach(self):
+        """log2|dom(2,2,n)| is computable where the exact value is not."""
+        value = log2_dom_ik(2, 2, 4)
+        assert value > 2 ** 30  # the top tower level
+
+
+class TestPointwiseWitnesses:
+    def test_full_domain_is_dense(self):
+        # Pointwise witnesses need calibrated polynomials (generous
+        # defaults admit everything on tiny inputs); family
+        # classification below is the robust tool.
+        inst = all_subsets_instance(6)
+        assert is_dense_witness(inst, 1, 1)
+        assert not is_sparse_witness(inst, 1, 1, degree=1, coefficient=2)
+
+    def test_chain_is_sparse(self):
+        inst = sparse_chain_family(8)
+        assert is_sparse_witness(inst, 1, 2)
+        assert not is_dense_witness(inst, 1, 2)
+
+
+class TestFamilies:
+    def test_all_subsets_family_dense(self):
+        verdict = classify_family(all_subsets_instance, 1, 1,
+                                  [3, 4, 5, 6, 7, 8])
+        assert verdict.looks_dense
+        assert not verdict.looks_sparse
+
+    def test_chain_family_sparse(self):
+        verdict = classify_family(sparse_chain_family, 1, 2,
+                                  [3, 4, 5, 6, 8, 10])
+        assert verdict.looks_sparse
+        assert not verdict.looks_dense
+
+    def test_full_pair_sets_dense_12(self):
+        verdict = classify_family(
+            lambda n: full_domain_instance("{[U,U]}", n), 1, 2, [2, 3, 4])
+        assert verdict.looks_dense
+
+
+class TestExamples41And42:
+    def test_verso_is_sparse_for_set_type(self):
+        """Example 4.1: keyed nested relations are sparse w.r.t. {U}."""
+        inst = verso_instance(10)
+        assert is_sparse_for_type(inst, parse_type("{U}"), degree=1,
+                                  coefficient=2)
+        assert not is_dense_for_type(inst, parse_type("{U}"), degree=1,
+                                     coefficient=2)
+
+    def test_course_catalog_dense_without_prerequisites(self):
+        """Example 4.2, no prerequisites: dense w.r.t. set-of-classes."""
+        inst = course_catalog_dense(7)
+        assert is_dense_for_type(inst, parse_type("{U}"))
+
+    def test_course_catalog_sparse_with_prerequisites(self):
+        inst = course_catalog_sparse(12, max_simultaneous=2)
+        assert is_sparse_for_type(inst, parse_type("{U}"), degree=2,
+                                  coefficient=1)
+        assert not is_dense_for_type(inst, parse_type("{U}"), degree=1,
+                                     coefficient=2)
+
+
+class TestLemma41:
+    """Cardinality- and size-based density/sparsity are interchangeable."""
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_facts_a_b_c(self, n):
+        witness = lemma41_witness(all_subsets_instance(n), 1, 1)
+        assert all(witness.facts.values()), witness.facts
+
+    def test_dense_family_dense_in_both_measures(self):
+        """For a dense family, ||dom|| is polynomial in ||I|| too."""
+        for n in (3, 4, 5):
+            witness = lemma41_witness(all_subsets_instance(n), 1, 1)
+            # cardinality-density: |dom| <= 4 * |I|
+            assert witness.dom_cardinality <= 4 * witness.cardinality
+            # size-density: ||dom|| <= 8 * ||I|| (one fixed polynomial)
+            assert witness.dom_size <= 8 * witness.size
+
+    def test_sparse_family_sparse_in_both_measures(self):
+        for n in (4, 6, 8):
+            witness = lemma41_witness(sparse_chain_family(n), 1, 1)
+            log_dom = math.log2(witness.dom_cardinality)
+            log_dom_size = math.log2(witness.dom_size)
+            assert witness.cardinality <= 4 * log_dom
+            assert witness.size <= 8 * log_dom_size ** 2
+
+
+class TestStatistics:
+    def test_instance_stats(self):
+        schema = database_schema(R=["{U}"])
+        inst = instance(schema, R=[({"a", "b"},), ({"c"},)])
+        stats = instance_stats(inst)
+        assert stats.cardinality == 2
+        assert stats.n_atoms == 3
+        assert stats.per_relation == {"R": 2}
+        assert stats.size > 0
+
+    def test_subobject_counts(self):
+        schema = database_schema(R=["[U,{U}]"])
+        inst = instance(schema, R=[(("a", {"b", "c"}),)])
+        counts = subobject_counts(inst)
+        assert counts[parse_type("U")] == 3
+        assert counts[parse_type("{U}")] == 1
+        assert counts[parse_type("[U,{U}]")] == 1
+
+    def test_subobjects_of_type(self):
+        schema = database_schema(R=["[U,{U}]"])
+        inst = instance(schema, R=[(("a", {"b"}),), (("a", {"c"}),)])
+        sets = subobjects_of_type(inst, parse_type("{U}"))
+        assert sets == frozenset({cset(atom("b")), cset(atom("c"))})
+
+    def test_histogram_counts_occurrences(self):
+        schema = database_schema(R=["{U}"])
+        inst = instance(schema, R=[({"a"},), ({"b"},)])
+        histogram = type_usage_histogram(inst)
+        assert histogram[parse_type("U")] == 2
+        assert histogram[parse_type("{U}")] == 2

@@ -1,0 +1,145 @@
+"""Tests for domains, cardinalities and hyper(i,k) (Section 2; E04)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.objects.domains import (
+    DomainTooLarge,
+    all_ik_types,
+    dom_ik_cardinality,
+    domain_cardinality,
+    enumerate_domain,
+    hyper,
+    hyper_log2,
+    materialize_domain,
+)
+from repro.objects.types import parse_type
+from repro.objects.values import Atom
+
+from .conftest import small_types
+
+ATOMS3 = [Atom(ch) for ch in "abc"]
+
+
+class TestHyper:
+    """hyper(i,k)(n) = tower of i exponentials over n^k."""
+
+    @pytest.mark.parametrize("i,k,n,expected", [
+        (0, 1, 5, 5),
+        (0, 2, 3, 9),
+        (0, 3, 2, 8),
+        (1, 1, 3, 2 ** 3),
+        (1, 2, 3, 2 ** 18),           # 2^(2*3^2)
+        (2, 1, 2, 2 ** (2 ** 2)),     # 2^(1*2^(1*2^1))
+    ])
+    def test_exact_values(self, i, k, n, expected):
+        assert hyper(i, k, n) == expected
+
+    def test_tower_height(self):
+        # hyper(2,2)(3) = 2^(2 * 2^18): a 524289-bit number.
+        assert hyper(2, 2, 3).bit_length() == 2 * 2 ** 18 + 1
+
+    def test_guard(self):
+        with pytest.raises(DomainTooLarge):
+            hyper(3, 2, 3)  # triple tower: astronomically large
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            hyper(-1, 2, 3)
+
+    def test_hyper_log2(self):
+        import math
+        assert hyper_log2(1, 2, 3) == 18.0
+        assert abs(hyper_log2(0, 2, 3) - 2 * math.log2(3)) < 1e-9
+
+
+class TestCardinality:
+    @pytest.mark.parametrize("text,n,expected", [
+        ("U", 3, 3),
+        ("{U}", 3, 8),
+        ("{{U}}", 2, 2 ** 4),
+        ("[U,U]", 3, 9),
+        ("{[U,U]}", 2, 2 ** 4),
+        ("[{U},{U}]", 2, 16),
+        ("[U,{U}]", 3, 24),
+    ])
+    def test_exact(self, text, n, expected):
+        assert domain_cardinality(parse_type(text), n) == expected
+
+    @given(small_types(), st.integers(min_value=0, max_value=3))
+    def test_matches_enumeration(self, typ, n):
+        atoms = [Atom(f"x{index}") for index in range(n)]
+        try:
+            values = materialize_domain(typ, atoms, max_size=100_000)
+        except DomainTooLarge:
+            return
+        assert len(values) == domain_cardinality(typ, n)
+        assert len(set(values)) == len(values)  # no duplicates
+
+    def test_bounded_by_hyper(self):
+        """|dom(T,D)| <= hyper(i,k)(n) for <i,k>-types (the Section 2 bound)."""
+        for text in ["{U}", "{[U,U]}", "[{U},{U}]", "{{U}}"]:
+            typ = parse_type(text)
+            i, k = max(1, typ.set_height), max(2, typ.tuple_width)
+            for n in (1, 2, 3):
+                assert domain_cardinality(typ, n) <= hyper(i, k, n)
+
+    def test_guard(self):
+        with pytest.raises(DomainTooLarge):
+            domain_cardinality(parse_type("{{{U}}}"), 5, max_bits=1000)
+
+
+class TestEnumeration:
+    def test_every_value_conforms(self):
+        typ = parse_type("{[U,{U}]}")
+        for value in enumerate_domain(typ, ATOMS3[:2]):
+            assert value.conforms_to(typ)
+
+    def test_cap_raises_before_materialising(self):
+        with pytest.raises(DomainTooLarge):
+            list(enumerate_domain(parse_type("{[U,U]}"), ATOMS3, max_size=10))
+
+    def test_empty_universe(self):
+        assert materialize_domain(parse_type("U"), []) == []
+        # the empty set still inhabits {U} over an empty universe
+        assert len(materialize_domain(parse_type("{U}"), [])) == 1
+
+
+class TestIkTypes:
+    def test_atoms_only(self):
+        assert all_ik_types(0, 0) == (parse_type("U"),)
+
+    def test_counts_are_stable(self):
+        """Normalised <i,k>-type counts (documented reference values)."""
+        assert len(all_ik_types(1, 1)) == 2      # U, {U}
+        assert len(all_ik_types(2, 1)) == 3      # U, {U}, {{U}}
+        assert len(all_ik_types(1, 2)) == 12
+        assert len(all_ik_types(2, 2)) == 182
+
+    def test_all_within_bounds(self):
+        for i, k in [(1, 1), (1, 2), (2, 2)]:
+            for typ in all_ik_types(i, k):
+                assert typ.is_ik_type(i, k), typ
+
+    def test_no_tuple_in_tuple(self):
+        """The normal form assumption of Proposition 2.1's proof."""
+        from repro.objects.types import TupleType
+
+        for typ in all_ik_types(2, 2):
+            for sub in typ.subtypes():
+                if isinstance(sub, TupleType):
+                    assert not any(
+                        isinstance(c, TupleType) for c in sub.components
+                    )
+
+    def test_dom_ik_cardinality_monotone_in_n(self):
+        values = [dom_ik_cardinality(1, 2, n) for n in (1, 2, 3)]
+        assert values[0] < values[1] < values[2]
+
+    def test_dom_ik_cardinality_at_least_largest_type(self):
+        n = 3
+        largest = max(
+            domain_cardinality(t, n) for t in all_ik_types(1, 2)
+        )
+        assert dom_ik_cardinality(1, 2, n) >= largest

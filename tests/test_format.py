@@ -1,0 +1,84 @@
+"""Tests for the formatter: parse(format(q)) == q semantically."""
+
+import pytest
+
+from repro.core.format import format_formula, format_query, format_value
+from repro.core.evaluation import evaluate
+from repro.core.parser import parse_query
+from repro.objects import atom, cset, ctuple, database_schema, instance
+from repro.workloads import (
+    bipartite_query,
+    cyclic_nodes_query,
+    nest_query,
+    nest_query_ifp,
+    pfp_transitive_closure_query,
+    same_members_query,
+    transitive_closure_query,
+    transitive_closure_term_query,
+)
+
+
+class TestValueFormatting:
+    def test_atom(self):
+        assert format_value(atom("a")) == "'a'"
+
+    def test_nested(self):
+        value = ctuple(atom("a"), cset(atom("b"), atom("c")))
+        assert format_value(value) == "['a', {'b', 'c'}]"
+
+    def test_canonical_set_order(self):
+        assert (format_value(cset(atom("b"), atom("a")))
+                == format_value(cset(atom("a"), atom("b"))))
+
+
+QUERY_FACTORIES = [
+    transitive_closure_query,
+    transitive_closure_term_query,
+    pfp_transitive_closure_query,
+    cyclic_nodes_query,
+    nest_query,
+    nest_query_ifp,
+    same_members_query,
+    bipartite_query,
+]
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("factory", QUERY_FACTORIES,
+                             ids=[f.__name__ for f in QUERY_FACTORIES])
+    def test_format_then_parse_is_parseable(self, factory):
+        text = format_query(factory())
+        parsed = parse_query(text)
+        assert parsed.head_names == factory().head_names
+
+    def test_semantic_roundtrip_tc(self, set_graph_instance):
+        original = transitive_closure_query()
+        reparsed = parse_query(format_query(original))
+        assert (evaluate(original, set_graph_instance)
+                == evaluate(reparsed, set_graph_instance))
+
+    def test_semantic_roundtrip_nest(self):
+        schema = database_schema(P=["U", "U"])
+        inst = instance(schema, P=[("a", "b"), ("a", "c"), ("b", "a")])
+        for factory in (nest_query, nest_query_ifp):
+            original = factory()
+            reparsed = parse_query(format_query(original))
+            assert evaluate(original, inst) == evaluate(reparsed, inst)
+
+    def test_semantic_roundtrip_bipartite(self):
+        from repro.workloads import cycle_graph
+
+        original = bipartite_query()
+        reparsed = parse_query(format_query(original))
+        for n in (4, 5):
+            inst = cycle_graph(n)
+            assert evaluate(original, inst) == evaluate(reparsed, inst)
+
+    def test_formula_with_constants(self):
+        from repro.core.builder import C, V, eq, member
+        from repro.core.parser import parse_formula
+
+        f = eq(V("x", "{U}"), C({"a", "b"})) & member(C("c"), V("x", "{U}"))
+        text = format_formula(f)
+        reparsed = parse_formula(text)
+        assert format_formula(reparsed) == text

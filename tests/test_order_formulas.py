@@ -1,0 +1,118 @@
+"""Tests for Lemma 4.3: CALC formulas defining the induced orders (E09)."""
+
+import itertools
+
+import pytest
+
+from repro.core.evaluation import Evaluator
+from repro.core.order_formulas import (
+    ORDER_RELATION,
+    less_than_formula,
+    order_schema,
+    with_order_relation,
+)
+from repro.core.syntax import Var
+from repro.core.typecheck import check_formula
+from repro.objects import (
+    AtomOrder,
+    Instance,
+    compare,
+    database_schema,
+    materialize_domain,
+    parse_type,
+)
+
+TYPES = ["U", "{U}", "[U,U]", "{[U,U]}", "[U,{U}]", "{{U}}", "[{U},{U}]"]
+
+
+def _ordered_instance(labels: str) -> tuple[Instance, AtomOrder]:
+    order = AtomOrder.from_labels(labels)
+    base = database_schema(Seed=["U"])
+    inst = Instance(base, {"Seed": [(a,) for a in order.atoms]})
+    return with_order_relation(inst, order), order
+
+
+class TestLemma43:
+    @pytest.mark.parametrize("text", TYPES)
+    def test_formula_agrees_with_native_order(self, text):
+        """phi_{<_T}(x, y) holds iff x <_T y, over the entire domain."""
+        typ = parse_type(text)
+        inst, order = _ordered_instance("ab")
+        lt = less_than_formula(typ)
+        x, y = Var("x", typ), Var("y", typ)
+        phi = lt(x, y)
+        evaluator = Evaluator(inst.schema, max_domain_size=10 ** 6)
+        domain = materialize_domain(typ, order.atoms)
+        for left, right in itertools.product(domain, repeat=2):
+            expected = compare(left, right, order) < 0
+            got = evaluator.evaluate_formula(
+                phi, inst, {"x": left, "y": right},
+                free_variable_types={"x": typ, "y": typ},
+            )
+            assert got == expected, (left, right)
+
+    def test_three_atom_set_order(self):
+        """Spot-check with 3 atoms on the set type (512 pairs)."""
+        typ = parse_type("{U}")
+        inst, order = _ordered_instance("abc")
+        lt = less_than_formula(typ)
+        x, y = Var("x", typ), Var("y", typ)
+        phi = lt(x, y)
+        evaluator = Evaluator(inst.schema, max_domain_size=10 ** 6)
+        domain = materialize_domain(typ, order.atoms)
+        mismatches = [
+            (left, right)
+            for left, right in itertools.product(domain, repeat=2)
+            if evaluator.evaluate_formula(
+                phi, inst, {"x": left, "y": right},
+                free_variable_types={"x": typ, "y": typ})
+            != (compare(left, right, order) < 0)
+        ]
+        assert not mismatches
+
+    def test_formula_is_plain_calc(self):
+        """The order formulas use no fixpoint operators (Lemma 4.3 is
+        about CALC_i^k proper)."""
+        from repro.core.syntax import FixpointPred, FixpointTerm
+
+        typ = parse_type("{[U,U]}")
+        phi = less_than_formula(typ)(Var("x", typ), Var("y", typ))
+        assert not any(
+            isinstance(sub, FixpointPred) for sub in phi.walk()
+        )
+
+    def test_formula_level_within_ik(self):
+        """phi_{<_T} for an <i,k>-type stays within CALC_i^max(k,2)."""
+        typ = parse_type("{[U,U]}")  # <1,2>
+        phi = less_than_formula(typ)(Var("x", typ), Var("y", typ))
+        schema = order_schema(database_schema(Seed=["U"]))
+        report = check_formula(phi, schema,
+                               {"x": typ, "y": typ})
+        assert report.set_height <= 1
+        assert report.tuple_width <= 2
+
+    def test_tuple_comparison_requires_variables(self):
+        typ = parse_type("[U,U]")
+        lt = less_than_formula(typ)
+        from repro.core.syntax import Const
+
+        with pytest.raises(ValueError):
+            lt(Const(("a", "b")), Var("y", typ))
+
+
+class TestWithOrderRelation:
+    def test_strict_order_pairs(self):
+        inst, order = _ordered_instance("abc")
+        pairs = inst.relation(ORDER_RELATION)
+        assert pairs.cardinality == 3  # ab, ac, bc
+        assert (order.atoms[0], order.atoms[1]) in pairs
+        assert (order.atoms[1], order.atoms[0]) not in pairs
+
+    def test_schema_extended(self):
+        inst, _ = _ordered_instance("ab")
+        assert ORDER_RELATION in inst.schema
+        assert inst.schema[ORDER_RELATION].arity == 2
+
+    def test_original_relations_preserved(self):
+        inst, _ = _ordered_instance("ab")
+        assert inst.relation("Seed").cardinality == 2

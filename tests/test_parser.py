@@ -1,0 +1,162 @@
+"""Tests for the textual syntax (parser <-> builder agreement)."""
+
+import pytest
+
+from repro.core.builder import V, eq, exists, forall, ifp, member, query, rel
+from repro.core.evaluation import evaluate
+from repro.core.parser import ParseError, parse_formula, parse_query, parse_term
+from repro.core.syntax import (
+    And,
+    Const,
+    Equals,
+    Exists,
+    FixpointPred,
+    FixpointTerm,
+    Forall,
+    Iff,
+    Implies,
+    In,
+    Not,
+    Or,
+    Proj,
+    RelAtom,
+    Subset,
+    Var,
+)
+from repro.objects import atom, cset, database_schema, instance, parse_type
+
+
+class TestTerms:
+    def test_quoted_atom(self):
+        t = parse_term("'a'")
+        assert isinstance(t, Const)
+        assert t.value == atom("a")
+
+    def test_set_constant(self):
+        t = parse_term("{'a', 'b'}")
+        assert t.value == cset(atom("a"), atom("b"))
+
+    def test_tuple_constant(self):
+        t = parse_term("['a', {'b'}]")
+        assert t.typ == parse_type("[U,{U}]")
+
+    def test_empty_set_constant(self):
+        assert parse_term("{}").value == cset()
+
+    def test_annotated_variable(self):
+        t = parse_term("x:{U}")
+        assert isinstance(t, Var)
+        assert t.typ == parse_type("{U}")
+
+    def test_projection(self):
+        t = parse_term("x:[U,U].2")
+        assert isinstance(t, Proj)
+        assert t.index == 2
+
+
+class TestFormulas:
+    def test_precedence_and_binds_tighter_than_or(self):
+        f = parse_formula("P(x:U) and Q(x) or R(x)")
+        assert isinstance(f, Or)
+        assert isinstance(f.operands[0], And)
+
+    def test_implies_right_assoc(self):
+        f = parse_formula("P(x:U) -> Q(x) -> R(x)")
+        assert isinstance(f, Implies)
+        assert isinstance(f.consequent, Implies)
+
+    def test_iff(self):
+        f = parse_formula("P(x:U) <-> Q(x)")
+        assert isinstance(f, Iff)
+
+    def test_not(self):
+        f = parse_formula("not P(x:U)")
+        assert isinstance(f, Not)
+
+    def test_quantifiers(self):
+        f = parse_formula("exists x:U, y:U (P(x, y))")
+        assert isinstance(f, Exists)
+        assert isinstance(f.body, Exists)
+        g = parse_formula("forall s:{U} (x:U in s)")
+        assert isinstance(g, Forall)
+        assert isinstance(g.body, In)
+
+    def test_comparisons(self):
+        assert isinstance(parse_formula("x:U = y:U"), Equals)
+        assert isinstance(parse_formula("x:U in s:{U}"), In)
+        assert isinstance(parse_formula("s:{U} sub t:{U}"), Subset)
+
+    def test_parenthesised(self):
+        f = parse_formula("(P(x:U) or Q(x)) and R(x)")
+        assert isinstance(f, And)
+
+    def test_variable_type_consistency(self):
+        # Conflicting inline annotations are a parse-time error; purely
+        # semantic type errors (x in x) are the type checker's job.
+        with pytest.raises(ParseError):
+            parse_formula("P(x:U) and Q(x:{U})")
+
+
+class TestFixpointSyntax:
+    def test_applied_fixpoint(self):
+        f = parse_formula(
+            "ifp[S(x:U, y:U)](G(x, y) or exists z:U (S(x,z) and G(z,y)))(x, y)"
+        )
+        assert isinstance(f, FixpointPred)
+        assert f.fixpoint.kind == "IFP"
+        assert f.fixpoint.arity == 2
+
+    def test_pfp(self):
+        f = parse_formula("pfp[S(x:U)](not S(x))(x)")
+        assert f.fixpoint.kind == "PFP"
+
+    def test_fixpoint_as_term(self):
+        f = parse_formula("s:{U} = ifp[Q(y:U)](P(x:U, y) or Q(y))")
+        assert isinstance(f, Equals)
+        assert isinstance(f.right, FixpointTerm)
+
+
+class TestQueries:
+    def test_query_roundtrip_with_evaluation(self):
+        schema = database_schema(P=["U", "U"])
+        inst = instance(schema, P=[("a", "b"), ("b", "c")])
+        parsed = parse_query("{[x:U, y:U] | exists z:U (P(x,z) and P(z,y))}")
+        x, y, z = V("x", "U"), V("y", "U"), V("z", "U")
+        built = query([x, y], exists(z, rel("P")(x, z) & rel("P")(z, y)))
+        assert evaluate(parsed, inst) == evaluate(built, inst)
+
+    def test_nest_query_text(self):
+        schema = database_schema(P=["U", "U"])
+        inst = instance(schema, P=[("a", "b"), ("a", "c")])
+        q = parse_query(
+            "{[x:U, s:{U}] | exists z:U (P(x,z)) "
+            "and forall y:U (y in s <-> P(x, y))}"
+        )
+        answers = {str(t) for t in evaluate(q, inst)}
+        assert answers == {"[a, {b, c}]"}
+
+    def test_example_31_text(self):
+        schema = database_schema(G=["{U}", "{U}"])
+        a, b = cset(atom("a")), cset(atom("b"))
+        inst = instance(schema, G=[(a, b)])
+        q = parse_query(
+            "{[x:{U}, y:{U}] | ifp[S(x:{U}, y:{U})]"
+            "(G(x,y) or exists z:{U} (S(x,z) and G(z,y)))(x, y)}"
+        )
+        assert len(evaluate(q, inst)) == 1
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "",
+        "P(",
+        "exists x (P(x))",          # missing type
+        "{[x:U] | }",
+        "P(x:U) and",
+        "x:U @ y:U",
+        "{[x:U] | P(x)} trailing",
+        "ifp[S(x:U)](S(x)",
+    ])
+    def test_parse_errors(self, bad):
+        with pytest.raises(ParseError):
+            parse_query(bad) if bad.startswith("{[") else parse_formula(bad)

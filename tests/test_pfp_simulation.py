@@ -1,0 +1,80 @@
+"""Tests for the PSPACE (PFP) simulation of Theorem 4.1(3).
+
+"The difference lies in the fact that the CALC+PFP computation needs not
+be inflationary ... only the tuples corresponding to the *current*
+configuration of M are kept in R_M, so no timestamping is required."
+"""
+
+import pytest
+
+from repro.machines import (
+    PFPSimulation,
+    TMSimulation,
+    copy_machine,
+    identity_machine,
+    simulate_query,
+    simulate_query_pfp,
+)
+from repro.machines.turing import BLANK
+from repro.objects import database_schema, encode_instance, instance
+
+TAPE_ALPHABET = set("01#[]{}GP:")
+
+
+@pytest.fixture
+def tiny_graph():
+    schema = database_schema(G=["U", "U"])
+    return instance(schema, G=[("a", "b")])
+
+
+class TestPFPSimulation:
+    def test_identity_roundtrip(self, figure1_instance, figure1_schema):
+        machine = identity_machine(TAPE_ALPHABET)
+        result = simulate_query_pfp(machine, figure1_instance,
+                                    output_schema=figure1_schema)
+        assert result.output == figure1_instance
+
+    def test_copy_agrees_with_native(self, tiny_graph):
+        machine = copy_machine(TAPE_ALPHABET)
+        result = simulate_query_pfp(machine, tiny_graph, max_steps=500_000)
+        native = machine.run(encode_instance(tiny_graph))
+        assert result.final_tape == native.output
+        assert result.final_state == native.state
+
+    def test_agrees_with_ifp_simulation(self, tiny_graph):
+        machine = copy_machine(TAPE_ALPHABET)
+        via_ifp = simulate_query(machine, tiny_graph, max_steps=500_000)
+        via_pfp = simulate_query_pfp(machine, tiny_graph, max_steps=500_000)
+        assert via_ifp.final_tape == via_pfp.final_tape
+        assert via_ifp.final_state == via_pfp.final_state
+
+    def test_no_timestamps_space_saving(self, tiny_graph):
+        """The paper's simplification, quantified: PFP's R_M holds one
+        configuration; IFP's holds the whole timestamped history."""
+        machine = copy_machine(TAPE_ALPHABET)
+        via_ifp = simulate_query(machine, tiny_graph, max_steps=500_000)
+        via_pfp = simulate_query_pfp(machine, tiny_graph, max_steps=500_000)
+        assert via_pfp.rm_cardinality < via_ifp.rm_cardinality / 10
+        # PFP rows are (2m+1)-ary: cell tuple + symbol + marker
+        row = next(iter(via_pfp.rows))
+        assert len(row) == 3
+
+    def test_halting_configuration_is_fixed_point(self, tiny_graph):
+        machine = identity_machine(TAPE_ALPHABET)
+        simulation = PFPSimulation(machine, tiny_graph)
+        initial = simulation.stage(frozenset())
+        assert simulation.stage(initial) == initial  # halts immediately
+
+    def test_stage_tracks_native_trace(self, tiny_graph):
+        """Each PFP stage is exactly the machine's configuration at that
+        step (no history)."""
+        machine = copy_machine(TAPE_ALPHABET)
+        simulation = PFPSimulation(machine, tiny_graph, max_steps=500_000)
+        rows = simulation.stage(frozenset())
+        for config in machine.trace(encode_instance(tiny_graph)):
+            _, cells, head, state = simulation._configuration(rows)
+            assert state == config.state
+            assert head == config.head
+            for rank, symbol in cells.items():
+                assert config.tape.get(rank, BLANK) == symbol
+            rows = simulation.stage(rows)

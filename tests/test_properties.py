@@ -1,0 +1,198 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+Invariants that every layer must uphold together: genericity of queries,
+order-invariance of the semantics, encode/decode/rank coherence.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.evaluation import evaluate
+from repro.core.safety import evaluate_range_restricted
+from repro.objects import (
+    Atom,
+    AtomOrder,
+    CSet,
+    compare,
+    cset,
+    ctuple,
+    database_schema,
+    decode_value,
+    encode_value,
+    instance,
+    parse_type,
+    rank,
+    sort_key,
+    unrank,
+)
+from repro.workloads import nest_query, transitive_closure_query
+
+from .conftest import small_types, values_of_type
+
+ORDER = AtomOrder.from_labels("abc")
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+def flat_edge_sets():
+    atoms = ["a", "b", "c", "d"]
+    return st.frozensets(
+        st.tuples(st.sampled_from(atoms), st.sampled_from(atoms)),
+        max_size=6,
+    )
+
+
+def set_node_edge_sets():
+    nodes = [cset(Atom(ch)) for ch in "abc"]
+    return st.frozensets(
+        st.tuples(st.sampled_from(nodes), st.sampled_from(nodes)),
+        max_size=5,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Genericity: queries commute with atom isomorphisms
+# ---------------------------------------------------------------------------
+
+class TestGenericity:
+    @given(set_node_edge_sets())
+    @settings(max_examples=20, deadline=None)
+    def test_tc_commutes_with_renaming(self, edges):
+        schema = database_schema(G=["{U}", "{U}"])
+        inst = instance(schema, G=list(edges))
+        mapping = {Atom("a"): Atom("x"), Atom("b"): Atom("y"),
+                   Atom("c"): Atom("z")}
+        renamed = inst.rename_atoms(mapping)
+
+        def rename_value(value):
+            if isinstance(value, Atom):
+                return mapping.get(value, value)
+            assert isinstance(value, CSet)
+            return CSet(rename_value(e) for e in value)
+
+        direct = evaluate(transitive_closure_query(), renamed)
+        via_rename = frozenset(
+            ctuple(*(rename_value(item) for item in row.items))
+            for row in evaluate(transitive_closure_query(), inst)
+        )
+        assert direct == via_rename
+
+    @given(flat_edge_sets())
+    @settings(max_examples=20, deadline=None)
+    def test_nest_commutes_with_renaming(self, edges):
+        schema = database_schema(P=["U", "U"])
+        inst = instance(schema, P=list(edges))
+        mapping = {Atom(ch): Atom(ch.upper()) for ch in "abcd"}
+        renamed = inst.rename_atoms(mapping)
+
+        def rename_value(value):
+            if isinstance(value, Atom):
+                return mapping.get(value, value)
+            return CSet(rename_value(e) for e in value)
+
+        direct = evaluate(nest_query(), renamed)
+        via_rename = frozenset(
+            ctuple(*(rename_value(item) for item in row.items))
+            for row in evaluate(nest_query(), inst)
+        )
+        assert direct == via_rename
+
+
+# ---------------------------------------------------------------------------
+# Theorem 5.1 as a property: restricted == active for RR queries
+# ---------------------------------------------------------------------------
+
+class TestRestrictedEqualsActive:
+    @given(flat_edge_sets())
+    @settings(max_examples=15, deadline=None)
+    def test_nest(self, edges):
+        schema = database_schema(P=["U", "U"])
+        inst = instance(schema, P=list(edges))
+        restricted = evaluate_range_restricted(nest_query(), inst).answer
+        active = evaluate(nest_query(), inst)
+        assert restricted == active
+
+    @given(set_node_edge_sets())
+    @settings(max_examples=15, deadline=None)
+    def test_transitive_closure(self, edges):
+        schema = database_schema(G=["{U}", "{U}"])
+        inst = instance(schema, G=list(edges))
+        q = transitive_closure_query()
+        restricted = evaluate_range_restricted(q, inst).answer
+        active = evaluate(q, inst)
+        assert restricted == active
+
+
+# ---------------------------------------------------------------------------
+# Encoding / ordering coherence
+# ---------------------------------------------------------------------------
+
+class TestEncodingOrderCoherence:
+    @given(st.data())
+    @settings(max_examples=60)
+    def test_rank_respects_encoding_order_of_sets(self, data):
+        """For set types, lower rank <=> smaller under <_T <=> the
+        comparator agrees with sort keys (three-way coherence)."""
+        typ = data.draw(small_types())
+        left = data.draw(values_of_type(typ, "abc"))
+        right = data.draw(values_of_type(typ, "abc"))
+        by_compare = compare(left, right, ORDER)
+        r_left, r_right = rank(left, typ, ORDER), rank(right, typ, ORDER)
+        assert by_compare == (r_left > r_right) - (r_left < r_right)
+        k_left, k_right = sort_key(left, ORDER), sort_key(right, ORDER)
+        assert by_compare == (k_left > k_right) - (k_left < k_right)
+
+    @given(st.data())
+    @settings(max_examples=60)
+    def test_encode_decode_unrank_coherence(self, data):
+        typ = data.draw(small_types())
+        value = data.draw(values_of_type(typ, "abc"))
+        # encode -> decode is identity
+        assert decode_value(encode_value(value, ORDER), typ, ORDER) == value
+        # rank -> unrank is identity
+        assert unrank(rank(value, typ, ORDER), typ, ORDER) == value
+
+    @given(st.data())
+    @settings(max_examples=40)
+    def test_equal_values_same_rank_and_encoding(self, data):
+        typ = data.draw(small_types())
+        value = data.draw(values_of_type(typ, "abc"))
+        rebuilt = unrank(rank(value, typ, ORDER), typ, ORDER)
+        assert encode_value(rebuilt, ORDER) == encode_value(value, ORDER)
+
+
+# ---------------------------------------------------------------------------
+# Fixpoint monotonicity
+# ---------------------------------------------------------------------------
+
+class TestFixpointProperties:
+    @given(set_node_edge_sets())
+    @settings(max_examples=15, deadline=None)
+    def test_tc_contains_edges_and_is_transitive(self, edges):
+        schema = database_schema(G=["{U}", "{U}"])
+        inst = instance(schema, G=list(edges))
+        answer = evaluate(transitive_closure_query(), inst)
+        pairs = {(row.component(1), row.component(2)) for row in answer}
+        for edge in edges:
+            assert (edge[0], edge[1]) in pairs
+        for x, y in pairs:
+            for y2, z in pairs:
+                if y == y2:
+                    assert (x, z) in pairs
+
+    @given(set_node_edge_sets())
+    @settings(max_examples=10, deadline=None)
+    def test_tc_monotone_in_input(self, edges):
+        """Adding an edge never removes closure pairs."""
+        if not edges:
+            return
+        schema = database_schema(G=["{U}", "{U}"])
+        smaller = instance(schema, G=list(edges)[:-1])
+        larger = instance(schema, G=list(edges))
+        q = transitive_closure_query()
+        small_pairs = evaluate(q, smaller)
+        large_pairs = evaluate(q, larger)
+        assert small_pairs <= large_pairs

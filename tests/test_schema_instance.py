@@ -1,0 +1,152 @@
+"""Tests for database schemas and instances (Section 2)."""
+
+import pytest
+
+from repro.objects import (
+    DatabaseSchema,
+    Instance,
+    InstanceError,
+    Relation,
+    RelationSchema,
+    SchemaError,
+    atom,
+    cset,
+    database_schema,
+    instance,
+    parse_type,
+    relation,
+)
+from repro.objects.values import Atom, CTuple
+
+
+class TestRelationSchema:
+    def test_basic(self):
+        r = relation("P", "U", "{U}", "[U,{U}]")
+        assert r.arity == 3
+        assert r.set_height == 1
+        assert r.tuple_width == 2
+        assert r.is_ik_schema(1, 2)
+        assert not r.is_ik_schema(0, 2)
+
+    def test_arity_unrestricted_by_k(self):
+        """Section 2: no restriction on relation arity in <i,k>-schemas."""
+        r = relation("Wide", *(["U"] * 10))
+        assert r.arity == 10
+        assert r.is_ik_schema(0, 0)
+
+    def test_flat(self):
+        assert relation("G", "U", "U").is_flat()
+        assert not relation("R", "{U}").is_flat()
+
+    def test_rejects_empty(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ())
+        with pytest.raises(SchemaError):
+            RelationSchema("", ("U",))
+
+
+class TestDatabaseSchema:
+    def test_lookup(self):
+        schema = database_schema(G=["U", "U"], R=["{U}"])
+        assert schema["G"].arity == 2
+        assert "R" in schema
+        assert schema.get("missing") is None
+        with pytest.raises(SchemaError):
+            schema["missing"]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            DatabaseSchema([relation("R", "U"), relation("R", "U", "U")])
+
+    def test_measures(self):
+        schema = database_schema(G=["U", "U"], R=["{[U,U]}"])
+        assert schema.set_height == 1
+        assert schema.tuple_width == 2
+        assert schema.is_ik_schema(1, 2)
+
+    def test_column_type_set(self):
+        schema = database_schema(G=["U", "U"], R=["{U}", "U"])
+        assert schema.column_type_set() == {parse_type("U"), parse_type("{U}")}
+
+
+class TestRelation:
+    def test_typechecks_rows(self):
+        r = Relation(relation("R", "U", "{U}"), [("a", {"b"})])
+        assert r.cardinality == 1
+
+    def test_rejects_arity_mismatch(self):
+        with pytest.raises(InstanceError):
+            Relation(relation("R", "U"), [("a", "b")])
+
+    def test_rejects_type_mismatch(self):
+        with pytest.raises(InstanceError):
+            Relation(relation("R", "{U}"), [("a",)])
+
+    def test_membership(self):
+        r = Relation(relation("R", "U"), [("a",), ("b",)])
+        assert ("a",) in r
+        assert ("z",) not in r
+        assert "junk" not in r
+
+    def test_deduplication(self):
+        r = Relation(relation("R", "U"), [("a",), ("a",)])
+        assert r.cardinality == 1
+
+
+class TestInstance:
+    def test_cardinality_sums_relations(self):
+        schema = database_schema(G=["U", "U"], R=["U"])
+        inst = instance(schema, G=[("a", "b")], R=[("c",), ("d",)])
+        assert inst.cardinality == 3
+
+    def test_atoms(self):
+        schema = database_schema(R=["[U,{U}]"])
+        inst = instance(schema, R=[(("a", {"b", "c"}),)])
+        assert inst.atoms() == frozenset({Atom("a"), Atom("b"), Atom("c")})
+
+    def test_missing_relations_default_empty(self):
+        schema = database_schema(G=["U", "U"], R=["U"])
+        inst = instance(schema, G=[("a", "b")])
+        assert inst.relation("R").cardinality == 0
+
+    def test_unknown_relation_rejected(self):
+        schema = database_schema(G=["U", "U"])
+        with pytest.raises(SchemaError):
+            instance(schema, H=[("a", "b")])
+
+    def test_with_relation_is_functional(self):
+        schema = database_schema(R=["U"])
+        inst1 = instance(schema, R=[("a",)])
+        inst2 = inst1.with_relation("R", [("b",)])
+        assert inst1.relation("R").cardinality == 1
+        assert ("a",) in inst1.relation("R")
+        assert ("b",) in inst2.relation("R")
+        assert ("a",) not in inst2.relation("R")
+
+    def test_equality_and_hash(self):
+        schema = database_schema(R=["U"])
+        inst1 = instance(schema, R=[("a",), ("b",)])
+        inst2 = instance(schema, R=[("b",), ("a",)])
+        assert inst1 == inst2
+        assert hash(inst1) == hash(inst2)
+
+
+class TestAtomRenaming:
+    def test_renaming_deep(self):
+        schema = database_schema(R=["[U,{U}]"])
+        inst = instance(schema, R=[(("a", {"b"}),)])
+        renamed = inst.rename_atoms({Atom("a"): Atom("x"), Atom("b"): Atom("y")})
+        row = next(iter(renamed.relation("R")))
+        assert row == CTuple([CTuple([atom("x"), cset(atom("y"))])]).component(1) \
+            or row.component(1) == CTuple([atom("x"), cset(atom("y"))])
+
+    def test_non_injective_rejected(self):
+        schema = database_schema(R=["U"])
+        inst = instance(schema, R=[("a",), ("b",)])
+        with pytest.raises(InstanceError):
+            inst.rename_atoms({Atom("a"): Atom("z"), Atom("b"): Atom("z")})
+
+    def test_identity_renaming(self):
+        schema = database_schema(R=["{U}"])
+        inst = instance(schema, R=[({"a", "b"},)])
+        assert inst.rename_atoms({}) == inst

@@ -1,0 +1,175 @@
+"""Tests for the Theorem 4.1 simulation pipeline (experiments E11, E12)."""
+
+import pytest
+
+from repro.machines import (
+    SimulationError,
+    TMSimulation,
+    copy_machine,
+    erase_machine,
+    identity_machine,
+    initial_configuration_rows,
+    parity_machine,
+    simulate_query,
+)
+from repro.machines.turing import BLANK, TuringMachine, Transition
+from repro.objects import (
+    AtomOrder,
+    atom,
+    cset,
+    database_schema,
+    encode_instance,
+    instance,
+)
+
+TAPE_ALPHABET = set("01#[]{}GP")
+
+
+@pytest.fixture
+def tiny_graph():
+    schema = database_schema(G=["U", "U"])
+    return instance(schema, G=[("a", "b")])
+
+
+class TestPhaseDagger:
+    """Phase (†): the initial configuration in R_M."""
+
+    def test_initial_rows_spell_the_encoding(self, tiny_graph):
+        machine = identity_machine(TAPE_ALPHABET)
+        simulation = TMSimulation(machine, tiny_graph)
+        rows = simulation.initial_rows()
+        by_cell = sorted(rows, key=lambda r: simulation.index_rank(r[1]))
+        word = "".join(r[2] for r in by_cell)
+        assert word == encode_instance(tiny_graph)
+
+    def test_head_marker_on_cell_zero(self, tiny_graph):
+        machine = identity_machine(TAPE_ALPHABET)
+        simulation = TMSimulation(machine, tiny_graph)
+        rows = simulation.initial_rows()
+        marked = [r for r in rows if r[3] != ""]
+        assert len(marked) == 1
+        assert simulation.index_rank(marked[0][1]) == 0
+        assert marked[0][3] == machine.initial_state
+
+    def test_figure1_instance_configuration(self, figure1_instance):
+        """The paper's configuration-representation figure: the Figure 1
+        instance laid out in R_M with m-tuple indices (m = 4 here, as in
+        the paper's illustration)."""
+        machine = identity_machine(TAPE_ALPHABET)
+        rows = initial_configuration_rows(machine, figure1_instance)
+        simulation = TMSimulation(machine, figure1_instance)
+        assert simulation.index_arity == 4
+        word = "".join(
+            r[2] for r in sorted(rows,
+                                 key=lambda r: simulation.index_rank(r[1]))
+        )
+        assert word.startswith("P[01#{00#01}")
+
+
+class TestPhaseDoubleDagger:
+    """Phase (‡): the inflationary iteration tracks the machine exactly."""
+
+    def test_identity_roundtrip(self, figure1_instance, figure1_schema):
+        machine = identity_machine(TAPE_ALPHABET)
+        result = simulate_query(machine, figure1_instance,
+                                output_schema=figure1_schema)
+        assert result.output == figure1_instance
+        assert result.steps == 0
+
+    def test_erase(self, tiny_graph):
+        machine = erase_machine(TAPE_ALPHABET)
+        result = simulate_query(machine, tiny_graph)
+        assert result.final_tape == ""
+        assert result.steps == len(encode_instance(tiny_graph)) + 1
+
+    def test_copy_full_trace_crosscheck(self, tiny_graph):
+        """Every simulated configuration equals the native TM trace —
+        state, head position and every stored cell."""
+        machine = copy_machine(TAPE_ALPHABET | {":"})
+        simulation = TMSimulation(machine, tiny_graph, max_steps=200_000)
+        final_rows = None
+        for stage_rows in simulation.stages():
+            final_rows = stage_rows
+        assert final_rows is not None
+        native = list(machine.trace(encode_instance(tiny_graph)))
+        for time, config in enumerate(native):
+            rows_t = [r for r in final_rows
+                      if simulation.index_rank(r[0]) == time]
+            assert rows_t, f"missing timestamp {time}"
+            heads = [(simulation.index_rank(r[1]), r[3])
+                     for r in rows_t if r[3] != ""]
+            assert heads == [(config.head, config.state)]
+            for row in rows_t:
+                cell = simulation.index_rank(row[1])
+                assert config.tape.get(cell, BLANK) == row[2]
+
+    def test_inflationary_rows_accumulate(self, tiny_graph):
+        """R_M keeps all timestamps (the paper's reason for timestamps:
+        IFP cannot delete)."""
+        machine = erase_machine(TAPE_ALPHABET)
+        result = simulate_query(machine, tiny_graph)
+        timestamps = {r[0] for r in result.rows}
+        assert len(timestamps) == result.steps + 1
+
+
+class TestEndToEnd:
+    def test_boolean_query_via_parity(self):
+        """A machine deciding a property of the encoding, used as a
+        boolean query (accept iff even number of '1' bits)."""
+        schema = database_schema(G=["U", "U"])
+        # Map the encoding to 0/1 only: use a wrapper machine that treats
+        # non-binary symbols as 0s.
+        transitions = {
+            ("even", "1"): Transition("odd", BLANK, "R"),
+            ("odd", "1"): Transition("even", BLANK, "R"),
+        }
+        for symbol in TAPE_ALPHABET - {"1"}:
+            transitions[("even", symbol)] = Transition("even", BLANK, "R")
+            transitions[("odd", symbol)] = Transition("odd", BLANK, "R")
+        transitions[("even", BLANK)] = Transition("yes", "1", "S")
+        transitions[("odd", BLANK)] = Transition("no", BLANK, "S")
+        machine = TuringMachine("enc-parity", transitions, "even",
+                                accept_states={"yes"}, reject_states={"no"})
+        inst = instance(schema, G=[("a", "b")])
+        result = simulate_query(machine, inst)
+        native = machine.run(encode_instance(inst))
+        assert result.final_state == native.state
+        assert result.final_tape == native.output
+
+    def test_genericity_over_order_choice(self, figure1_instance,
+                                          figure1_schema):
+        """Theorem 4.1 existentially quantifies the order <_U; for a
+        generic query (here: identity) the decoded answer must not
+        depend on which enumeration is chosen."""
+        machine = identity_machine(TAPE_ALPHABET)
+        outputs = []
+        for labels in ("abc", "cab", "bca"):
+            order = AtomOrder.from_labels(labels)
+            result = simulate_query(machine, figure1_instance,
+                                    output_schema=figure1_schema,
+                                    order=order)
+            outputs.append(result.output)
+        assert outputs[0] == outputs[1] == outputs[2] == figure1_instance
+
+
+class TestGuards:
+    def test_single_atom_rejected(self):
+        schema = database_schema(R=["U"])
+        inst = instance(schema, R=[("a",)])
+        with pytest.raises(SimulationError):
+            TMSimulation(identity_machine(TAPE_ALPHABET), inst)
+
+    def test_left_edge_violation_detected(self, tiny_graph):
+        machine = TuringMachine(
+            "left", {("q", s): Transition("q", s, "L")
+                     for s in TAPE_ALPHABET},
+            initial_state="q",
+        )
+        with pytest.raises(SimulationError):
+            TMSimulation(machine, tiny_graph)
+
+    def test_index_arity_scales_with_run_length(self, tiny_graph):
+        short = TMSimulation(identity_machine(TAPE_ALPHABET), tiny_graph)
+        long = TMSimulation(copy_machine(TAPE_ALPHABET | {":"}), tiny_graph,
+                            max_steps=200_000)
+        assert long.index_arity > short.index_arity

@@ -1,0 +1,133 @@
+"""Tests for multi-sorted density (Remark 4.1; the paper's future work)."""
+
+import pytest
+
+from repro.analysis import (
+    SAtom,
+    SortAssignment,
+    SortError,
+    SSet,
+    STuple,
+    is_dense_for_sorted_type,
+    is_sparse_for_sorted_type,
+    log2_sorted_domain_cardinality,
+    parse_sorted_type,
+    sorted_domain_cardinality,
+    sorted_subobjects,
+)
+from repro.objects import Atom, atom, cset, parse_type
+from repro.workloads import schedule_instance
+
+
+@pytest.fixture
+def schedule():
+    return schedule_instance(130, n_days=7, n_teams=3)
+
+
+@pytest.fixture
+def sorts(schedule):
+    return SortAssignment.by_prefix({"e": "emp", "d": "day"},
+                                    schedule.atoms())
+
+
+class TestSortAssignment:
+    def test_by_prefix(self, sorts):
+        assert sorts.sort_of(Atom("e005")) == "emp"
+        assert sorts.sort_of(Atom("d03")) == "day"
+
+    def test_counts(self, sorts):
+        assert sorts.counts() == {"emp": 130, "day": 7}
+
+    def test_unknown_atom(self, sorts):
+        with pytest.raises(SortError):
+            sorts.sort_of(Atom("zzz"))
+
+    def test_atoms_of(self, sorts):
+        assert len(sorts.atoms_of("day")) == 7
+
+    def test_longest_prefix_wins(self):
+        atoms = [Atom("ab1"), Atom("a1")]
+        assignment = SortAssignment.by_prefix({"a": "one", "ab": "two"},
+                                              atoms)
+        assert assignment.sort_of(Atom("ab1")) == "two"
+        assert assignment.sort_of(Atom("a1")) == "one"
+
+
+class TestSortedTypes:
+    def test_parse(self):
+        styp = parse_sorted_type("[U@emp, {U@day}]")
+        assert styp == STuple((SAtom("emp"), SSet(SAtom("day"))))
+
+    def test_erase(self):
+        styp = parse_sorted_type("{[U@emp, {U@day}]}")
+        assert styp.erase() == parse_type("{[U,{U}]}")
+
+    def test_parse_errors(self):
+        with pytest.raises(SortError):
+            parse_sorted_type("U")  # missing sort annotation
+        with pytest.raises(SortError):
+            parse_sorted_type("{U@}")
+
+    def test_conforms(self, sorts):
+        day_set = parse_sorted_type("{U@day}")
+        assert day_set.conforms(cset(atom("d00"), atom("d01")), sorts)
+        assert not day_set.conforms(cset(atom("e000")), sorts)
+        assert day_set.conforms(cset(), sorts)  # empty set fits any sort
+
+
+class TestSortedDomains:
+    def test_cardinality(self, sorts):
+        counts = sorts.counts()
+        assert sorted_domain_cardinality(
+            parse_sorted_type("{U@day}"), counts) == 2 ** 7
+        assert sorted_domain_cardinality(
+            parse_sorted_type("[U@emp, U@day]"), counts) == 130 * 7
+
+    def test_log2(self, sorts):
+        counts = sorts.counts()
+        assert log2_sorted_domain_cardinality(
+            parse_sorted_type("{U@emp}"), counts) == 130.0
+
+    def test_unknown_sort(self):
+        with pytest.raises(SortError):
+            sorted_domain_cardinality(parse_sorted_type("{U@ghost}"), {})
+
+
+class TestRemark41:
+    """The remark's exact scenario: dense day-sets, sparse employee-sets."""
+
+    def test_day_sets_fully_used(self, schedule, sorts):
+        used = sorted_subobjects(schedule, parse_sorted_type("{U@day}"),
+                                 sorts)
+        assert len(used) == 2 ** 7  # every day subset occurs
+
+    def test_employee_sets_barely_used(self, schedule, sorts):
+        used = sorted_subobjects(schedule, parse_sorted_type("{U@emp}"),
+                                 sorts)
+        assert len(used) <= 4  # the teams (plus full-day overlap corner)
+
+    def test_density_verdicts(self, schedule, sorts):
+        day_sets = parse_sorted_type("{U@day}")
+        emp_sets = parse_sorted_type("{U@emp}")
+        assert is_dense_for_sorted_type(schedule, day_sets, sorts,
+                                        degree=1, coefficient=2)
+        assert is_sparse_for_sorted_type(schedule, emp_sets, sorts,
+                                         degree=1, coefficient=2)
+        assert not is_dense_for_sorted_type(schedule, emp_sets, sorts,
+                                            degree=1, coefficient=2)
+
+    def test_quantification_advice(self, schedule, sorts):
+        """Remark 4.1's advice quantified: the day-set domain is the
+        same size as its usage; the employee-set domain is 2^130 vs 4
+        used — quantifying over it is 'not recommended'."""
+        counts = sorts.counts()
+        day_domain = sorted_domain_cardinality(
+            parse_sorted_type("{U@day}"), counts)
+        day_used = len(sorted_subobjects(
+            schedule, parse_sorted_type("{U@day}"), sorts))
+        assert day_domain == day_used
+        emp_log_domain = log2_sorted_domain_cardinality(
+            parse_sorted_type("{U@emp}"), counts)
+        emp_used = len(sorted_subobjects(
+            schedule, parse_sorted_type("{U@emp}"), sorts))
+        assert emp_log_domain / max(emp_used, 1) > 30  # gap of many orders

@@ -1,0 +1,170 @@
+"""Tests for the calculus AST (Section 3)."""
+
+import pytest
+
+from repro.core.builder import V, eq, exists, forall, ifp, member, pfp, proj, query, rel
+from repro.core.syntax import (
+    And,
+    Const,
+    Equals,
+    Exists,
+    Fixpoint,
+    FixpointPred,
+    FixpointTerm,
+    Forall,
+    Iff,
+    Implies,
+    In,
+    Not,
+    Or,
+    Proj,
+    Query,
+    RelAtom,
+    SyntaxError_,
+    Var,
+    constants_of,
+    relation_names_of,
+)
+from repro.objects import cset, atom, parse_type
+
+
+class TestTerms:
+    def test_const_infers_type(self):
+        c = Const({"a", "b"})
+        assert c.typ == parse_type("{U}")
+
+    def test_const_explicit_type_checked(self):
+        Const(set(), "{[U,U]}")  # empty set conforms
+        with pytest.raises(SyntaxError_):
+            Const({"a"}, "[U,U]")
+
+    def test_var_with_and_without_type(self):
+        assert V("x").typ is None
+        assert V("x", "{U}").typ == parse_type("{U}")
+
+    def test_proj_requires_tuple_var(self):
+        x = V("x", "[U,{U}]")
+        assert proj(x, 2).typ == parse_type("{U}")
+        with pytest.raises(SyntaxError_):
+            proj(V("y", "{U}"), 1)
+        with pytest.raises(SyntaxError_):
+            proj(x, 3)
+        with pytest.raises(SyntaxError_):
+            proj(x, 0)
+
+    def test_proj_untyped_var_allowed(self):
+        # type resolved later by the checker
+        p = proj(V("x"), 2)
+        assert p.typ is None
+
+
+class TestFormulas:
+    def test_connective_sugar(self):
+        a = rel("R")(V("x", "U"))
+        b = rel("S")(V("x", "U"))
+        assert isinstance(a & b, And)
+        assert isinstance(a | b, Or)
+        assert isinstance(~a, Not)
+        assert isinstance(a.implies(b), Implies)
+        assert isinstance(a.iff(b), Iff)
+
+    def test_auto_const_lifting(self):
+        f = eq(V("x", "U"), "a")
+        assert isinstance(f.right, Const)
+
+    def test_free_variables(self):
+        x, y = V("x", "U"), V("y", "U")
+        f = exists(y, rel("R")(x, y))
+        assert f.free_variables() == {"x"}
+
+    def test_nested_quantifiers_builder(self):
+        x, y = V("x", "U"), V("y", "U")
+        f = forall([x, y], rel("R")(x, y))
+        assert isinstance(f, Forall)
+        assert isinstance(f.body, Forall)
+        assert f.free_variables() == frozenset()
+
+    def test_untyped_quantifier_rejected(self):
+        with pytest.raises(SyntaxError_):
+            Exists(V("x"), rel("R")(V("x")))
+
+    def test_nary_connectives_need_two(self):
+        with pytest.raises(SyntaxError_):
+            And((rel("R")(V("x", "U")),))
+
+    def test_walk_descends_into_fixpoints(self):
+        x, y = V("x", "U"), V("y", "U")
+        fix = ifp("S", [x], rel("P")(x, y))
+        f = exists(y, fix(V("x", "U")))
+        names = {type(sub).__name__ for sub in f.walk()}
+        assert "RelAtom" in names  # the P atom inside the fixpoint body
+
+
+class TestFixpoints:
+    def test_kinds(self):
+        x = V("x", "U")
+        assert ifp("S", [x], rel("P")(x)).kind == "IFP"
+        assert pfp("S", [x], rel("P")(x)).kind == "PFP"
+        with pytest.raises(SyntaxError_):
+            Fixpoint("XXX", "S", [("x", "U")], rel("P")(V("x", "U")))
+
+    def test_arity_checked_at_application(self):
+        x, y = V("x", "U"), V("y", "U")
+        fix = ifp("S", [x, y], rel("P")(x, y))
+        with pytest.raises(SyntaxError_):
+            fix(x)
+
+    def test_parameters_exclude_columns(self):
+        x, p = V("x", "U"), V("p", "U")
+        fix = ifp("S", [x], rel("P")(p, x) | rel("S")(x))
+        assert [v.name for v in fix.parameters()] == ["p"]
+
+    def test_term_type_unary_collapses(self):
+        """Example 5.3: a unary fixpoint term has type {T}, not {[T]}."""
+        fix = ifp("Q", [("y", "U")], rel("P")(V("y", "U")))
+        assert FixpointTerm(fix).typ == parse_type("{U}")
+
+    def test_term_type_binary(self):
+        fix = ifp("S", [("x", "{U}"), ("y", "{U}")],
+                  rel("G")(V("x", "{U}"), V("y", "{U}")))
+        assert FixpointTerm(fix).typ == parse_type("{[{U},{U}]}")
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SyntaxError_):
+            ifp("S", [("x", "U"), ("x", "U")], rel("P")(V("x", "U")))
+
+
+class TestQueries:
+    def test_head_variables_must_occur(self):
+        x, y = V("x", "U"), V("y", "U")
+        with pytest.raises(SyntaxError_):
+            query([x, y], rel("P")(x))
+
+    def test_duplicate_head_rejected(self):
+        x = V("x", "U")
+        with pytest.raises(SyntaxError_):
+            Query([("x", "U"), ("x", "U")], rel("P")(V("x", "U"), V("x", "U")))
+
+    def test_head_accessors(self):
+        q = query([("x", "U"), ("s", "{U}")],
+                  rel("P")(V("x", "U")) & rel("R")(V("s", "{U}")))
+        assert q.head_names == ("x", "s")
+        assert q.head_types == (parse_type("U"), parse_type("{U}"))
+
+
+class TestInspection:
+    def test_constants_of(self):
+        f = eq(V("x", "{U}"), Const({"a"})) & member(Const(atom("b")), V("x", "{U}"))
+        consts = constants_of(f)
+        assert cset(atom("a")) in consts
+        assert atom("b") in consts
+
+    def test_constants_inside_fixpoint_bodies(self):
+        fix = ifp("S", [("x", "U")], eq(V("x", "U"), Const("z")))
+        q = query([("x", "U")], fix(V("x", "U")))
+        assert atom("z") in constants_of(q.body)
+
+    def test_relation_names(self):
+        fix = ifp("S", [("x", "U")], rel("P")(V("x", "U")) | rel("S")(V("x", "U")))
+        f = fix(V("x", "U")) & rel("Q")(V("x", "U"))
+        assert relation_names_of(f) == {"P", "S", "Q"}

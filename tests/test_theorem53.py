@@ -1,0 +1,119 @@
+"""Tests for Theorem 5.3: range restriction relaxed for one dense type.
+
+"To allow the definition of <_U in the language, the range-restriction
+assumption is relaxed for some non-trivial type T, and replaced by a
+density assumption for that type."  RR_T-(CALC+IFP) queries — all
+variables range restricted except those of the dense type T — capture
+PTIME without any order being given: the T-typed variables can hold the
+postulated order, and density keeps dom(T) polynomial.
+"""
+
+import pytest
+
+from repro.core.builder import V, exists, ifp, query, rel
+from repro.core.order_formulas import pair_in, total_order_formula
+from repro.core.range_restriction import (
+    RangeComputationError,
+    analyze_query,
+    compute_ranges,
+)
+from repro.core.safety import evaluate_range_restricted
+from repro.core.syntax import Exists, Var
+from repro.objects import database_schema, instance, parse_type
+
+ORD_TYPE = parse_type("{[U,U]}")
+#: Theorem 5.3's exemption: exactly the dense non-trivial type T.
+EXEMPT = frozenset({ORD_TYPE})
+
+
+def _unary_instance(n: int):
+    schema = database_schema(P=["U"])
+    labels = "abcdefgh"[:n]
+    return instance(schema, P=[(ch,) for ch in labels])
+
+
+def guarded_parity_query():
+    """EVEN(|D|) in RR_T form: every variable except the order variable
+    (type {[U,U]}) and its pair witnesses is range restricted — the
+    fixpoint's column is guarded by P, as the proof's formulas are."""
+    from repro.core.order_formulas import _FreshNames
+
+    fresh = _FreshNames("_g")
+    ord_var = Var("ord", ORD_TYPE)
+    x, e = V("x", "U"), V("e", "U")
+    lt = lambda left, right: pair_in(ord_var, left, right, fresh)  # noqa: E731
+
+    z1, z2, z3 = V("z1", "U"), V("z2", "U"), V("z3", "U")
+    w1, w2 = V("w1", "U"), V("w2", "U")
+    least = rel("P")(e) & ~exists(z1, lt(z1, e))
+    succ_w1_w2 = lt(w1, w2) & ~exists(z2, lt(w1, z2) & lt(z2, w2))
+    succ_w2_e = lt(w2, e) & ~exists(z3, lt(w2, z3) & lt(z3, e))
+    odd = ifp("Odd", [e],
+              least | (rel("P")(e)
+                       & exists([w1, w2],
+                                rel("Odd")(w1) & rel("P")(w1)
+                                & rel("P")(w2)
+                                & succ_w1_w2 & succ_w2_e)))
+    m = V("m", "U")
+    max_is_even = exists(
+        m, rel("P")(m) & ~exists(V("z4", "U"), lt(m, V("z4", "U")))
+        & ~odd(m))
+    return query([x], rel("P")(x)
+                 & Exists(ord_var,
+                          total_order_formula(
+                              ord_var, fresh,
+                              guard=lambda v: rel("P")(v))
+                          & max_is_even))
+
+
+class TestRRTAnalysis:
+    def test_rejected_without_exemption(self):
+        """Plain RR analysis refuses the order variable (it has no
+        range-giving occurrence) ..."""
+        schema = database_schema(P=["U"])
+        result = analyze_query(guarded_parity_query(), schema)
+        assert not result.is_range_restricted
+
+    def test_accepted_with_exemption(self):
+        """... but the RR_T analysis, exempting the dense type, passes."""
+        schema = database_schema(P=["U"])
+        result = analyze_query(guarded_parity_query(), schema,
+                               exempt_types=EXEMPT)
+        assert result.is_range_restricted, result.violations
+
+    def test_exempt_ranges_are_full_domains(self):
+        inst = _unary_instance(2)
+        ranges = compute_ranges(guarded_parity_query(), inst,
+                                exempt_types=EXEMPT)
+        # dom({[U,U]}, 2 atoms) has 2^4 = 16 values
+        assert len(ranges["ord"]) == 16
+
+    def test_compute_ranges_refuses_without_exemption(self):
+        inst = _unary_instance(2)
+        with pytest.raises(RangeComputationError):
+            compute_ranges(guarded_parity_query(), inst)
+
+
+class TestTheorem53Evaluation:
+    """The mixed discipline evaluates correctly and polynomially in
+    |dom(T)| — the PTIME capture without a given order."""
+
+    @pytest.mark.parametrize("n,even", [(1, False), (2, True), (3, False)])
+    def test_parity_via_rrt(self, n, even):
+        inst = _unary_instance(n)
+        report = evaluate_range_restricted(
+            guarded_parity_query(), inst, exempt_types=EXEMPT)
+        if even:
+            assert len(report.answer) == n
+        else:
+            assert report.answer == frozenset()
+
+    def test_restricted_variables_have_small_ranges(self):
+        """Non-exempt variables keep database-derived (small) ranges —
+        only the dense type pays its (polynomial) domain."""
+        inst = _unary_instance(3)
+        report = evaluate_range_restricted(
+            guarded_parity_query(), inst, exempt_types=EXEMPT)
+        assert report.range_sizes["x"] == 3
+        assert report.range_sizes["e"] <= 3
+        assert report.range_sizes["ord"] == 2 ** 9  # dom({[U,U]}, 3)

@@ -1,0 +1,115 @@
+"""Tests for the Turing machine substrate."""
+
+import pytest
+
+from repro.machines.turing import (
+    BLANK,
+    Configuration,
+    TMError,
+    Transition,
+    TuringMachine,
+    binary_increment_machine,
+    copy_machine,
+    erase_machine,
+    identity_machine,
+    parity_machine,
+)
+
+
+class TestModel:
+    def test_transition_validation(self):
+        with pytest.raises(TMError):
+            Transition("q", "0", "X")
+
+    def test_configuration_sparse_tape(self):
+        config = Configuration("q", 0, {0: "1", 2: "0"})
+        assert config.read() == "1"
+        config.head = 1
+        assert config.read() == BLANK
+        assert config.tape_string() == "1_0"
+
+    def test_write_blank_clears_cell(self):
+        config = Configuration("q", 0, {0: "1"})
+        config.write(BLANK)
+        assert config.tape == {}
+
+    def test_missing_transition_halts(self):
+        machine = TuringMachine("stuck", {}, initial_state="q")
+        result = machine.run("101")
+        assert result.steps == 0
+        assert result.state == "q"
+        assert not result.accepted
+
+    def test_step_cap(self):
+        machine = TuringMachine(
+            "loop", {("q", BLANK): Transition("q", BLANK, "R")},
+            initial_state="q",
+        )
+        with pytest.raises(TMError):
+            machine.run("", max_steps=10)
+
+    def test_states_and_alphabet(self):
+        machine = parity_machine()
+        assert {"even", "odd", "yes", "no"} <= machine.states
+        assert {"0", "1", BLANK} <= machine.alphabet
+
+
+class TestLibraryMachines:
+    def test_identity(self):
+        machine = identity_machine({"0", "1"})
+        result = machine.run("0101")
+        assert result.output == "0101"
+        assert result.steps == 0
+        assert result.accepted
+
+    def test_erase(self):
+        machine = erase_machine({"0", "1", "#"})
+        result = machine.run("01#10")
+        assert result.output == ""
+        assert result.accepted
+
+    @pytest.mark.parametrize("word,even", [
+        ("", True), ("0", True), ("1", False), ("11", True),
+        ("101", True), ("111", False), ("0110", True),
+    ])
+    def test_parity(self, word, even):
+        result = parity_machine().run(word)
+        assert result.accepted == even
+        assert (result.output == "1") == even
+
+    @pytest.mark.parametrize("value", [0, 1, 2, 3, 7, 12])
+    def test_binary_increment(self, value):
+        machine = binary_increment_machine()
+        lsb_first = format(value, "b")[::-1]
+        result = machine.run(lsb_first)
+        incremented = int(result.output[::-1] or "0", 2)
+        assert incremented == value + 1
+
+    @pytest.mark.parametrize("word", ["ab", "a", "abc", "aabb", ""])
+    def test_copy(self, word):
+        machine = copy_machine({"a", "b", "c"})
+        result = machine.run(word)
+        expected = f"{word}:{word}" if word else ""
+        assert result.output == expected
+        assert result.accepted
+
+    def test_copy_is_quadratic(self):
+        """Step counts grow ~quadratically in input length."""
+        machine = copy_machine({"a"})
+        steps = [machine.run("a" * n).steps for n in (2, 4, 8)]
+        assert steps[1] > 2 * steps[0]
+        assert steps[2] > 2 * steps[1]
+
+
+class TestTrace:
+    def test_trace_snapshots_are_independent(self):
+        machine = parity_machine()
+        configs = list(machine.trace("11"))
+        assert configs[0].state == "start"
+        assert configs[0].tape == {0: "1", 1: "1"}  # not mutated later
+        assert configs[-1].state == "yes"
+
+    def test_trace_length_matches_steps(self):
+        machine = parity_machine()
+        run = machine.run("101")
+        assert len(list(machine.trace("101"))) == run.steps + 1

@@ -1,0 +1,142 @@
+"""Tests for type checking and <i,k>-level inference (Section 3)."""
+
+import pytest
+
+from repro.core.builder import V, eq, exists, forall, ifp, member, query, rel, subset
+from repro.core.typecheck import (
+    TypeCheckError,
+    assert_calc_ik,
+    check_formula,
+    check_query,
+    formula_level,
+    query_level,
+)
+from repro.objects import database_schema, parse_type
+from repro.workloads import (
+    bipartite_query,
+    transitive_closure_query,
+    transitive_closure_term_query,
+)
+
+
+@pytest.fixture
+def g_schema():
+    return database_schema(G=["{U}", "{U}"])
+
+
+class TestBasicChecking:
+    def test_equality_type_mismatch(self, g_schema):
+        f = eq(V("x", "U"), V("y", "{U}"))
+        with pytest.raises(TypeCheckError):
+            check_formula(f, g_schema)
+
+    def test_membership_types(self, g_schema):
+        good = member(V("x", "U"), V("s", "{U}"))
+        check_formula(good, g_schema)
+        bad = member(V("x", "{U}"), V("s", "{U}"))
+        with pytest.raises(TypeCheckError):
+            check_formula(bad, g_schema)
+
+    def test_subset_needs_set_types(self, g_schema):
+        with pytest.raises(TypeCheckError):
+            check_formula(subset(V("x", "U"), V("y", "U")), g_schema)
+
+    def test_relation_arity(self, g_schema):
+        with pytest.raises(TypeCheckError):
+            check_formula(rel("G")(V("x", "{U}")), g_schema)
+
+    def test_relation_column_types(self, g_schema):
+        with pytest.raises(TypeCheckError):
+            check_formula(rel("G")(V("x", "U"), V("y", "U")), g_schema)
+
+    def test_unknown_relation(self, g_schema):
+        with pytest.raises(TypeCheckError):
+            check_formula(rel("H")(V("x", "{U}"), V("y", "{U}")), g_schema)
+
+    def test_untyped_free_variable(self, g_schema):
+        with pytest.raises(TypeCheckError):
+            check_formula(rel("G")(V("x"), V("y")), g_schema)
+
+    def test_annotation_conflict(self, g_schema):
+        f = exists(V("x", "{U}"), rel("G")(V("x", "U"), V("y", "{U}")))
+        with pytest.raises(TypeCheckError):
+            check_formula(f, g_schema)
+
+
+class TestScoping:
+    """Footnote 6 plus the fixpoint-column exception."""
+
+    def test_double_quantifier_rejected(self, g_schema):
+        x = V("x", "{U}")
+        f = exists(x, exists(x, rel("G")(x, x)))
+        with pytest.raises(TypeCheckError):
+            check_formula(f, g_schema)
+
+    def test_fixpoint_columns_may_share_outer_names(self, g_schema):
+        """The paper's own Example 3.1 notation: IFP(phi(S), S)(x, y)."""
+        check_query(transitive_closure_query(), g_schema)
+
+    def test_fixpoint_column_type_conflict_rejected(self, g_schema):
+        x = V("x", "{U}")
+        fix = ifp("S", [("x", "U")], rel("P")(V("x", "U")))
+        q = query([x], rel("G")(x, x) & eq(V("w", "{U}"), V("w", "{U}"))
+                  & fix(V("z", "U")))
+        schema = database_schema(G=["{U}", "{U}"], P=["U"])
+        with pytest.raises(TypeCheckError):
+            check_query(q, schema)
+
+    def test_fixpoint_name_clash_with_schema(self):
+        schema = database_schema(S=["U"])
+        fix = ifp("S", [("x", "U")], rel("S")(V("x", "U")))
+        with pytest.raises(TypeCheckError):
+            check_formula(fix(V("x", "U")), schema)
+
+    def test_nested_fixpoints_must_rename(self, g_schema):
+        x = V("x", "{U}")
+        inner = ifp("S", [("w", "{U}")], rel("G")(V("w", "{U}"), V("w2", "{U}")))
+        outer = ifp("S", [x, V("y", "{U}")],
+                    rel("G")(x, V("y", "{U}")) & inner(V("z", "{U}")))
+        with pytest.raises(TypeCheckError):
+            check_formula(outer(x, V("y", "{U}")), g_schema)
+
+
+class TestLevels:
+    """E01/E05/E06: the <i,k>-levels of the paper's queries."""
+
+    def test_tc_pred_level(self, g_schema):
+        i, k = query_level(transitive_closure_query(), g_schema)
+        assert i == 1  # only {U} variables
+        assert k == 0
+
+    def test_tc_term_level(self, g_schema):
+        i, k = query_level(transitive_closure_term_query(), g_schema)
+        assert (i, k) == (2, 2)  # the paper's CALC_2^2 variant
+
+    def test_bipartite_level(self):
+        schema = database_schema(G=["U", "U"])
+        i, k = query_level(bipartite_query(), schema)
+        assert (i, k) == (1, 2)
+
+    def test_assert_calc_ik(self, g_schema):
+        assert_calc_ik(transitive_closure_query(), g_schema, 1, 2)
+        with pytest.raises(TypeCheckError):
+            assert_calc_ik(transitive_closure_term_query(), g_schema, 1, 2)
+
+    def test_assert_calc_ik_schema_requirement(self):
+        flat = database_schema(G=["U", "U"])
+        schema_too_deep = database_schema(G=["{{U}}", "{{U}}"])
+        q = transitive_closure_query("{{U}}")
+        with pytest.raises(TypeCheckError):
+            assert_calc_ik(q, schema_too_deep, 1, 2)
+        assert_calc_ik(bipartite_query(), flat, 1, 2)
+
+    def test_report_types_include_quantifier_types(self, g_schema):
+        f = exists(V("w", "{[U,U]}"), rel("G")(V("x", "{U}"), V("y", "{U}")))
+        report = check_formula(f, g_schema)
+        assert parse_type("{[U,U]}") in report.types
+        assert report.level == (1, 2)
+
+    def test_report_fixpoints_collected(self, g_schema):
+        report = check_query(transitive_closure_query(), g_schema)
+        assert len(report.fixpoints) == 1
+        assert report.fixpoints[0].name == "S"

@@ -1,0 +1,153 @@
+"""Tests for the type algebra (Section 2; experiment E01)."""
+
+import pytest
+from hypothesis import given
+
+from repro.objects.types import (
+    AtomType,
+    SetType,
+    TupleType,
+    TypeError_,
+    U,
+    as_type,
+    format_type_tree,
+    parse_type,
+    set_of,
+    tuple_of,
+)
+
+from .conftest import small_types
+
+
+class TestConstruction:
+    def test_atom_singleton_equality(self):
+        assert AtomType() == U
+        assert hash(AtomType()) == hash(U)
+
+    def test_set_type(self):
+        t = set_of(U)
+        assert isinstance(t, SetType)
+        assert t.element == U
+
+    def test_tuple_type(self):
+        t = tuple_of(U, set_of(U))
+        assert t.arity == 2
+        assert t.component(1) == U
+        assert t.component(2) == set_of(U)
+
+    def test_tuple_component_out_of_range(self):
+        t = tuple_of(U, U)
+        with pytest.raises(TypeError_):
+            t.component(3)
+        with pytest.raises(TypeError_):
+            t.component(0)
+
+    def test_empty_tuple_rejected(self):
+        with pytest.raises(TypeError_):
+            TupleType(())
+
+    def test_non_type_components_rejected(self):
+        with pytest.raises(TypeError_):
+            SetType("U")  # type: ignore[arg-type]
+        with pytest.raises(TypeError_):
+            TupleType((U, "U"))  # type: ignore[arg-type]
+
+    def test_immutability(self):
+        t = set_of(U)
+        with pytest.raises(AttributeError):
+            t.element = U  # type: ignore[misc]
+
+
+class TestStructuralEquality:
+    def test_equal_types(self):
+        assert parse_type("{[U,U]}") == set_of(tuple_of(U, U))
+
+    def test_distinct_types(self):
+        assert parse_type("{U}") != parse_type("{{U}}")
+        assert parse_type("[U,U]") != parse_type("[U,U,U]")
+
+    def test_hashable_in_sets(self):
+        types = {parse_type("{U}"), set_of(U), parse_type("[U,U]")}
+        assert len(types) == 2
+
+
+class TestMeasures:
+    """Set height and tuple width (the <i,k> machinery)."""
+
+    @pytest.mark.parametrize("text,height,width", [
+        ("U", 0, 0),
+        ("{U}", 1, 0),
+        ("{{U}}", 2, 0),
+        ("[U,U]", 0, 2),
+        ("[U,U,U]", 0, 3),
+        ("{[U,U]}", 1, 2),
+        ("[{U},{U}]", 1, 2),
+        # The paper's running example: set height 2, tuple width 2.
+        ("{[U,{[U,U]}]}", 2, 2),
+        ("[U,{U}]", 1, 2),
+    ])
+    def test_height_and_width(self, text, height, width):
+        t = parse_type(text)
+        assert t.set_height == height
+        assert t.tuple_width == width
+
+    def test_ik_type_check(self):
+        t = parse_type("{[U,{[U,U]}]}")
+        assert t.is_ik_type(2, 2)
+        assert t.is_ik_type(3, 5)
+        assert not t.is_ik_type(1, 2)
+        assert not t.is_ik_type(2, 1)
+
+    def test_non_trivial(self):
+        assert parse_type("{[U,U]}").is_non_trivial()
+        assert not parse_type("{U}").is_non_trivial()   # width < 2
+        assert not parse_type("[U,U]").is_non_trivial()  # height < 1
+
+    @given(small_types())
+    def test_subtypes_include_self_and_leaves(self, typ):
+        subs = list(typ.subtypes())
+        assert subs[0] == typ
+        assert U in subs
+
+    @given(small_types())
+    def test_height_bounded_by_subtypes(self, typ):
+        assert typ.set_height == max(
+            s.set_height for s in typ.subtypes()
+        )
+
+
+class TestParsing:
+    @pytest.mark.parametrize("text", [
+        "U", "{U}", "[U,U]", "{[U,{[U,U]}]}", "[{U}, {U}]",
+        "  { [ U , U ] }  ",
+    ])
+    def test_roundtrip(self, text):
+        t = parse_type(text)
+        assert parse_type(repr(t)) == t
+
+    @pytest.mark.parametrize("bad", [
+        "", "V", "{U", "[U]extra", "{}", "[]", "[U,]", "U}",
+    ])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(TypeError_):
+            parse_type(bad)
+
+    def test_as_type_passthrough(self):
+        t = set_of(U)
+        assert as_type(t) is t
+        assert as_type("{U}") == t
+        with pytest.raises(TypeError_):
+            as_type(42)  # type: ignore[arg-type]
+
+
+class TestTypeTree:
+    def test_paper_example_tree(self):
+        """The labelled-tree figure for {[U,{[U,U]}]}."""
+        tree = format_type_tree(parse_type("{[U,{[U,U]}]}"))
+        lines = tree.splitlines()
+        assert lines[0].strip().startswith("(+)")          # root set node
+        assert lines[1].strip().startswith("[x] tuple/2")  # tuple of width 2
+        assert sum("[] U" in line for line in lines) == 3  # three leaves
+
+    def test_atom_tree(self):
+        assert format_type_tree(U) == "[] U"

@@ -1,0 +1,152 @@
+"""Tests for the while language and its equivalence with CALC+PFP.
+
+The paper's frame of reference (Sections 1 and 3): FO+PFP defines the
+while queries [AV89].  We check the equivalence semantically on
+canonical programs.
+"""
+
+import pytest
+
+from repro.core.builder import V, eq, exists, rel
+from repro.core.evaluation import evaluate
+from repro.core.while_lang import Assign, WhileChange, WhileError, WhileProgram, run_program
+from repro.objects import atom, cset, database_schema, instance
+from repro.workloads import pfp_transitive_closure_query, transitive_closure_query
+
+
+@pytest.fixture
+def graph():
+    schema = database_schema(G=["{U}", "{U}"])
+    a, b, c, d = (cset(atom(ch)) for ch in "abcd")
+    return instance(schema, G=[(a, b), (b, c), (c, d), (d, b)])
+
+
+def tc_program():
+    """TC as a while program: T := edges; while T changes: T := T ∪ T∘G."""
+    x, y, z = V("x", "{U}"), V("y", "{U}"), V("z", "{U}")
+    G, T = rel("G"), rel("T")
+    step = Assign("T", [x, y],
+                  G(x, y) | T(x, y) | exists(z, T(x, z) & G(z, y)))
+    return WhileProgram(
+        variables={"T": ["{U}", "{U}"]},
+        statements=[WhileChange("T", [step])],
+        output="T",
+    )
+
+
+class TestExecution:
+    def test_transitive_closure(self, graph):
+        rows = run_program(tc_program(), graph)
+        assert len(rows) == 3 + 9  # same as Example 3.1's closure
+
+    def test_assignment_overwrites(self, graph):
+        """Assignments are destructive (the non-inflationary essence)."""
+        x, y = V("x", "{U}"), V("y", "{U}")
+        G = rel("G")
+        program = WhileProgram(
+            variables={"T": ["{U}", "{U}"]},
+            statements=[
+                Assign("T", [x, y], G(x, y)),
+                Assign("T", [x, y], G(y, x)),  # overwrite with reversal
+            ],
+            output="T",
+        )
+        rows = run_program(program, graph)
+        edges = {(r.component(1), r.component(2))
+                 for r in graph.relation("G")}
+        assert rows == frozenset((b, a) for a, b in edges)
+
+    def test_empty_initialisation(self, graph):
+        x = V("x", "{U}")
+        program = WhileProgram(
+            variables={"X": ["{U}"]},
+            statements=[Assign("X", [x], rel("X")(x) & rel("X")(x))],
+            output="X",
+        )
+        assert run_program(program, graph) == frozenset()
+
+    def test_divergence_detected(self, graph):
+        """X := complement(X) oscillates forever: the program denotes an
+        undefined result, like a diverging PFP."""
+        x = V("x", "{U}")
+        program = WhileProgram(
+            variables={"X": ["{U}"]},
+            statements=[WhileChange("X", [
+                Assign("X", [x], ~rel("X")(x)),
+            ])],
+            output="X",
+        )
+        with pytest.raises(WhileError):
+            run_program(program, graph, max_iterations=20)
+
+
+class TestValidation:
+    def test_undeclared_target(self):
+        x = V("x", "{U}")
+        with pytest.raises(WhileError):
+            WhileProgram(variables={},
+                         statements=[Assign("T", [x], rel("G")(x, x))],
+                         output="T")
+
+    def test_type_mismatch(self):
+        x = V("x", "U")
+        with pytest.raises(WhileError):
+            WhileProgram(variables={"T": ["{U}"]},
+                         statements=[Assign("T", [x], rel("G")(x, x))],
+                         output="T")
+
+    def test_undeclared_output(self):
+        with pytest.raises(WhileError):
+            WhileProgram(variables={"T": ["{U}"]}, statements=[], output="Z")
+
+    def test_shadowing_database_relation(self, graph):
+        x, y = V("x", "{U}"), V("y", "{U}")
+        program = WhileProgram(
+            variables={"G": ["{U}", "{U}"]},
+            statements=[Assign("G", [x, y], rel("G")(x, y))],
+            output="G",
+        )
+        with pytest.raises(WhileError):
+            run_program(program, graph)
+
+
+class TestEquivalenceWithPFP:
+    """while = FO+PFP [AV89], realised on shared queries."""
+
+    def test_tc_program_equals_pfp_query(self, graph):
+        program_rows = run_program(tc_program(), graph)
+        pfp_rows = frozenset(
+            tuple(r.items)
+            for r in evaluate(pfp_transitive_closure_query(), graph)
+        )
+        assert program_rows == pfp_rows
+
+    def test_tc_program_equals_ifp_query(self, graph):
+        """For monotone stages, while == fixpoint too."""
+        program_rows = run_program(tc_program(), graph)
+        ifp_rows = frozenset(
+            tuple(r.items)
+            for r in evaluate(transitive_closure_query(), graph)
+        )
+        assert program_rows == ifp_rows
+
+    def test_non_inflationary_program_matches_pfp(self, graph):
+        """A genuinely non-monotone loop: alternate a set with its
+        complement a bounded number of times via a counter relation —
+        here simplified: nodes-without-self-loop computed by an
+        overwrite, agreeing with direct evaluation."""
+        from repro.core.builder import query
+
+        x, y = V("x", "{U}"), V("y", "{U}")
+        G = rel("G")
+        program = WhileProgram(
+            variables={"X": ["{U}"]},
+            statements=[
+                Assign("X", [x], exists(y, G(x, y)) & ~G(x, x)),
+            ],
+            output="X",
+        )
+        rows = run_program(program, graph)
+        direct = evaluate(
+            query([x], exists(y, G(x, y)) & ~G(x, x)), graph)
+        assert rows == frozenset(tuple(r.items) for r in direct)

@@ -1,0 +1,115 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.objects import parse_type
+from repro.workloads import (
+    all_subsets_instance,
+    atoms_universe,
+    bipartite_graph,
+    chain_graph,
+    course_catalog_dense,
+    course_catalog_sparse,
+    cycle_graph,
+    full_domain_instance,
+    random_graph,
+    set_chain_graph,
+    set_random_graph,
+    sparse_chain_family,
+    verso_instance,
+)
+
+
+class TestAtomsUniverse:
+    def test_distinct_sortable(self):
+        atoms = atoms_universe(12)
+        assert len(set(atoms)) == 12
+        labels = [a.label for a in atoms]
+        assert labels == sorted(labels)
+
+    def test_prefix(self):
+        atoms = atoms_universe(3, prefix="c")
+        assert all(str(a.label).startswith("c") for a in atoms)
+
+
+class TestDenseGenerators:
+    def test_full_domain_counts(self):
+        inst = full_domain_instance("{U}", 4)
+        assert inst.cardinality == 16
+
+    def test_full_domain_pair_sets(self):
+        inst = full_domain_instance("{[U,U]}", 2)
+        assert inst.cardinality == 16  # 2^(2^2)
+
+    def test_full_domain_cap(self):
+        from repro.objects.domains import DomainTooLarge
+
+        with pytest.raises(DomainTooLarge):
+            full_domain_instance("{[U,U]}", 5, max_size=1000)
+
+    def test_all_subsets(self):
+        inst = all_subsets_instance(5)
+        assert inst.cardinality == 32
+        assert inst.schema["R"].column_types == (parse_type("{U}"),)
+
+    def test_course_catalog_dense(self):
+        inst = course_catalog_dense(4)
+        assert inst.cardinality == 16
+
+
+class TestSparseGenerators:
+    def test_sparse_chain(self):
+        inst = sparse_chain_family(5)
+        assert inst.cardinality == 4
+        assert len(inst.atoms()) == 5
+
+    def test_verso_keys_unique(self):
+        inst = verso_instance(8)
+        keys = [row.component(1) for row in inst.relation("R")]
+        assert len(set(keys)) == len(keys) == 8
+
+    def test_verso_deterministic(self):
+        assert verso_instance(6, seed=3) == verso_instance(6, seed=3)
+        assert verso_instance(6, seed=3) != verso_instance(6, seed=4)
+
+    def test_course_catalog_sparse_counts(self):
+        inst = course_catalog_sparse(6, max_simultaneous=2)
+        assert inst.cardinality == 1 + 6 + 15
+
+
+class TestGraphs:
+    def test_chain(self):
+        inst = chain_graph(5)
+        assert inst.relation("G").cardinality == 4
+
+    def test_cycle(self):
+        inst = cycle_graph(5)
+        assert inst.relation("G").cardinality == 5
+
+    def test_cycle_of_one(self):
+        assert cycle_graph(1).relation("G").cardinality == 0
+
+    def test_random_graph_deterministic(self):
+        assert random_graph(6, 0.4, seed=1) == random_graph(6, 0.4, seed=1)
+        assert random_graph(6, 0.4, seed=1) != random_graph(6, 0.4, seed=2)
+
+    def test_bipartite_edges_cross(self):
+        inst = bipartite_graph(3, 3, p=1.0)
+        for row in inst.relation("G"):
+            assert str(row.component(1).label).startswith("l")
+            assert str(row.component(2).label).startswith("r")
+
+    def test_set_chain_nodes_are_sets(self):
+        inst = set_chain_graph(3)
+        assert inst.schema["G"].column_types[0] == parse_type("{U}")
+        assert inst.relation("G").cardinality == 6  # 7 subsets - 1
+
+    def test_set_chain_length_cap(self):
+        inst = set_chain_graph(4, length=5)
+        assert inst.relation("G").cardinality == 4
+
+    def test_set_random_graph_node_count(self):
+        inst = set_random_graph(4, 6, p=1.0)
+        nodes = {row.component(1) for row in inst.relation("G")}
+        nodes |= {row.component(2) for row in inst.relation("G")}
+        assert len(nodes) == 6
