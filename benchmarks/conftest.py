@@ -18,6 +18,24 @@ import time
 import pytest
 
 
+@pytest.fixture
+def obs_counters():
+    """Engine counters (fixpoint stages, domain cardinalities, dedup
+    hits...) captured for the duration of one benchmark.
+
+    Installs a live :class:`repro.obs.Tracer` and yields its ``counters``
+    dict; benchmarks read/print it so series report stages and domain
+    sizes alongside seconds.  Counters accumulate across repeated
+    benchmark rounds — divide by round count for per-run figures, or use
+    the fixture in a separate non-timed reporting test.
+    """
+    from repro.obs import Tracer, use_tracer
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        yield tracer.counters
+
+
 def measure_seconds(fn, *args, **kwargs) -> tuple[float, object]:
     """Wall-time one call (for intra-benchmark shape comparisons that
     pytest-benchmark's one-function-one-timer model doesn't cover)."""

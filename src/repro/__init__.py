@@ -27,6 +27,7 @@ Subpackages:
 * :mod:`repro.machines` — TMs, CODE relations, the Theorem 4.1 pipeline;
 * :mod:`repro.datalog` — inf-Datalog for complex objects;
 * :mod:`repro.algebra` — nested algebra (powerset recursion baseline);
+* :mod:`repro.obs` — tracing, counters, EXPLAIN-style profiling;
 * :mod:`repro.workloads` — generators and canonical paper queries.
 """
 
@@ -79,6 +80,13 @@ from .core import (
     query_level,
     verify_safety,
 )
+from .obs import (
+    Tracer,
+    render_tree,
+    summary_table,
+    trace_to_json,
+    use_tracer,
+)
 from .workloads import (
     bipartite_query,
     cyclic_nodes_query,
@@ -104,6 +112,9 @@ __all__ = [
     "compute_ranges", "evaluate", "evaluate_formula",
     "evaluate_range_restricted", "is_range_restricted", "parse_formula",
     "parse_query", "query_level", "verify_safety",
+    # observability
+    "Tracer", "render_tree", "summary_table", "trace_to_json",
+    "use_tracer",
     # canonical queries
     "bipartite_query", "cyclic_nodes_query", "nest_query",
     "nest_query_ifp", "transitive_closure_query",

@@ -22,6 +22,7 @@ from __future__ import annotations
 import itertools
 from typing import Iterable
 
+from ..obs import get_tracer
 from ..objects.instance import Instance
 from ..objects.values import CSet, CTuple, Value
 
@@ -142,9 +143,26 @@ class OrCond(Condition):
 # ---------------------------------------------------------------------------
 
 class Expr:
-    """Abstract algebra expression."""
+    """Abstract algebra expression.
+
+    ``evaluate`` reports each operator application to the active
+    :mod:`repro.obs` tracer (a span per node, with its output
+    cardinality); subclasses implement :meth:`_compute`.  Recursion
+    through child ``evaluate`` calls makes the trace mirror the
+    expression tree — an EXPLAIN plan with actual row counts.
+    """
 
     def evaluate(self, inst: Instance) -> Rows:
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return self._compute(inst)
+        with tracer.span(f"algebra.{type(self).__name__}") as span:
+            rows = self._compute(inst)
+            span.set(rows=len(rows))
+            tracer.count("algebra.operator_applications")
+        return rows
+
+    def _compute(self, inst: Instance) -> Rows:
         raise NotImplementedError
 
     def arity(self) -> int | None:
@@ -158,7 +176,7 @@ class BaseRel(Expr):
     def __init__(self, name: str):
         self.name = name
 
-    def evaluate(self, inst: Instance) -> Rows:
+    def _compute(self, inst: Instance) -> Rows:
         return frozenset(tuple(row.items)
                          for row in inst.relation(self.name).tuples)
 
@@ -167,7 +185,7 @@ class Select(Expr):
     def __init__(self, child: Expr, condition: Condition):
         self.child, self.condition = child, condition
 
-    def evaluate(self, inst: Instance) -> Rows:
+    def _compute(self, inst: Instance) -> Rows:
         return frozenset(row for row in self.child.evaluate(inst)
                          if self.condition.holds(row))
 
@@ -181,7 +199,7 @@ class Project(Expr):
         if not self.columns:
             raise AlgebraError("projection needs at least one column")
 
-    def evaluate(self, inst: Instance) -> Rows:
+    def _compute(self, inst: Instance) -> Rows:
         return frozenset(
             tuple(row[i - 1] for i in self.columns)
             for row in self.child.evaluate(inst)
@@ -192,7 +210,7 @@ class Product(Expr):
     def __init__(self, left: Expr, right: Expr):
         self.left, self.right = left, right
 
-    def evaluate(self, inst: Instance) -> Rows:
+    def _compute(self, inst: Instance) -> Rows:
         return frozenset(
             l + r for l in self.left.evaluate(inst)
             for r in self.right.evaluate(inst)
@@ -207,7 +225,7 @@ class Join(Expr):
         self.left, self.right = left, right
         self.on = tuple(on)
 
-    def evaluate(self, inst: Instance) -> Rows:
+    def _compute(self, inst: Instance) -> Rows:
         right_rows = list(self.right.evaluate(inst))
         index: dict[tuple, list[tuple]] = {}
         for row in right_rows:
@@ -225,7 +243,7 @@ class Union(Expr):
     def __init__(self, left: Expr, right: Expr):
         self.left, self.right = left, right
 
-    def evaluate(self, inst: Instance) -> Rows:
+    def _compute(self, inst: Instance) -> Rows:
         return self.left.evaluate(inst) | self.right.evaluate(inst)
 
 
@@ -233,7 +251,7 @@ class Difference(Expr):
     def __init__(self, left: Expr, right: Expr):
         self.left, self.right = left, right
 
-    def evaluate(self, inst: Instance) -> Rows:
+    def _compute(self, inst: Instance) -> Rows:
         return self.left.evaluate(inst) - self.right.evaluate(inst)
 
 
@@ -241,7 +259,7 @@ class Intersection(Expr):
     def __init__(self, left: Expr, right: Expr):
         self.left, self.right = left, right
 
-    def evaluate(self, inst: Instance) -> Rows:
+    def _compute(self, inst: Instance) -> Rows:
         return self.left.evaluate(inst) & self.right.evaluate(inst)
 
 
@@ -262,7 +280,7 @@ class Nest(Expr):
         if not self.nest_columns:
             raise AlgebraError("nest needs at least one nested column")
 
-    def evaluate(self, inst: Instance) -> Rows:
+    def _compute(self, inst: Instance) -> Rows:
         groups: dict[tuple, set[Value]] = {}
         for row in self.child.evaluate(inst):
             key = tuple(row[i - 1] for i in self.group_columns)
@@ -282,7 +300,7 @@ class Unnest(Expr):
     def __init__(self, child: Expr, column: int):
         self.child, self.column = child, column
 
-    def evaluate(self, inst: Instance) -> Rows:
+    def _compute(self, inst: Instance) -> Rows:
         result = set()
         for row in self.child.evaluate(inst):
             container = row[self.column - 1]
@@ -309,7 +327,7 @@ class Powerset(Expr):
         self.child = child
         self.max_subsets = max_subsets
 
-    def evaluate(self, inst: Instance) -> Rows:
+    def _compute(self, inst: Instance) -> Rows:
         rows = list(self.child.evaluate(inst))
         if 2 ** len(rows) > self.max_subsets:
             raise AlgebraError(

@@ -1,8 +1,11 @@
-"""Command-line interface: ``python -m repro <command> ...``.
+"""Command-line interface: ``python -m repro <command> ...`` (or the
+``repro`` console script).
 
 Commands:
 
 * ``query``    — evaluate a query (textual syntax) over a JSON instance;
+* ``profile``  — evaluate with tracing on; print the EXPLAIN-style trace
+  tree and a counter summary (or the trace as JSON);
 * ``analyze``  — type-check a query and run the range-restriction analysis;
 * ``encode``   — print the standard TM-tape encoding of an instance;
 * ``density``  — density/sparsity verdicts of an instance w.r.t. <i,k>;
@@ -12,13 +15,14 @@ The instance format is the tagged JSON of :mod:`repro.objects.io`.
 
 Examples::
 
-    python -m repro example > graph.json
-    python -m repro encode graph.json
-    python -m repro query graph.json \\
+    repro example > graph.json
+    repro encode graph.json
+    repro query graph.json \\
         "{[x:{U}, y:{U}] | ifp[S(x:{U}, y:{U})](G(x,y) or \\
           exists z:{U} (S(x,z) and G(z,y)))(x, y)}"
-    python -m repro analyze graph.json "{[x:{U}] | exists y:{U} (G(x,y))}"
-    python -m repro density graph.json --i 1 --k 2
+    repro profile graph.json "..." --mode active
+    repro analyze graph.json "{[x:{U}] | exists y:{U} (G(x,y))}"
+    repro density graph.json --i 1 --k 2
 """
 
 from __future__ import annotations
@@ -26,6 +30,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 
 from .analysis.density import is_dense_witness, is_sparse_witness, log2_dom_ik
 from .analysis.statistics import instance_stats
@@ -34,6 +39,14 @@ from .core.range_restriction import analyze_query
 from .core.safety import evaluate_range_restricted
 from .core.evaluation import evaluate
 from .core.typecheck import check_query
+from .obs import (
+    NULL_TRACER,
+    Tracer,
+    render_tree,
+    summary_table,
+    trace_to_json,
+    use_tracer,
+)
 from .objects.encoding import encode_instance
 from .objects.io import instance_from_json, instance_to_json
 from .objects.values import CSet, CTuple
@@ -50,23 +63,80 @@ def _format_row(row: CTuple) -> str:
     return str(row)
 
 
-def _cmd_query(args: argparse.Namespace) -> int:
+def _run_query(args: argparse.Namespace, tracer) -> tuple[frozenset, str]:
+    """Evaluate per ``--mode``; returns (answer, mode actually used).
+
+    In ``auto`` mode a range-restriction failure falls back to
+    active-domain semantics; the reason is reported as a trace event and
+    a stderr note rather than swallowed, so users learn why the fast
+    path was skipped.
+    """
     inst = _load_instance(args.instance)
     query = parse_query(args.query)
     if args.mode == "active":
-        answer = evaluate(query, inst, max_domain_size=args.max_domain)
-    else:
-        try:
-            answer = evaluate_range_restricted(query, inst).answer
-        except Exception as error:  # noqa: BLE001 - surfaced to the user
-            if args.mode == "rr":
-                print(f"range-restricted evaluation failed: {error}",
-                      file=sys.stderr)
-                return 2
-            answer = evaluate(query, inst, max_domain_size=args.max_domain)
+        return evaluate(query, inst, max_domain_size=args.max_domain), "active"
+    try:
+        return evaluate_range_restricted(query, inst).answer, "rr"
+    except Exception as error:  # noqa: BLE001 - surfaced to the user
+        if args.mode == "rr":
+            raise
+        tracer.event("fallback", to="active", reason=str(error))
+        print(f"note: range-restricted evaluation unavailable "
+              f"({error}); falling back to active-domain semantics",
+              file=sys.stderr)
+        return (evaluate(query, inst, max_domain_size=args.max_domain),
+                "active")
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    tracing = args.trace or args.stats or args.trace_json
+    tracer = Tracer() if tracing else NULL_TRACER
+    try:
+        with use_tracer(tracer):
+            answer, _ = _run_query(args, tracer)
+    except Exception as error:  # noqa: BLE001 - surfaced to the user
+        if args.mode != "rr":
+            raise
+        print(f"range-restricted evaluation failed: {error}",
+              file=sys.stderr)
+        return 2
     for row in sorted(answer, key=str):
         print(_format_row(row))
     print(f"-- {len(answer)} tuple(s)", file=sys.stderr)
+    if args.trace:
+        print(render_tree(tracer), file=sys.stderr)
+    if args.stats:
+        print(summary_table(tracer), file=sys.stderr)
+    if args.trace_json:
+        with open(args.trace_json, "w", encoding="utf-8") as handle:
+            json.dump(trace_to_json(tracer), handle, indent=2)
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    tracer = Tracer()
+    start = time.perf_counter()
+    with use_tracer(tracer):
+        answer, mode_used = _run_query(args, tracer)
+    elapsed = time.perf_counter() - start
+    if args.json:
+        document = trace_to_json(tracer)
+        document["mode"] = mode_used
+        document["answer_rows"] = len(answer)
+        document["seconds"] = elapsed
+        json.dump(document, sys.stdout, indent=2)
+        print()
+        return 0
+    times = not args.no_times
+    print(f"mode: {mode_used}")
+    print("== trace ==")
+    print(render_tree(tracer, times=times))
+    print("== counters ==")
+    print(summary_table(tracer))
+    if times:
+        print(f"-- {len(answer)} tuple(s) in {elapsed * 1000:.1f} ms")
+    else:
+        print(f"-- {len(answer)} tuple(s)")
     return 0
 
 
@@ -140,7 +210,29 @@ def build_parser() -> argparse.ArgumentParser:
              "auto: rr with active fallback (default)")
     query_cmd.add_argument("--max-domain", type=int, default=1_000_000,
                            help="cap on materialised domains (active mode)")
+    query_cmd.add_argument("--trace", action="store_true",
+                           help="print the trace tree to stderr")
+    query_cmd.add_argument("--stats", action="store_true",
+                           help="print engine counters to stderr")
+    query_cmd.add_argument("--trace-json", metavar="FILE",
+                           help="export the trace as JSON to FILE")
     query_cmd.set_defaults(func=_cmd_query)
+
+    profile_cmd = commands.add_parser(
+        "profile",
+        help="evaluate with tracing; print the EXPLAIN tree + counters")
+    profile_cmd.add_argument("instance", help="instance JSON file")
+    profile_cmd.add_argument("query", help="query in the textual syntax")
+    profile_cmd.add_argument(
+        "--mode", choices=("auto", "rr", "active"), default="auto",
+        help="evaluation mode (as for the query command)")
+    profile_cmd.add_argument("--max-domain", type=int, default=1_000_000,
+                             help="cap on materialised domains (active mode)")
+    profile_cmd.add_argument("--json", action="store_true",
+                             help="emit the trace document as JSON on stdout")
+    profile_cmd.add_argument("--no-times", action="store_true",
+                             help="omit wall times (deterministic output)")
+    profile_cmd.set_defaults(func=_cmd_profile)
 
     analyze_cmd = commands.add_parser(
         "analyze", help="type level + range-restriction analysis")

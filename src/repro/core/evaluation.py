@@ -23,6 +23,7 @@ from __future__ import annotations
 import itertools
 from typing import Collection, Iterable, Iterator, Mapping
 
+from ..obs import NullTracer, Tracer, get_tracer
 from ..objects.domains import DomainTooLarge, domain_cardinality, materialize_domain
 from ..objects.instance import Instance
 from ..objects.schema import DatabaseSchema
@@ -86,9 +87,11 @@ def active_atoms(inst: Instance, query_constants: Iterable[Value] = ()) -> tuple
 class _DomainCache:
     """Materialised ``dom(T, D)`` per type, guarded by a size cap."""
 
-    def __init__(self, atoms: tuple[Atom, ...], max_domain: int):
+    def __init__(self, atoms: tuple[Atom, ...], max_domain: int,
+                 tracer: Tracer | NullTracer | None = None):
         self.atoms = atoms
         self.max_domain = max_domain
+        self.tracer = tracer if tracer is not None else get_tracer()
         self._cache: dict[Type, list[Value]] = {}
 
     def domain(self, typ: Type) -> list[Value]:
@@ -101,6 +104,11 @@ class _DomainCache:
                     "range-restricted evaluation or raise max_domain_size"
                 )
             self._cache[typ] = materialize_domain(typ, self.atoms, None)
+            if self.tracer.enabled:
+                self.tracer.event("domain", type=repr(typ),
+                                  cardinality=len(self._cache[typ]))
+                self.tracer.count("domains.materialized")
+                self.tracer.gauge(f"domain[{typ!r}]", len(self._cache[typ]))
         return self._cache[typ]
 
 
@@ -115,9 +123,11 @@ class _Context:
         max_product: int,
         variable_ranges: Mapping[str, Collection[Value]] | None,
         fixpoint_ranges: Mapping[str, Mapping[str, Collection[Value]]] | None,
+        tracer: Tracer | NullTracer | None = None,
     ):
         self.instance = instance
-        self.domains = _DomainCache(atoms, max_domain)
+        self.tracer = tracer if tracer is not None else get_tracer()
+        self.domains = _DomainCache(atoms, max_domain, self.tracer)
         self.max_product = max_product
         self.variable_ranges = dict(variable_ranges or {})
         self.fixpoint_ranges = {
@@ -130,6 +140,9 @@ class _Context:
         #: Statistics (exposed for benchmarks).
         self.stats = {"atom_checks": 0, "quantifier_iterations": 0,
                       "fixpoint_stages": 0}
+        #: Enumeration shapes already reported to the tracer (dedup so a
+        #: quantifier inside a hot loop traces once, not per outer env).
+        self.traced_enumerations: set[tuple] = set()
 
     def candidates(self, var_name: str, typ: Type) -> Collection[Value]:
         """Values a variable ranges over: its range if given, else dom(T, D)."""
@@ -157,12 +170,16 @@ class Evaluator:
         max_product: int = DEFAULT_MAX_PRODUCT,
         max_fixpoint_stages: int | None = 100_000,
         variable_ranges: Mapping[str, Collection[Value]] | None = None,
+        tracer: Tracer | NullTracer | None = None,
     ):
         self.schema = schema
         self.max_domain_size = max_domain_size
         self.max_product = max_product
         self.max_fixpoint_stages = max_fixpoint_stages
         self.variable_ranges = variable_ranges
+        #: Explicit tracer; None resolves the active one per evaluation,
+        #: so ``with use_tracer(...)`` works without rebuilding Evaluators.
+        self.tracer = tracer
         self.last_stats: dict[str, int] | None = None
 
     # -- public API ------------------------------------------------------
@@ -173,10 +190,13 @@ class Evaluator:
         ctx = self._context(query.body, inst)
         head_vars = [Var(n, t) for n, t in query.head]
         results: set[CTuple] = set()
-        for env in self._bindings(head_vars, ctx, {}):
-            if self._satisfy(query.body, env, ctx):
-                results.add(CTuple(env[v.name] for v in head_vars))
-        self.last_stats = ctx.stats
+        with ctx.tracer.span("query",
+                             head=[name for name, _ in query.head]) as span:
+            for env in self._bindings(head_vars, ctx, {}):
+                if self._satisfy(query.body, env, ctx):
+                    results.add(CTuple(env[v.name] for v in head_vars))
+            span.set(rows=len(results))
+        self._finish(ctx)
         return frozenset(results)
 
     def evaluate_formula(
@@ -193,7 +213,7 @@ class Evaluator:
                       dict(free_variable_types or {}) or None)
         ctx = self._context(formula, inst)
         result = self._satisfy(formula, dict(env or {}), ctx)
-        self.last_stats = ctx.stats
+        self._finish(ctx)
         return result
 
     def evaluate_fixpoint(
@@ -213,7 +233,7 @@ class Evaluator:
                       self.schema, param_types or None)
         ctx = self._context(fixpoint.body, inst)
         result = self._fixpoint_rows(fixpoint, dict(env or {}), ctx)
-        self.last_stats = ctx.stats
+        self._finish(ctx)
         return result
 
     # -- machinery ---------------------------------------------------------
@@ -221,10 +241,19 @@ class Evaluator:
     def _context(self, formula: Formula, inst: Instance) -> _Context:
         atoms = active_atoms(inst, constants_of(formula))
         fixpoint_ranges: dict[str, dict[str, Collection[Value]]] = {}
+        tracer = self.tracer if self.tracer is not None else get_tracer()
         return _Context(
             inst, atoms, self.max_domain_size, self.max_product,
-            self.variable_ranges, fixpoint_ranges,
+            self.variable_ranges, fixpoint_ranges, tracer,
         )
+
+    def _finish(self, ctx: _Context) -> None:
+        """Publish per-evaluation stats (kept on ``last_stats`` for
+        backwards compatibility, mirrored into the tracer's counters)."""
+        self.last_stats = ctx.stats
+        if ctx.tracer.enabled:
+            for name, value in ctx.stats.items():
+                ctx.tracer.count(f"eval.{name}", value)
 
     def _bindings(
         self,
@@ -245,6 +274,17 @@ class Evaluator:
                     f"enumeration of {total}+ bindings exceeds cap "
                     f"{ctx.max_product}"
                 )
+        if ctx.tracer.enabled and variables:
+            shape = tuple((v.name, len(d)) for v, d in zip(variables, domains))
+            if shape not in ctx.traced_enumerations:
+                ctx.traced_enumerations.add(shape)
+                ctx.tracer.event(
+                    "enumerate",
+                    vars=[v.name for v in variables],
+                    sizes=[len(d) for d in domains],
+                    product=total,
+                )
+            ctx.tracer.count("eval.enumerations")
         for combo in itertools.product(*domains):
             env = dict(base_env)
             for var, value in zip(variables, combo):
@@ -334,6 +374,7 @@ class Evaluator:
         ))
         key = (fixpoint, param_values, outer_rels)
         if key in ctx.fixpoint_cache:
+            ctx.tracer.count("eval.fixpoint_cache_hits")
             return ctx.fixpoint_cache[key]
 
         column_vars = [Var(n, t) for n, t in fixpoint.columns]
@@ -354,10 +395,16 @@ class Evaluator:
                 else:
                     ctx.rel_env[fixpoint.name] = previous
 
-        if fixpoint.kind == IFP:
-            result = iterate_ifp(stage, self.max_fixpoint_stages)
-        else:
-            result = iterate_pfp(stage, self.max_fixpoint_stages)
+        kind = "ifp" if fixpoint.kind == IFP else "pfp"
+        with ctx.tracer.span("fixpoint", name=fixpoint.name,
+                             kind=kind) as span:
+            if fixpoint.kind == IFP:
+                result = iterate_ifp(stage, self.max_fixpoint_stages,
+                                     ctx.tracer)
+            else:
+                result = iterate_pfp(stage, self.max_fixpoint_stages,
+                                     ctx.tracer)
+            span.set(rows=len(result))
         ctx.fixpoint_cache[key] = result
         return result
 

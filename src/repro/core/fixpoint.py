@@ -13,11 +13,21 @@ The two operators differ only in how the stage formula is iterated:
 These engines are generic over the stage function (a callable from a
 frozenset of rows to a frozenset of rows); the calculus evaluator, the
 Datalog engine and the TM simulation all drive them.
+
+Both engines report per-stage progress to the active
+:mod:`repro.obs` tracer: IFP stages carry the stage number, the current
+size and the delta vs the previous stage; PFP stages additionally carry
+the size of the state history kept for cycle detection.  ``max_stages``
+bounds the number of *stage-function applications*: with
+``max_stages=n`` at most ``n`` applications run before
+:class:`FixpointError` is raised.
 """
 
 from __future__ import annotations
 
-from typing import Callable, FrozenSet, Iterator, Tuple, TypeVar
+from typing import Callable, FrozenSet, Iterator, Tuple
+
+from ..obs import NullTracer, Tracer, get_tracer
 
 Row = Tuple  # a tuple of values
 Rows = FrozenSet[Row]
@@ -47,22 +57,31 @@ class PFPDivergenceError(FixpointError):
 def iterate_ifp(
     stage: StageFn,
     max_stages: int | None = None,
+    tracer: Tracer | NullTracer | None = None,
 ) -> Rows:
     """Run an inflationary fixpoint to convergence.
 
     ``stage(J)`` computes ``phi(J)``; the engine adds the union with J.
     ``max_stages`` guards against runaway stage functions (the theory
-    guarantees convergence, but a buggy stage function might not shrink).
+    guarantees convergence, but a buggy stage function might not shrink):
+    at most ``max_stages`` stage applications run before
+    :class:`FixpointError`.
     """
+    if tracer is None:
+        tracer = get_tracer()
     current: Rows = frozenset()
     count = 0
     while True:
         new = frozenset(stage(current)) | current
         count += 1
+        if tracer.enabled:
+            tracer.event("ifp.stage", stage=count, size=len(new),
+                         delta=len(new) - len(current))
+            tracer.count("ifp.stages")
         if new == current:
             return current
         current = new
-        if max_stages is not None and count > max_stages:
+        if max_stages is not None and count >= max_stages:
             raise FixpointError(
                 f"IFP did not converge within {max_stages} stages"
             )
@@ -71,6 +90,7 @@ def iterate_ifp(
 def iterate_pfp(
     stage: StageFn,
     max_stages: int | None = None,
+    tracer: Tracer | NullTracer | None = None,
 ) -> Rows:
     """Run a partial fixpoint; raise :class:`PFPDivergenceError` on cycles.
 
@@ -78,19 +98,25 @@ def iterate_pfp(
     we record every state seen and report the period when a repeat that
     is not a fixed point occurs.
     """
+    if tracer is None:
+        tracer = get_tracer()
     current: Rows = frozenset()
     seen: dict[Rows, int] = {current: 0}
     count = 0
     while True:
         new = frozenset(stage(current))
         count += 1
+        if tracer.enabled:
+            tracer.event("pfp.stage", stage=count, size=len(new),
+                         history=len(seen))
+            tracer.count("pfp.stages")
         if new == current:
             return current
         if new in seen:
             raise PFPDivergenceError(period=count - seen[new], stage=count)
         seen[new] = count
         current = new
-        if max_stages is not None and count > max_stages:
+        if max_stages is not None and count >= max_stages:
             raise FixpointError(
                 f"PFP did not converge within {max_stages} stages"
             )
@@ -109,9 +135,10 @@ def ifp_stages(stage: StageFn) -> Iterator[Rows]:
         yield current
 
 
-def pfp_stages(stage: StageFn, max_stages: int = 10_000) -> Iterator[Rows]:
+def pfp_stages(stage: StageFn, max_stages: int | None = None) -> Iterator[Rows]:
     """Yield successive PFP stages; stops at the fixed point or raises on
-    a cycle (after yielding the states on the way)."""
+    a cycle (after yielding the states on the way).  ``max_stages``
+    bounds stage applications exactly like :func:`iterate_pfp`."""
     current: Rows = frozenset()
     seen: dict[Rows, int] = {current: 0}
     yield current
@@ -126,5 +153,5 @@ def pfp_stages(stage: StageFn, max_stages: int = 10_000) -> Iterator[Rows]:
         seen[new] = count
         current = new
         yield current
-        if count > max_stages:
+        if max_stages is not None and count >= max_stages:
             raise FixpointError(f"PFP exceeded {max_stages} stages")

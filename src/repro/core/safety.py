@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping
 
+from ..obs import get_tracer
 from ..objects.instance import Instance
 from ..objects.schema import DatabaseSchema
 from ..objects.values import CTuple, Value
@@ -73,9 +74,19 @@ def evaluate_range_restricted(
     Definition 5.2/5.3 analysis.
     """
     schema = schema or inst.schema
-    ranges = compute_ranges(query, inst, schema, exempt_types=exempt_types)
-    evaluator = Evaluator(schema, variable_ranges=ranges, **evaluator_options)
-    answer = evaluator.evaluate(query, inst)
+    tracer = get_tracer()
+    with tracer.span("range_restricted") as span:
+        ranges = compute_ranges(query, inst, schema,
+                                exempt_types=exempt_types)
+        if tracer.enabled:
+            for name in sorted(ranges):
+                tracer.event("range", var=name, size=len(ranges[name]))
+                tracer.gauge(f"range[{name}]", len(ranges[name]))
+            tracer.count("rr.evaluations")
+        evaluator = Evaluator(schema, variable_ranges=ranges,
+                              **evaluator_options)
+        answer = evaluator.evaluate(query, inst)
+        span.set(rows=len(answer))
     return SafeEvaluationReport(answer=answer, ranges=ranges)
 
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Iterator, Mapping
 
 from ..core.fixpoint import iterate_ifp, iterate_pfp
+from ..obs import get_tracer
 from ..objects.instance import Instance
 from ..objects.values import CSet, CTuple, Value
 from .syntax import (
@@ -192,8 +193,14 @@ def _rule_bindings(rule: Rule, db: _Database) -> Iterator[Env]:
 
 def _fire_rules(program: Program, inst: Instance,
                 idb: Mapping[str, frozenset[Row]]) -> dict[str, frozenset[Row]]:
-    """One simultaneous application of all rules against the given IDB."""
+    """One simultaneous application of all rules against the given IDB.
+
+    When tracing, counts rows derived and *dedup hits* — derivations of
+    a row already produced this stage or already present in the previous
+    IDB (the re-derivations semi-naive evaluation would skip).
+    """
     db = _Database(inst, idb, program)
+    tracer = get_tracer()
     derived: dict[str, set[Row]] = {name: set() for name in program.idb_types}
     for rule in program.rules:
         for env in _rule_bindings(rule, db):
@@ -205,7 +212,14 @@ def _fire_rules(program: Program, inst: Instance,
                         f"head variable unbound by body in {rule!r}"
                     )
                 row.append(value)
-            derived[rule.head.predicate].add(tuple(row))
+            head_row = tuple(row)
+            predicate = rule.head.predicate
+            if tracer.enabled:
+                tracer.count("datalog.rows_derived")
+                if (head_row in derived[predicate]
+                        or head_row in idb.get(predicate, frozenset())):
+                    tracer.count("datalog.dedup_hits")
+            derived[predicate].add(head_row)
     return {name: frozenset(rows) for name, rows in derived.items()}
 
 
@@ -234,7 +248,11 @@ def evaluate_inflationary(
         idb = _unpack(packed, program)
         return _pack(_fire_rules(program, inst, idb))
 
-    final = iterate_ifp(stage, max_stages)
+    tracer = get_tracer()
+    with tracer.span("datalog.inflationary",
+                     idb=sorted(program.idb_types)) as span:
+        final = iterate_ifp(stage, max_stages, tracer)
+        span.set(rows=len(final))
     return _unpack(final, program)
 
 
@@ -251,7 +269,11 @@ def evaluate_partial(
         idb = _unpack(packed, program)
         return _pack(_fire_rules(program, inst, idb))
 
-    final = iterate_pfp(stage, max_stages)
+    tracer = get_tracer()
+    with tracer.span("datalog.partial",
+                     idb=sorted(program.idb_types)) as span:
+        final = iterate_pfp(stage, max_stages, tracer)
+        span.set(rows=len(final))
     return _unpack(final, program)
 
 

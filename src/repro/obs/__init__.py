@@ -1,0 +1,47 @@
+"""repro.obs — zero-dependency tracing, counters, and EXPLAIN profiling.
+
+The observability layer for the evaluation stack: every engine
+(calculus evaluator, IFP/PFP iteration, range-restricted safety
+evaluation, Datalog, nested algebra) reports the paper's cost drivers —
+materialised domain cardinalities, quantifier product sizes, fixpoint
+stage counts and per-stage deltas, derived range sizes, dedup hits —
+through the active tracer.  The default tracer is a no-op; install a
+live one with::
+
+    from repro.obs import Tracer, use_tracer, render_tree, summary_table
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        answer = evaluate(query, inst)
+    print(render_tree(tracer))
+    print(summary_table(tracer))
+
+or use ``repro profile`` / ``repro query --trace`` from the CLI.
+"""
+
+from .render import render_tree, summary_table, trace_from_json, trace_to_json
+from .trace import (
+    NULL_TRACER,
+    Event,
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "Event",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "render_tree",
+    "summary_table",
+    "trace_to_json",
+    "trace_from_json",
+]

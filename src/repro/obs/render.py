@@ -1,0 +1,123 @@
+"""EXPLAIN-style rendering and JSON export of traces.
+
+Turns a :class:`repro.obs.trace.Tracer` into
+
+* an indented tree (:func:`render_tree`) — subformula → range → rows
+  produced, one line per span/event, optionally with wall times;
+* an aligned counter table (:func:`summary_table`);
+* a JSON document (:func:`trace_to_json`) that round-trips through
+  :func:`trace_from_json` (machine consumption: benchmark harnesses,
+  external plotting).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .trace import Event, Span, Tracer
+
+__all__ = [
+    "render_tree",
+    "summary_table",
+    "trace_to_json",
+    "trace_from_json",
+]
+
+
+def _format_attrs(attrs: dict[str, Any]) -> str:
+    return " ".join(f"{key}={value}" for key, value in attrs.items())
+
+
+def _render_span(span: Span, depth: int, lines: list[str], times: bool) -> None:
+    indent = "  " * depth
+    parts = [f"{indent}{span.name}"]
+    attrs = _format_attrs(span.attrs)
+    if attrs:
+        parts.append(f" {attrs}")
+    if times and span.end is not None:
+        parts.append(f"  [{span.duration * 1000:.2f} ms]")
+    lines.append("".join(parts))
+    # Children and events interleave chronologically; merge on timestamps.
+    items: list[tuple[float, int, Span | Event]] = []
+    for order, child in enumerate(span.children):
+        items.append((child.start, order, child))
+    for order, event in enumerate(span.events):
+        items.append((event.time, len(span.children) + order, event))
+    for _, _, item in sorted(items, key=lambda entry: (entry[0], entry[1])):
+        if isinstance(item, Span):
+            _render_span(item, depth + 1, lines, times)
+        else:
+            event_attrs = _format_attrs(item.attrs)
+            suffix = f" {event_attrs}" if event_attrs else ""
+            lines.append(f"{'  ' * (depth + 1)}• {item.name}{suffix}")
+
+
+def render_tree(tracer: Tracer, times: bool = True) -> str:
+    """The trace as an indented tree, one line per span (prefixed by
+    depth) and per event (bulleted).  ``times=False`` yields
+    deterministic output for golden tests and diffs."""
+    tracer.close()
+    lines: list[str] = []
+    _render_span(tracer.root, 0, lines, times)
+    if tracer.dropped_events:
+        lines.append(f"({tracer.dropped_events} event(s) dropped beyond "
+                     f"cap {tracer.max_events})")
+    return "\n".join(lines)
+
+
+def summary_table(tracer: Tracer) -> str:
+    """Counters and gauges as an aligned two-column table."""
+    if not tracer.counters:
+        return "(no counters recorded)"
+    names = sorted(tracer.counters)
+    width = max(len(name) for name in names)
+    lines = [f"{name.ljust(width)}  {tracer.counters[name]}"
+             for name in names]
+    return "\n".join(lines)
+
+
+def _span_to_dict(span: Span) -> dict[str, Any]:
+    return {
+        "name": span.name,
+        "attrs": dict(span.attrs),
+        "start": span.start,
+        "end": span.end,
+        "events": [
+            {"name": e.name, "attrs": dict(e.attrs), "time": e.time}
+            for e in span.events
+        ],
+        "children": [_span_to_dict(child) for child in span.children],
+    }
+
+
+def _span_from_dict(doc: dict[str, Any]) -> Span:
+    span = Span(doc["name"], dict(doc["attrs"]), doc["start"])
+    span.end = doc["end"]
+    span.events = [
+        Event(e["name"], dict(e["attrs"]), e["time"]) for e in doc["events"]
+    ]
+    span.children = [_span_from_dict(child) for child in doc["children"]]
+    return span
+
+
+def trace_to_json(tracer: Tracer) -> dict[str, Any]:
+    """A JSON-safe document: counters, drop accounting, and the span
+    tree.  Attribute values must themselves be JSON-safe (the
+    instrumentation only records strings, numbers, and lists thereof)."""
+    tracer.close()
+    return {
+        "counters": dict(tracer.counters),
+        "dropped_events": tracer.dropped_events,
+        "trace": _span_to_dict(tracer.root),
+    }
+
+
+def trace_from_json(doc: dict[str, Any]) -> Tracer:
+    """Rebuild a :class:`Tracer` from :func:`trace_to_json` output, such
+    that re-exporting yields an equal document."""
+    tracer = Tracer()
+    tracer.counters = dict(doc["counters"])
+    tracer.dropped_events = doc["dropped_events"]
+    tracer.root = _span_from_dict(doc["trace"])
+    tracer._stack = [tracer.root]
+    return tracer

@@ -175,3 +175,55 @@ class TestFixpointSemantics:
                     square(x, y) | exists(z, rel("R2")(x, z) & square(z, y)))
         answers = evaluate(query([x, y], reach(x, y)), inst)
         assert answers == frozenset({ctuple(a, c)})
+
+
+class TestMaxStagesBound:
+    """``max_stages=n`` permits at most n stage-function applications
+    (regression: the old ``count > max_stages`` check allowed n+1)."""
+
+    @staticmethod
+    def _growing_stage(calls):
+        def stage(current):
+            calls.append(len(current))
+            return frozenset({(len(current),)}) | current
+
+        return stage
+
+    def test_ifp_applies_stage_exactly_max_times(self):
+        calls = []
+        with pytest.raises(FixpointError):
+            iterate_ifp(self._growing_stage(calls), max_stages=3)
+        assert len(calls) == 3
+
+    def test_pfp_applies_stage_exactly_max_times(self):
+        calls = []
+        with pytest.raises(FixpointError):
+            iterate_pfp(self._growing_stage(calls), max_stages=3)
+        assert len(calls) == 3
+
+    def test_ifp_converging_at_the_bound_succeeds(self):
+        # Converges on the 3rd application (the stage that returns no
+        # new rows); max_stages=3 must accept it.
+        def stage(current):
+            if len(current) >= 2:
+                return current
+            return current | frozenset({(len(current),)})
+
+        result = iterate_ifp(stage, max_stages=3)
+        assert len(result) == 2
+
+    def test_pfp_stages_takes_optional_bound(self):
+        calls = []
+        generator = pfp_stages(self._growing_stage(calls), max_stages=3)
+        with pytest.raises(FixpointError):
+            list(generator)
+        assert len(calls) == 3
+
+    def test_pfp_stages_unbounded_by_default(self):
+        def stage(current):
+            if len(current) >= 50:
+                return current
+            return current | frozenset({(len(current),)})
+
+        stages = list(pfp_stages(stage))
+        assert len(stages) == 51  # J_0 .. J_50
