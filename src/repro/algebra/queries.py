@@ -18,7 +18,7 @@ from __future__ import annotations
 import itertools
 
 from ..objects.instance import Instance
-from ..objects.values import CSet, CTuple, Value
+from ..objects.values import Value
 from .operators import AlgebraError
 
 __all__ = ["tc_via_loop", "tc_via_powerset", "is_transitive"]

@@ -32,11 +32,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable
 
 from ..objects.domains import (
     DEFAULT_MAX_BITS,
-    DomainTooLarge,
     all_ik_types,
     dom_ik_cardinality,
     domain_cardinality,

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import math
 import re
-from typing import Callable, Iterable, Mapping
+from typing import Iterable, Mapping
 
 from ..objects.instance import Instance
 from ..objects.types import SetType, TupleType, Type, U

@@ -25,7 +25,6 @@ the executable content of Proposition 5.2.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 
 from ..objects.instance import Instance

@@ -7,11 +7,23 @@ Commands:
 * ``profile``  — evaluate with tracing on; print the EXPLAIN-style trace
   tree and a counter summary (or the trace as JSON);
 * ``analyze``  — type-check a query and run the range-restriction analysis;
+* ``lint``     — the :mod:`repro.lint` static analyzer (structured
+  diagnostics, ``--json``, ``--explain CODE``, ``--fail-on``);
 * ``encode``   — print the standard TM-tape encoding of an instance;
 * ``density``  — density/sparsity verdicts of an instance w.r.t. <i,k>;
 * ``example``  — emit a sample instance document to get started.
 
 The instance format is the tagged JSON of :mod:`repro.objects.io`.
+
+Exit codes (uniform across commands, CI-friendly):
+
+* ``0`` — clean: the command ran and found nothing wrong;
+* ``1`` — findings: lint diagnostics at/above the ``--fail-on``
+  threshold, a not-range-restricted query under ``analyze`` or
+  ``query --mode rr``;
+* ``2`` — usage or load error: bad arguments, unreadable/malformed
+  instance files, queries that do not parse or type check (where the
+  command is not itself reporting that as a finding).
 
 Examples::
 
@@ -22,6 +34,8 @@ Examples::
           exists z:{U} (S(x,z) and G(z,y)))(x, y)}"
     repro profile graph.json "..." --mode active
     repro analyze graph.json "{[x:{U}] | exists y:{U} (G(x,y))}"
+    repro lint graph.json "{[x:{U}] | not G(x, x)}" --json
+    repro lint --explain RR004
     repro density graph.json --i 1 --k 2
 """
 
@@ -29,16 +43,18 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 
 from .analysis.density import is_dense_witness, is_sparse_witness, log2_dom_ik
 from .analysis.statistics import instance_stats
-from .core.parser import parse_query
-from .core.range_restriction import analyze_query
+from .core.parser import ParseError, parse_query
+from .core.range_restriction import RangeComputationError, analyze_query
 from .core.safety import evaluate_range_restricted
 from .core.evaluation import evaluate
-from .core.typecheck import check_query
+from .core.typecheck import TypeCheckError, check_query
+from .lint import Severity, explain, lint_query, lint_source
 from .obs import (
     NULL_TRACER,
     Tracer,
@@ -49,9 +65,16 @@ from .obs import (
 )
 from .objects.encoding import encode_instance
 from .objects.io import instance_from_json, instance_to_json
-from .objects.values import CSet, CTuple
+from .objects.schema import SchemaError
+from .objects.types import parse_type
+from .objects.values import CTuple
 
-__all__ = ["main"]
+__all__ = ["EXIT_ERROR", "EXIT_FINDINGS", "EXIT_OK", "main"]
+
+#: Exit-code convention (see the module docstring).
+EXIT_OK = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
 
 
 def _load_instance(path: str):
@@ -77,7 +100,9 @@ def _run_query(args: argparse.Namespace, tracer) -> tuple[frozenset, str]:
         return evaluate(query, inst, max_domain_size=args.max_domain), "active"
     try:
         return evaluate_range_restricted(query, inst).answer, "rr"
-    except Exception as error:  # noqa: BLE001 - surfaced to the user
+    except RangeComputationError as error:
+        # Only the RR-analysis rejection triggers the fallback; genuine
+        # engine failures propagate instead of masquerading as "not RR".
         if args.mode == "rr":
             raise
         tracer.event("fallback", to="active", reason=str(error))
@@ -94,12 +119,12 @@ def _cmd_query(args: argparse.Namespace) -> int:
     try:
         with use_tracer(tracer):
             answer, _ = _run_query(args, tracer)
-    except Exception as error:  # noqa: BLE001 - surfaced to the user
-        if args.mode != "rr":
-            raise
+    except RangeComputationError as error:
+        # args.mode == "rr" (other modes fall back inside _run_query):
+        # a not-RR query is a finding, not a usage error.
         print(f"range-restricted evaluation failed: {error}",
               file=sys.stderr)
-        return 2
+        return EXIT_FINDINGS
     for row in sorted(answer, key=str):
         print(_format_row(row))
     print(f"-- {len(answer)} tuple(s)", file=sys.stderr)
@@ -110,7 +135,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
     if args.trace_json:
         with open(args.trace_json, "w", encoding="utf-8") as handle:
             json.dump(trace_to_json(tracer), handle, indent=2)
-    return 0
+    return EXIT_OK
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -126,7 +151,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         document["seconds"] = elapsed
         json.dump(document, sys.stdout, indent=2)
         print()
-        return 0
+        return EXIT_OK
     times = not args.no_times
     print(f"mode: {mode_used}")
     print("== trace ==")
@@ -137,7 +162,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         print(f"-- {len(answer)} tuple(s) in {elapsed * 1000:.1f} ms")
     else:
         print(f"-- {len(answer)} tuple(s)")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -155,13 +180,64 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             print(f"  tau*({name}) = {sorted(columns)}")
     for violation in result.violations:
         print(f"  violation: {violation}")
-    return 0 if result.is_range_restricted else 1
+    print("diagnostics:")
+    lint_report = lint_query(query, inst.schema)
+    for diagnostic in lint_report:
+        print("  " + diagnostic.render().replace("\n", "\n  "))
+    return EXIT_OK if result.is_range_restricted else EXIT_FINDINGS
+
+
+def _parse_severity(text: str) -> Severity:
+    return Severity[text.upper()]
+
+
+def _read_query_arg(argument: str) -> tuple[str, str]:
+    """A lint query argument is a literal query or a path to one."""
+    if os.path.exists(argument):
+        with open(argument, encoding="utf-8") as handle:
+            return argument, handle.read().strip()
+    return "<arg>", argument
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    if args.explain is not None:
+        try:
+            print(explain(args.explain))
+        except KeyError:
+            print(f"unknown diagnostic code {args.explain!r}",
+                  file=sys.stderr)
+            return EXIT_ERROR
+        return EXIT_OK
+    if args.instance is None or not args.queries:
+        print("error: lint needs an instance file and at least one query "
+              "(or --explain CODE)", file=sys.stderr)
+        return EXIT_ERROR
+    inst = _load_instance(args.instance)
+    exempt = frozenset(parse_type(text) for text in args.exempt or ())
+    fail_on = _parse_severity(args.fail_on)
+    documents = []
+    failed = False
+    for argument in args.queries:
+        source, text = _read_query_arg(argument)
+        report = lint_source(text, inst.schema, exempt_types=exempt)
+        failed = failed or report.fails(fail_on)
+        if args.json:
+            documents.append(
+                {"source": source, "query": text,
+                 "diagnostics": report.to_dicts()})
+        else:
+            print(f"== {source}: {text}")
+            print(report.render())
+    if args.json:
+        json.dump(documents, sys.stdout, indent=2)
+        print()
+    return EXIT_FINDINGS if failed else EXIT_OK
 
 
 def _cmd_encode(args: argparse.Namespace) -> int:
     inst = _load_instance(args.instance)
     print(encode_instance(inst))
-    return 0
+    return EXIT_OK
 
 
 def _cmd_density(args: argparse.Namespace) -> int:
@@ -179,7 +255,7 @@ def _cmd_density(args: argparse.Namespace) -> int:
     print(f"dense  (|dom| <= {args.coefficient}*|I|^{args.degree}): {dense}")
     print(f"sparse (|I| <= {args.coefficient}*log^{args.degree}|dom|): "
           f"{sparse}")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_example(args: argparse.Namespace) -> int:
@@ -190,7 +266,7 @@ def _cmd_example(args: argparse.Namespace) -> int:
     sample = instance(schema, G=[(a, b), (b, c)])
     json.dump(instance_to_json(sample), sys.stdout, indent=2)
     print()
-    return 0
+    return EXIT_OK
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -240,6 +316,27 @@ def build_parser() -> argparse.ArgumentParser:
     analyze_cmd.add_argument("query", help="query in the textual syntax")
     analyze_cmd.set_defaults(func=_cmd_analyze)
 
+    lint_cmd = commands.add_parser(
+        "lint",
+        help="static analysis: types, CALC_i^k level + cost, "
+             "range-restriction proof, complexity verdict")
+    lint_cmd.add_argument("instance", nargs="?",
+                          help="instance JSON file (schema source)")
+    lint_cmd.add_argument("queries", nargs="*", metavar="query",
+                          help="query text, or a file containing one query")
+    lint_cmd.add_argument("--json", action="store_true",
+                          help="emit diagnostics as a JSON document")
+    lint_cmd.add_argument("--explain", metavar="CODE",
+                          help="explain a diagnostic code and exit")
+    lint_cmd.add_argument("--fail-on", choices=("error", "warning"),
+                          default="error",
+                          help="severity that makes the exit code 1 "
+                               "(default: error)")
+    lint_cmd.add_argument("--exempt", action="append", metavar="TYPE",
+                          help="exempt type for Theorem 5.3's RR_T "
+                               "discipline (repeatable)")
+    lint_cmd.set_defaults(func=_cmd_lint)
+
     encode_cmd = commands.add_parser(
         "encode", help="standard TM-tape encoding of an instance")
     encode_cmd.add_argument("instance", help="instance JSON file")
@@ -264,7 +361,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (OSError, json.JSONDecodeError, ParseError, TypeCheckError,
+            SchemaError, ValueError) as error:
+        # Load/usage failures, per the exit-code convention.
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_ERROR
 
 
 if __name__ == "__main__":

@@ -35,7 +35,6 @@ from .syntax import (
     Query,
     RelAtom,
     Subset,
-    Term,
     Var,
 )
 

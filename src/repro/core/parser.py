@@ -32,7 +32,7 @@ fixpoint column, query head, or inline ``x:T`` annotation at first use).
 from __future__ import annotations
 
 import re
-from typing import Iterator, NamedTuple
+from typing import NamedTuple
 
 from ..objects.types import Type, parse_type
 from ..objects.values import Atom, CSet, CTuple, Value
@@ -55,12 +55,20 @@ from .syntax import (
     Query,
     RelAtom,
     Subset,
-    SyntaxError_,
     Term,
     Var,
 )
 
-__all__ = ["ParseError", "parse_formula", "parse_query", "parse_term"]
+__all__ = [
+    "ParseError",
+    "SourceMap",
+    "Span",
+    "parse_formula",
+    "parse_formula_with_source",
+    "parse_query",
+    "parse_query_with_source",
+    "parse_term",
+]
 
 KEYWORDS = {"exists", "forall", "not", "and", "or", "in", "sub", "ifp", "pfp"}
 
@@ -88,6 +96,54 @@ class _Token(NamedTuple):
     pos: int
 
 
+class Span(NamedTuple):
+    """Half-open character range ``[start, end)`` into the source text."""
+
+    start: int
+    end: int
+
+
+class SourceMap:
+    """Maps AST nodes back to spans of the text they were parsed from.
+
+    AST nodes are immutable and compare structurally, so the map keys on
+    node *identity*; it keeps references to the recorded nodes alive so
+    ids stay valid for the map's lifetime.
+    """
+
+    def __init__(self, text: str):
+        self.text = text
+        self._spans: dict[int, Span] = {}
+        self._nodes: list[object] = []
+
+    def record(self, node: object, start: int, end: int) -> None:
+        if id(node) not in self._spans:
+            self._nodes.append(node)
+        self._spans[id(node)] = Span(start, end)
+
+    def span(self, node: object) -> Span | None:
+        """The recorded span of ``node``, or None for synthesised nodes."""
+        return self._spans.get(id(node))
+
+    def snippet(self, node: object, max_length: int = 60) -> str | None:
+        """The source text of ``node``, elided in the middle if long."""
+        span = self.span(node)
+        if span is None:
+            return None
+        text = self.text[span.start:span.end]
+        if len(text) > max_length:
+            half = (max_length - 3) // 2
+            text = text[:half] + "..." + text[-half:]
+        return text
+
+    def line_col(self, offset: int) -> tuple[int, int]:
+        """1-based (line, column) of a character offset."""
+        prefix = self.text[:offset]
+        line = prefix.count("\n") + 1
+        column = offset - (prefix.rfind("\n") + 1) + 1
+        return line, column
+
+
 def _tokenize(text: str) -> list[_Token]:
     tokens: list[_Token] = []
     pos = 0
@@ -105,10 +161,13 @@ def _tokenize(text: str) -> list[_Token]:
 
 
 class _Parser:
-    def __init__(self, text: str):
+    def __init__(self, text: str, source_map: SourceMap | None = None):
         self.text = text
         self.tokens = _tokenize(text)
         self.pos = 0
+        self.source_map = source_map
+        #: End offset of the most recently consumed token.
+        self.last_end = 0
         #: Variable name -> declared type (flat; the paper renames apart).
         self.var_types: dict[str, Type] = {}
 
@@ -123,7 +182,19 @@ class _Parser:
         if token is None:
             raise ParseError(f"unexpected end of input in {self.text!r}")
         self.pos += 1
+        self.last_end = token.pos + len(token.text)
         return token
+
+    def _start(self) -> int:
+        """Offset where the next node's span will start."""
+        token = self._peek()
+        return token.pos if token is not None else self.last_end
+
+    def _record(self, node, start: int):
+        """Record ``node`` as spanning [start, last consumed token end)."""
+        if self.source_map is not None:
+            self.source_map.record(node, start, self.last_end)
+        return node
 
     def _expect(self, text: str) -> _Token:
         token = self._next()
@@ -207,13 +278,14 @@ class _Parser:
         token = self._peek()
         if token is None:
             raise ParseError("expected a term")
+        start = token.pos
         if token.kind == "quoted":
             self._next()
-            return Const(Atom(token.text[1:-1]))
+            return self._record(Const(Atom(token.text[1:-1])), start)
         if token.text in ("{", "["):
-            return Const(self._parse_value())
+            return self._record(Const(self._parse_value()), start)
         if token.text in ("ifp", "pfp"):
-            return FixpointTerm(self.parse_fixpoint())
+            return self._record(FixpointTerm(self.parse_fixpoint()), start)
         if token.kind == "name" and token.text not in KEYWORDS:
             self._next()
             name = token.text
@@ -223,14 +295,15 @@ class _Parser:
                 self._declare(name, typ)
             var = Var(name, self.var_types.get(name))
             if self._at("."):
+                self._record(var, start)
                 self._next()
                 index_token = self._next()
                 if index_token.kind != "int":
                     raise ParseError(
                         f"expected projection index at {index_token.pos}"
                     )
-                return Proj(var, int(index_token.text))
-            return var
+                return self._record(Proj(var, int(index_token.text)), start)
+            return self._record(var, start)
         raise ParseError(f"cannot parse term at {token.pos}: {token.text!r}")
 
     def _parse_value(self) -> Value:
@@ -259,6 +332,7 @@ class _Parser:
 
     def parse_fixpoint(self) -> Fixpoint:
         kind_token = self._next()
+        start = kind_token.pos
         kind = {"ifp": "IFP", "pfp": "PFP"}[kind_token.text]
         self._expect("[")
         name_token = self._next()
@@ -271,7 +345,8 @@ class _Parser:
         self._expect("(")
         body = self.parse_formula()
         self._expect(")")
-        return Fixpoint(kind, name_token.text, columns, body)
+        return self._record(Fixpoint(kind, name_token.text, columns, body),
+                            start)
 
     # -- formulas -----------------------------------------------------------------
 
@@ -279,41 +354,50 @@ class _Parser:
         return self._parse_iff()
 
     def _parse_iff(self) -> Formula:
+        start = self._start()
         left = self._parse_implies()
         while self._at("<->"):
             self._next()
             right = self._parse_implies()
-            left = Iff(left, right)
+            left = self._record(Iff(left, right), start)
         return left
 
     def _parse_implies(self) -> Formula:
+        start = self._start()
         left = self._parse_or()
         if self._at("->"):
             self._next()
-            return Implies(left, self._parse_implies())
+            return self._record(Implies(left, self._parse_implies()), start)
         return left
 
     def _parse_or(self) -> Formula:
+        start = self._start()
         operands = [self._parse_and()]
         while self._at("or"):
             self._next()
             operands.append(self._parse_and())
-        return operands[0] if len(operands) == 1 else Or(operands)
+        if len(operands) == 1:
+            return operands[0]
+        return self._record(Or(operands), start)
 
     def _parse_and(self) -> Formula:
+        start = self._start()
         operands = [self._parse_unary()]
         while self._at("and"):
             self._next()
             operands.append(self._parse_unary())
-        return operands[0] if len(operands) == 1 else And(operands)
+        if len(operands) == 1:
+            return operands[0]
+        return self._record(And(operands), start)
 
     def _parse_unary(self) -> Formula:
         token = self._peek()
         if token is None:
             raise ParseError("expected a formula")
+        start = token.pos
         if token.text == "not":
             self._next()
-            return Not(self._parse_unary())
+            return self._record(Not(self._parse_unary()), start)
         if token.text in ("exists", "forall"):
             self._next()
             bindings = self.parse_bindings()
@@ -322,7 +406,7 @@ class _Parser:
             self._expect(")")
             for name, typ in reversed(bindings):
                 cls = Exists if token.text == "exists" else Forall
-                body = cls(Var(name, typ), body)
+                body = self._record(cls(Var(name, typ), body), start)
             return body
         if token.text == "(":
             # Could be a parenthesised formula; try it, fall back to atom.
@@ -340,6 +424,7 @@ class _Parser:
         token = self._peek()
         if token is None:
             raise ParseError("expected an atomic formula")
+        start = token.pos
         if token.text in ("ifp", "pfp"):
             fixpoint = self.parse_fixpoint()
             if self._at("("):
@@ -349,10 +434,10 @@ class _Parser:
                     self._next()
                     args.append(self.parse_term())
                 self._expect(")")
-                return FixpointPred(fixpoint, args)
+                return self._record(FixpointPred(fixpoint, args), start)
             # A bare fixpoint must be part of a comparison, e.g. s = ifp[...]
-            left: Term = FixpointTerm(fixpoint)
-            return self._parse_comparison(left)
+            left: Term = self._record(FixpointTerm(fixpoint), start)
+            return self._parse_comparison(left, start)
         # Relation atom: NAME '(' ... ')' where NAME is not a declared var.
         if (token.kind == "name" and token.text not in KEYWORDS
                 and self._at("(", 1) and token.text not in self.var_types):
@@ -363,18 +448,18 @@ class _Parser:
                 self._next()
                 args.append(self.parse_term())
             self._expect(")")
-            return RelAtom(token.text, args)
+            return self._record(RelAtom(token.text, args), start)
         left = self.parse_term()
-        return self._parse_comparison(left)
+        return self._parse_comparison(left, start)
 
-    def _parse_comparison(self, left: Term) -> Formula:
+    def _parse_comparison(self, left: Term, start: int) -> Formula:
         op = self._next()
         if op.text == "=":
-            return Equals(left, self.parse_term())
+            return self._record(Equals(left, self.parse_term()), start)
         if op.text == "in":
-            return In(left, self.parse_term())
+            return self._record(In(left, self.parse_term()), start)
         if op.text == "sub":
-            return Subset(left, self.parse_term())
+            return self._record(Subset(left, self.parse_term()), start)
         raise ParseError(
             f"expected '=', 'in' or 'sub' at {op.pos}, got {op.text!r}"
         )
@@ -382,6 +467,7 @@ class _Parser:
     # -- queries -------------------------------------------------------------
 
     def parse_query(self) -> Query:
+        start = self._start()
         self._expect("{")
         self._expect("[")
         head = self.parse_bindings()
@@ -389,7 +475,7 @@ class _Parser:
         self._expect("|")
         body = self.parse_formula()
         self._expect("}")
-        return Query(head, body)
+        return self._record(Query(head, body), start)
 
     def finish(self) -> None:
         if self.pos != len(self.tokens):
@@ -408,12 +494,31 @@ def parse_formula(text: str) -> Formula:
     return result
 
 
+def parse_formula_with_source(text: str) -> tuple[Formula, SourceMap]:
+    """Like :func:`parse_formula`, also returning a :class:`SourceMap`
+    that locates every parsed subformula and term in ``text``."""
+    source_map = SourceMap(text)
+    parser = _Parser(text, source_map=source_map)
+    result = parser.parse_formula()
+    parser.finish()
+    return result, source_map
+
+
 def parse_query(text: str) -> Query:
     """Parse a query ``{[x:T, ...] | formula}``."""
     parser = _Parser(text)
     result = parser.parse_query()
     parser.finish()
     return result
+
+
+def parse_query_with_source(text: str) -> tuple[Query, SourceMap]:
+    """Like :func:`parse_query`, also returning a :class:`SourceMap`."""
+    source_map = SourceMap(text)
+    parser = _Parser(text, source_map=source_map)
+    result = parser.parse_query()
+    parser.finish()
+    return result, source_map
 
 
 def parse_term(text: str) -> Term:

@@ -46,7 +46,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator, Mapping
 
-from ..objects.types import SetType, TupleType, Type
+from ..objects.types import TupleType, Type
 from ..objects.values import CSet, CTuple, Value
 from .syntax import (
     And,
@@ -74,6 +74,8 @@ from .syntax import (
 __all__ = [
     "Path",
     "RRResult",
+    "RRViolation",
+    "RuleCitation",
     "analyze",
     "analyze_query",
     "is_range_restricted",
@@ -84,6 +86,13 @@ __all__ = [
 
 #: A variable path: ("x",) for x itself, ("x", i) for x.i.
 Path = tuple
+
+
+def path_text(path: Path) -> str:
+    """Render a path the way queries write it: ``x`` or ``x.2``."""
+    if len(path) == 1:
+        return str(path[0])
+    return f"{path[0]}.{path[1]}"
 
 
 def term_path(term: Term) -> Path | None:
@@ -178,6 +187,60 @@ def nnf(formula: Formula) -> Formula:
 # The decision analysis
 # ---------------------------------------------------------------------------
 
+#: Rules proper to Definition 5.3 (fixpoint extension); the rest are
+#: Definition 5.2's.  "exempt" is Theorem 5.3's RR_T relaxation.
+_DEF_53_RULES = frozenset({"1'", "9'", "10"})
+
+
+@dataclass(frozen=True)
+class RuleCitation:
+    """Why a path is range restricted: the grounding rule and its site.
+
+    ``rule`` is one of ``"1".."9"`` (Definition 5.2), ``"1'"``/``"9'"``/
+    ``"10"`` (Definition 5.3) or ``"exempt"`` (Theorem 5.3's RR_T
+    discipline); ``detail`` names the concrete occurrence that grounded
+    the path (the atom, equation, pattern...).
+    """
+
+    rule: str
+    detail: str
+
+    @property
+    def source(self) -> str:
+        """The paper definition/theorem the rule belongs to."""
+        if self.rule == "exempt":
+            return "Theorem 5.3"
+        if self.rule in _DEF_53_RULES:
+            return "Definition 5.3"
+        return "Definition 5.2"
+
+    def __str__(self) -> str:
+        if self.rule == "exempt":
+            return f"{self.source}: {self.detail}"
+        return f"rule {self.rule} ({self.source}): {self.detail}"
+
+
+@dataclass
+class RRViolation:
+    """One structured range-restriction failure.
+
+    Attributes:
+        kind: ``"free"``, ``"existential"`` or ``"universal"`` — the
+            binding site whose check failed.
+        path: the unrestricted variable path.
+        message: the human-readable reason (same text as
+            :attr:`RRResult.violations`).
+        node: the AST node the failure anchors to (the quantifier, or
+            the whole formula for free variables) — used for source-span
+            lookup by the linter.
+    """
+
+    kind: str
+    path: Path
+    message: str
+    node: object | None = None
+
+
 @dataclass
 class RRResult:
     """Verdict of the range-restriction analysis.
@@ -188,15 +251,29 @@ class RRResult:
             formula's free variables) fail to be range restricted.
         fixpoint_columns: for each analysed fixpoint (by name), the final
             ``tau*`` set of range-restricted column indices (1-based).
+        citations: per restricted path, the Definition 5.2/5.3 rule that
+            grounded it (the first base derivation found).
+        binder_citations: per *bound* variable name, the citation
+            recorded when its binding-site check succeeded (existential,
+            universal, fixpoint column).
+        violation_records: structured counterparts of ``violations``.
     """
 
     restricted: frozenset[Path] = frozenset()
     violations: list[str] = field(default_factory=list)
     fixpoint_columns: dict[str, frozenset[int]] = field(default_factory=dict)
+    citations: dict[Path, RuleCitation] = field(default_factory=dict)
+    binder_citations: dict[str, RuleCitation] = field(default_factory=dict)
+    violation_records: list[RRViolation] = field(default_factory=list)
 
     @property
     def is_range_restricted(self) -> bool:
         return not self.violations
+
+    def citation_for(self, name: str) -> RuleCitation | None:
+        """The best citation for a variable: its binder-site record if
+        bound, else the grounding of its ``(name,)`` path."""
+        return self.binder_citations.get(name) or self.citations.get((name,))
 
 
 class _Analyzer:
@@ -214,8 +291,25 @@ class _Analyzer:
         self.database_relations = database_relations
         self.exempt_types = exempt_types
         self.violations: list[str] = []
+        self.violation_records: list[RRViolation] = []
         self.fixpoint_columns: dict[str, frozenset[int]] = {}
         self.tau: dict[str, frozenset[int]] = {}
+        #: Path -> first grounding rule found (provenance for the linter).
+        self.reasons: dict[Path, RuleCitation] = {}
+        #: Bound variable name -> citation at its successful binder check.
+        self.binder_citations: dict[str, RuleCitation] = {}
+
+    def _note(self, path: Path, rule: str, detail: str) -> None:
+        """Record the first rule that grounds ``path`` (provenance only —
+        has no effect on the verdict)."""
+        self.reasons.setdefault(path, RuleCitation(rule, detail))
+
+    def _violation(self, kind: str, path: Path, message: str,
+                   node: object = None) -> None:
+        self.violations.append(message)
+        self.violation_records.append(
+            RRViolation(kind=kind, path=path, message=message, node=node)
+        )
 
     def _is_exempt(self, name: str) -> bool:
         """Theorem 5.3's RR_T discipline: variables of a *dense* type are
@@ -232,6 +326,11 @@ class _Analyzer:
         for name in self.variable_types:
             if self._is_exempt(name):
                 result.add((name,))
+                self._note(
+                    (name,), "exempt",
+                    f"type {self.variable_types[name]!r} is exempt from "
+                    "range restriction (dense, RR_T discipline)",
+                )
         changed = True
         while changed:
             changed = False
@@ -245,6 +344,8 @@ class _Analyzer:
                     for index in range(1, typ.arity + 1):
                         if (name, index) not in result:
                             result.add((name, index))
+                            self._note((name, index), "2",
+                                       f"component of restricted tuple {name!r}")
                             changed = True
             # rule 3: all x.i restricted -> x restricted
             by_name: dict[str, set[int]] = {}
@@ -257,6 +358,8 @@ class _Analyzer:
                         and indices >= set(range(1, typ.arity + 1))
                         and (name,) not in result):
                     result.add((name,))
+                    self._note((name,), "3",
+                               f"all components of {name!r} are restricted")
                     changed = True
         return frozenset(result)
 
@@ -296,9 +399,17 @@ class _Analyzer:
         if isinstance(formula, Exists):
             body_rr = self.close(self.rr(formula.body))
             if (formula.var.name,) not in body_rr:
-                self.violations.append(
+                self._violation(
+                    "existential", (formula.var.name,),
                     f"existential variable {formula.var.name!r} is not "
-                    f"range restricted in {formula.body!r}"
+                    f"range restricted in {formula.body!r}",
+                    node=formula,
+                )
+            else:
+                self.binder_citations.setdefault(
+                    formula.var.name,
+                    self.reasons.get((formula.var.name,))
+                    or RuleCitation("8", "restricted in the quantifier body"),
                 )
             return frozenset(
                 p for p in body_rr if p[0] != formula.var.name
@@ -311,10 +422,13 @@ class _Analyzer:
         paths: set[Path] = set()
         if formula.name in self.database_relations:
             # rule 1: every variable of the atom is range restricted.
-            for arg in formula.args:
+            for index, arg in enumerate(formula.args, start=1):
                 path = term_path(arg)
                 if path is not None:
                     paths.add(path)
+                    self._note(path, "1",
+                               f"argument {index} of database atom "
+                               f"{formula.name}(...)")
         elif formula.name in self.tau:
             # rule 1': only arguments in restricted columns.
             for index, arg in enumerate(formula.args, start=1):
@@ -322,6 +436,9 @@ class _Analyzer:
                     path = term_path(arg)
                     if path is not None:
                         paths.add(path)
+                        self._note(path, "1'",
+                                   f"argument {index} of fixpoint-bound atom "
+                                   f"{formula.name}(...), column in tau")
         return frozenset(paths)
 
     def _rr_equals(self, formula: Equals) -> frozenset[Path]:
@@ -330,8 +447,12 @@ class _Analyzer:
         left_path, right_path = term_path(formula.left), term_path(formula.right)
         if left_path is not None and isinstance(formula.right, Const):
             paths.add(left_path)
+            self._note(left_path, "4",
+                       f"equality with constant {formula.right.value!r}")
         if right_path is not None and isinstance(formula.left, Const):
             paths.add(right_path)
+            self._note(right_path, "4",
+                       f"equality with constant {formula.left.value!r}")
         # rule 9': x = IFP(phi, S) — restricted iff all columns are.
         for var_path, term in ((left_path, formula.right),
                                (right_path, formula.left)):
@@ -340,6 +461,11 @@ class _Analyzer:
                 paths |= self._fixpoint_param_paths(term.fixpoint, body_rr)
                 if tau_star >= set(range(1, term.fixpoint.arity + 1)):
                     paths.add(var_path)
+                    self._note(var_path, "9'",
+                               f"equality with fixpoint term "
+                               f"{term.fixpoint.kind}(..., "
+                               f"{term.fixpoint.name}) whose columns are all "
+                               "range restricted")
         return frozenset(paths)
 
     def _rr_and(self, operands) -> frozenset[Path]:
@@ -358,9 +484,15 @@ class _Analyzer:
                     if lp is not None and rp is not None:
                         if rp in closed and lp not in closed:
                             current.add(lp)
+                            self._note(lp, "4",
+                                       f"equality with restricted "
+                                       f"{path_text(rp)}")
                             changed = True
                         if lp in closed and rp not in closed:
                             current.add(rp)
+                            self._note(rp, "4",
+                                       f"equality with restricted "
+                                       f"{path_text(lp)}")
                             changed = True
                 elif isinstance(op, In):
                     ep = term_path(op.element)
@@ -368,11 +500,15 @@ class _Analyzer:
                     if (ep is not None and cp is not None
                             and cp in closed and ep not in closed):
                         current.add(ep)
+                        self._note(ep, "4",
+                                   f"membership in restricted "
+                                   f"{path_text(cp)}")
                         changed = True
                     # membership in a constant set also bounds the element
                     if (ep is not None and isinstance(op.container, Const)
                             and ep not in closed):
                         current.add(ep)
+                        self._note(ep, "4", "membership in a constant set")
                         changed = True
         return self.close(frozenset(current))
 
@@ -400,15 +536,41 @@ class _Analyzer:
             container_path, phi = pattern
             phi_rr = self.close(self.rr(phi))
             if (var.name,) in phi_rr:
+                self.binder_citations.setdefault(
+                    var.name,
+                    RuleCitation(
+                        "9",
+                        f"nest pattern forall {var.name} ({var.name} in "
+                        f"{path_text(container_path)} <-> phi) with "
+                        f"{var.name} restricted in phi",
+                    ),
+                )
+                self._note(container_path, "9",
+                           f"set comprehended by the nest pattern over "
+                           f"{var.name}")
                 return frozenset((container_path,))
-        # rule 7: y restricted in nnf(not body).
+        # rule 7: y restricted in nnf(not body).  Citations gathered while
+        # analysing the *negated* body describe that formula, not the
+        # original — keep only the bound variable's own grounding.
+        saved_reasons = dict(self.reasons)
         negated = negate(body)
         negated_rr = self.close(self.rr(negated))
+        var_reason = self.reasons.get((var.name,))
+        self.reasons = saved_reasons
         if (var.name,) not in negated_rr:
-            self.violations.append(
+            self._violation(
+                "universal", (var.name,),
                 f"universal variable {var.name!r} is not range restricted "
-                f"in the negation of {body!r}"
+                f"in the negation of {body!r}",
+                node=formula,
             )
+        else:
+            detail = ("restricted in the negation of the body"
+                      if var_reason is None
+                      else f"restricted in the negation of the body via "
+                           f"{var_reason}")
+            self.binder_citations.setdefault(
+                var.name, RuleCitation("7", detail))
         return frozenset()
 
     @staticmethod
@@ -448,8 +610,14 @@ class _Analyzer:
         columns = list(range(1, fixpoint.arity + 1))
         tau_current = frozenset(columns)
         saved_violations = list(self.violations)
+        saved_records = list(self.violation_records)
+        saved_reasons = dict(self.reasons)
+        saved_binders = dict(self.binder_citations)
         while True:
             self.violations = list(saved_violations)
+            self.violation_records = list(saved_records)
+            self.reasons = dict(saved_reasons)
+            self.binder_citations = dict(saved_binders)
             self.tau[name] = tau_current
             try:
                 body_rr = self.close(self.rr(fixpoint.body))
@@ -461,6 +629,22 @@ class _Analyzer:
             )
             if tau_next == tau_current:
                 self.fixpoint_columns[name] = tau_current
+                for index in columns:
+                    column = fixpoint.column_names[index - 1]
+                    if index not in tau_current:
+                        # Body-internal groundings of a dropped column do
+                        # not hold at the fixed point; don't leak them.
+                        for path in [p for p in self.reasons
+                                     if p[0] == column]:
+                            del self.reasons[path]
+                        continue
+                    grounding = self.reasons.get((column,))
+                    detail = (f"column {index} of {fixpoint.kind}(..., "
+                              f"{name}) survives the tau iteration")
+                    if grounding is not None:
+                        detail += f", grounded by {grounding}"
+                    self.binder_citations.setdefault(
+                        column, RuleCitation("10", detail))
                 return tau_current, body_rr
             tau_current = tau_next
 
@@ -509,13 +693,18 @@ def analyze(
     restricted = analyzer.close(analyzer.rr(formula))
     for name in sorted(required_free or ()):
         if (name,) not in restricted:
-            analyzer.violations.append(
-                f"free variable {name!r} is not range restricted"
+            analyzer._violation(
+                "free", (name,),
+                f"free variable {name!r} is not range restricted",
+                node=formula,
             )
     return RRResult(
         restricted=restricted,
         violations=analyzer.violations,
         fixpoint_columns=analyzer.fixpoint_columns,
+        citations=dict(analyzer.reasons),
+        binder_citations=dict(analyzer.binder_citations),
+        violation_records=analyzer.violation_records,
     )
 
 

@@ -20,14 +20,13 @@ suite uses it across the worked examples.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
 
 from ..obs import get_tracer
 from ..objects.instance import Instance
 from ..objects.schema import DatabaseSchema
 from ..objects.values import CTuple, Value
 from .evaluation import Evaluator
-from .range_restriction import RangeComputationError, analyze_query, compute_ranges
+from .range_restriction import analyze_query, compute_ranges
 from .syntax import Query
 
 __all__ = [

@@ -16,11 +16,24 @@ with the resolved variable types, the set of types occurring in the
 formula (the paper's "types of a formula"), and its ``<i,k>``-level —
 the minimal ``i`` (set height) and ``k`` (tuple width) such that the
 formula is in ``CALC_i^k``.
+
+Error reporting
+---------------
+
+By default every violation raises :class:`TypeCheckError` immediately
+(first-error abort).  Passing a list as ``collect`` switches the checker
+into *collecting* mode: violations are appended as
+:class:`TypeIssue` records, checking continues with best-effort
+recovery (ill-typed terms get the :data:`UNKNOWN_TYPE` sentinel, which
+suppresses cascade errors), and the partially resolved report is still
+returned.  The ``repro.lint`` analyzer uses this to surface every type
+error of a query in a single pass.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import NamedTuple
 
 from ..objects.schema import DatabaseSchema
 from ..objects.types import SetType, TupleType, Type
@@ -43,7 +56,6 @@ from .syntax import (
     Query,
     RelAtom,
     Subset,
-    SyntaxError_,
     Term,
     Var,
 )
@@ -51,6 +63,54 @@ from .syntax import (
 
 class TypeCheckError(Exception):
     """Raised when a formula or query is ill-typed."""
+
+
+class _UnknownType(Type):
+    """Sentinel for the type of an ill-typed term (collecting mode only).
+
+    Unequal to every other type (including other references obtained via
+    copying); never recorded in :attr:`TypeReport.types`, and every
+    compatibility check involving it is skipped so that one error does
+    not cascade into spurious follow-ups.
+    """
+
+    __slots__ = ()
+
+    @property
+    def set_height(self) -> int:
+        return 0
+
+    @property
+    def tuple_width(self) -> int:
+        return 0
+
+    def subtypes(self):
+        yield self
+
+    def __eq__(self, other: object) -> bool:
+        return other is self
+
+    def __hash__(self) -> int:
+        return hash(_UnknownType)
+
+    def __repr__(self) -> str:
+        return "?"
+
+
+#: The singleton unknown-type sentinel (see :class:`_UnknownType`).
+UNKNOWN_TYPE: Type = _UnknownType()
+
+
+class TypeIssue(NamedTuple):
+    """One collected type violation.
+
+    ``code`` is a stable diagnostic code (``TYP001``...); ``node`` is the
+    offending AST node (term or formula) for source-span lookup.
+    """
+
+    code: str
+    message: str
+    node: object | None
 
 
 @dataclass
@@ -89,10 +149,17 @@ class TypeReport:
 
 
 class _Checker:
-    """Single-pass checker: walks the formula with a binding environment."""
+    """Walks the formula with a binding environment.
 
-    def __init__(self, schema: DatabaseSchema | None):
+    With ``collect=None`` (the default) the first violation raises
+    :class:`TypeCheckError`; with a list, violations are appended as
+    :class:`TypeIssue` records and checking continues.
+    """
+
+    def __init__(self, schema: DatabaseSchema | None,
+                 collect: list[TypeIssue] | None = None):
         self.schema = schema
+        self.collect = collect
         self.report = TypeReport()
         #: Relations bound by enclosing fixpoint operators: name -> column types.
         self.bound_relations: dict[str, tuple[Type, ...]] = {}
@@ -100,6 +167,12 @@ class _Checker:
         self._column_bound: set[str] = set()
         #: Fixpoints already fully checked (dedupes repeated applications).
         self._checked_fixpoints: set = set()
+
+    def _report(self, code: str, message: str, node: object = None) -> None:
+        """Raise (default) or record (collecting mode) one violation."""
+        if self.collect is None:
+            raise TypeCheckError(message)
+        self.collect.append(TypeIssue(code, message, node))
 
     # -- variables ---------------------------------------------------------
     #
@@ -111,7 +184,8 @@ class _Checker:
     # of the *same type* (semantically, the column is a fresh variable
     # shadowing it), and reject every other form of rebinding.
 
-    def bind(self, name: str, typ: Type, *, binder: str) -> None:
+    def bind(self, name: str, typ: Type, *, binder: str,
+             node: object = None) -> None:
         existing = self.report.variable_types.get(name)
         if existing is not None:
             is_column = binder.startswith("fixpoint")
@@ -120,10 +194,15 @@ class _Checker:
                 if is_column:
                     self._column_bound.add(name)
                 return
-            raise TypeCheckError(
+            # Recovery: keep the first binding (further uses check
+            # against it rather than compounding the confusion).
+            self._report(
+                "TYP005",
                 f"variable {name!r} bound more than once (by {binder}); "
-                "rename apart (paper footnote 6)"
+                "rename apart (paper footnote 6)",
+                node,
             )
+            return
         if binder.startswith("fixpoint"):
             self._column_bound.add(name)
         self.report.variable_types[name] = typ
@@ -132,18 +211,25 @@ class _Checker:
     def lookup(self, var: Var) -> Type:
         typ = self.report.variable_types.get(var.name)
         if typ is None:
-            raise TypeCheckError(
+            self._report(
+                "TYP004",
                 f"cannot infer type of variable {var.name!r}: annotate it "
-                "or bind it with a typed quantifier/head"
+                "or bind it with a typed quantifier/head",
+                var,
             )
+            return UNKNOWN_TYPE
         if var.typ is not None and var.typ != typ:
-            raise TypeCheckError(
-                f"variable {var.name!r} annotated {var.typ!r} but bound as {typ!r}"
+            self._report(
+                "TYP005",
+                f"variable {var.name!r} annotated {var.typ!r} but bound as {typ!r}",
+                var,
             )
+            return UNKNOWN_TYPE
         return typ
 
     def _note_type(self, typ: Type) -> None:
-        self.report.types.add(typ)
+        if typ is not UNKNOWN_TYPE:
+            self.report.types.add(typ)
 
     # -- terms ---------------------------------------------------------------
 
@@ -152,25 +238,34 @@ class _Checker:
             self._note_type(term.typ)
             return term.typ
         if isinstance(term, Var):
-            if var_typ := self.report.variable_types.get(term.name):
-                result = self.lookup(term)
-                return result
+            if self.report.variable_types.get(term.name) is not None:
+                return self.lookup(term)
             # Unbound variable with an annotation: treat as free, self-typed.
             if term.typ is not None:
-                self.bind(term.name, term.typ, binder="annotation")
+                self.bind(term.name, term.typ, binder="annotation", node=term)
                 return term.typ
-            raise TypeCheckError(f"untyped free variable {term.name!r}")
+            self._report("TYP004", f"untyped free variable {term.name!r}",
+                         term)
+            return UNKNOWN_TYPE
         if isinstance(term, Proj):
             base = self.term_type(term.base)
+            if base is UNKNOWN_TYPE:
+                return UNKNOWN_TYPE
             if not isinstance(base, TupleType):
-                raise TypeCheckError(
-                    f"projection {term!r} applied to non-tuple type {base!r}"
+                self._report(
+                    "TYP007",
+                    f"projection {term!r} applied to non-tuple type {base!r}",
+                    term,
                 )
+                return UNKNOWN_TYPE
             if term.index > base.arity:
-                raise TypeCheckError(
+                self._report(
+                    "TYP007",
                     f"projection index {term.index} exceeds arity {base.arity} "
-                    f"of {term.base.name!r}"
+                    f"of {term.base.name!r}",
+                    term,
                 )
+                return UNKNOWN_TYPE
             result = base.component(term.index)
             self._note_type(result)
             return result
@@ -186,52 +281,80 @@ class _Checker:
         if isinstance(formula, Equals):
             left = self.term_type(formula.left)
             right = self.term_type(formula.right)
+            if UNKNOWN_TYPE in (left, right):
+                return
             if left != right:
-                raise TypeCheckError(
+                self._report(
+                    "TYP006",
                     f"'=' relates distinct types {left!r} and {right!r} "
-                    f"in {formula!r}"
+                    f"in {formula!r}",
+                    formula,
                 )
             return
         if isinstance(formula, Subset):
             left = self.term_type(formula.left)
             right = self.term_type(formula.right)
+            if UNKNOWN_TYPE in (left, right):
+                return
             if left != right or not isinstance(left, SetType):
-                raise TypeCheckError(
-                    f"'sub' needs two equal set types, got {left!r} / {right!r}"
+                self._report(
+                    "TYP006",
+                    f"'sub' needs two equal set types, got {left!r} / {right!r}",
+                    formula,
                 )
             return
         if isinstance(formula, In):
             element = self.term_type(formula.element)
             container = self.term_type(formula.container)
+            if UNKNOWN_TYPE in (element, container):
+                return
             if not isinstance(container, SetType) or container.element != element:
-                raise TypeCheckError(
+                self._report(
+                    "TYP006",
                     f"'in' needs element type {element!r} against container "
-                    f"{{{element!r}}}, got {container!r}"
+                    f"{{{element!r}}}, got {container!r}",
+                    formula,
                 )
             return
         if isinstance(formula, RelAtom):
             column_types = self._relation_columns(formula.name, formula)
+            if column_types is None:
+                # Unknown relation: still type the arguments so later
+                # occurrences of their variables resolve.
+                for arg in formula.args:
+                    self.term_type(arg)
+                return
             if len(formula.args) != len(column_types):
-                raise TypeCheckError(
+                self._report(
+                    "TYP002",
                     f"relation {formula.name!r} has arity {len(column_types)}, "
-                    f"got {len(formula.args)} arguments"
+                    f"got {len(formula.args)} arguments",
+                    formula,
                 )
             for arg, expected in zip(formula.args, column_types):
                 actual = self.term_type(arg)
+                if actual is UNKNOWN_TYPE:
+                    continue
                 if actual != expected:
-                    raise TypeCheckError(
+                    self._report(
+                        "TYP003",
                         f"argument {arg!r} of {formula.name!r} has type "
-                        f"{actual!r}, expected {expected!r}"
+                        f"{actual!r}, expected {expected!r}",
+                        formula,
                     )
             return
         if isinstance(formula, FixpointPred):
             self.check_fixpoint(formula.fixpoint)
             for arg, expected in zip(formula.args, formula.fixpoint.column_types):
                 actual = self.term_type(arg)
+                if actual is UNKNOWN_TYPE:
+                    continue
                 if actual != expected:
-                    raise TypeCheckError(
+                    self._report(
+                        "TYP009",
                         f"fixpoint argument {arg!r} has type {actual!r}, "
-                        f"expected {expected!r}"
+                        f"expected {expected!r}",
+                        formula,
                     )
             return
         if isinstance(formula, Not):
@@ -251,20 +374,26 @@ class _Checker:
             return
         if isinstance(formula, (Exists, Forall)):
             assert formula.var.typ is not None
-            self.bind(formula.var.name, formula.var.typ, binder="quantifier")
+            self.bind(formula.var.name, formula.var.typ, binder="quantifier",
+                      node=formula)
             self.check(formula.body)
             return
         raise TypeCheckError(f"unknown formula {formula!r}")
 
-    def _relation_columns(self, name: str, context: Formula) -> tuple[Type, ...]:
+    def _relation_columns(
+        self, name: str, context: Formula
+    ) -> tuple[Type, ...] | None:
         if name in self.bound_relations:
             return self.bound_relations[name]
         if self.schema is not None and name in self.schema:
             return self.schema[name].column_types
-        raise TypeCheckError(
+        self._report(
+            "TYP001",
             f"relation {name!r} in {context!r} is neither a database relation "
-            "nor bound by an enclosing fixpoint"
+            "nor bound by an enclosing fixpoint",
+            context,
         )
+        return None
 
     def check_fixpoint(self, fixpoint: Fixpoint) -> None:
         if fixpoint in self._checked_fixpoints:
@@ -273,50 +402,67 @@ class _Checker:
             # re-checking would spuriously flag its bound variables.
             return
         if fixpoint.name in self.bound_relations:
-            raise TypeCheckError(
+            self._report(
+                "TYP008",
                 f"fixpoint relation {fixpoint.name!r} shadows an enclosing "
-                "fixpoint relation; rename apart"
+                "fixpoint relation; rename apart",
+                fixpoint,
             )
         if self.schema is not None and fixpoint.name in self.schema:
-            raise TypeCheckError(
+            self._report(
+                "TYP008",
                 f"fixpoint relation {fixpoint.name!r} clashes with a database "
-                "relation (Definition 3.1 requires S not in the schema)"
+                "relation (Definition 3.1 requires S not in the schema)",
+                fixpoint,
             )
         self.report.fixpoints.append(fixpoint)
         self._checked_fixpoints.add(fixpoint)
         for name, typ in fixpoint.columns:
-            self.bind(name, typ, binder=f"fixpoint {fixpoint.name!r}")
+            self.bind(name, typ, binder=f"fixpoint {fixpoint.name!r}",
+                      node=fixpoint)
+        previous = self.bound_relations.get(fixpoint.name)
         self.bound_relations[fixpoint.name] = fixpoint.column_types
         try:
             self.check(fixpoint.body)
         finally:
-            del self.bound_relations[fixpoint.name]
+            if previous is None:
+                del self.bound_relations[fixpoint.name]
+            else:
+                self.bound_relations[fixpoint.name] = previous
 
 
 def check_formula(
     formula: Formula,
     schema: DatabaseSchema | None = None,
     free_variable_types: dict[str, Type] | None = None,
+    collect: list[TypeIssue] | None = None,
 ) -> TypeReport:
     """Type check a formula against a database schema.
 
     ``free_variable_types`` supplies types for free variables (e.g. the
     head of a query).  Returns a :class:`TypeReport`; raises
-    :class:`TypeCheckError` on any violation.
+    :class:`TypeCheckError` on any violation unless ``collect`` is a
+    list, in which case every violation is appended to it instead and
+    checking continues with best-effort recovery.
     """
-    checker = _Checker(schema)
+    checker = _Checker(schema, collect=collect)
     for name, typ in (free_variable_types or {}).items():
         checker.bind(name, typ, binder="free-variable declaration")
     checker.check(formula)
     return checker.report
 
 
-def check_query(query: Query, schema: DatabaseSchema | None = None) -> TypeReport:
+def check_query(
+    query: Query,
+    schema: DatabaseSchema | None = None,
+    collect: list[TypeIssue] | None = None,
+) -> TypeReport:
     """Type check a query: head types feed the body's free variables."""
     if not isinstance(query, Query):
         raise TypeCheckError(f"expected Query, got {query!r}")
     return check_formula(
-        query.body, schema, free_variable_types=dict(query.head)
+        query.body, schema, free_variable_types=dict(query.head),
+        collect=collect,
     )
 
 

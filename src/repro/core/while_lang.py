@@ -30,7 +30,7 @@ from typing import Iterable, Mapping, Sequence
 from ..objects.instance import Instance
 from ..objects.schema import DatabaseSchema, RelationSchema
 from ..objects.types import Type, TypeLike, as_type
-from ..objects.values import CTuple, Value
+from ..objects.values import CTuple
 from .evaluation import Evaluator
 from .syntax import Formula, Var
 

@@ -26,7 +26,7 @@ from typing import Iterator, Mapping
 from ..core.fixpoint import iterate_ifp, iterate_pfp
 from ..obs import get_tracer
 from ..objects.instance import Instance
-from ..objects.values import CSet, CTuple, Value
+from ..objects.values import CSet, Value
 from .syntax import (
     BuiltinLiteral,
     DatalogError,

@@ -22,8 +22,8 @@ from __future__ import annotations
 
 from typing import Iterable, Union
 
-from ..objects.types import Type, TypeLike, as_type
-from ..objects.values import Value, make_value
+from ..objects.types import TypeLike, as_type
+from ..objects.values import make_value
 
 __all__ = [
     "DatalogError",

@@ -14,7 +14,7 @@ languages' agreement through the engine instead).
 
 from __future__ import annotations
 
-from ..core.builder import ifp, member, query, subset
+from ..core.builder import ifp, query
 from ..core.syntax import (
     And,
     Const,

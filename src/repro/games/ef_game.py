@@ -22,10 +22,9 @@ implements the game so the separation phenomenon is *observable*:
 
 from __future__ import annotations
 
-from functools import lru_cache
 from typing import Sequence
 
-from ..objects.domains import DomainTooLarge, materialize_domain
+from ..objects.domains import materialize_domain
 from ..objects.instance import Instance
 from ..objects.types import Type, TypeLike, as_type
 from ..objects.values import CSet, CTuple, Value

@@ -1,0 +1,34 @@
+"""``repro.lint`` — a diagnostics-grade static analyzer for the paper's
+query languages.
+
+Turns the boolean verdicts of :mod:`repro.core.typecheck` and
+:mod:`repro.core.range_restriction` into structured diagnostics: stable
+codes, severities, source spans, per-variable Definition 5.2/5.3 rule
+citations, exact big-int cost estimates and fix suggestions.  See
+:mod:`repro.lint.engine` for the pass pipeline and
+:mod:`repro.lint.diagnostics` for the code registry.
+"""
+
+from .datalog import lint_program
+from .diagnostics import (
+    CODES,
+    CodeInfo,
+    Diagnostic,
+    LintReport,
+    Severity,
+    explain,
+)
+from .engine import REFERENCE_ATOMS, lint_query, lint_source
+
+__all__ = [
+    "CODES",
+    "CodeInfo",
+    "Diagnostic",
+    "LintReport",
+    "REFERENCE_ATOMS",
+    "Severity",
+    "explain",
+    "lint_program",
+    "lint_query",
+    "lint_source",
+]

@@ -25,7 +25,6 @@ against the direct encodings.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
 
 from ..objects.domains import domain_cardinality
 from ..objects.encoding import encode_value

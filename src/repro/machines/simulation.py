@@ -37,14 +37,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..core.fixpoint import FixpointError, ifp_stages, iterate_ifp
+from ..core.fixpoint import ifp_stages, iterate_ifp
 from ..objects.encoding import decode_instance, encode_instance
 from ..objects.instance import Instance
 from ..objects.ordering import AtomOrder, tuple_rank, tuple_unrank
 from ..objects.schema import DatabaseSchema
 from ..objects.types import U
 from ..objects.values import Atom
-from .turing import BLANK, TMError, TuringMachine
+from .turing import BLANK, TuringMachine
 
 __all__ = [
     "RMRow",

@@ -9,7 +9,7 @@ the *arity* ``n`` of a relation is not restricted by ``k``.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Mapping
+from typing import Iterable, Iterator
 
 from .types import Type, TypeLike, as_type
 

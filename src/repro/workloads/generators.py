@@ -21,13 +21,13 @@ from __future__ import annotations
 
 import itertools
 import random
-from typing import Iterable, Sequence
+from typing import Iterable
 
-from ..objects.domains import DomainTooLarge, domain_cardinality, materialize_domain
+from ..objects.domains import materialize_domain
 from ..objects.instance import Instance
 from ..objects.schema import DatabaseSchema, database_schema
 from ..objects.types import Type, as_type
-from ..objects.values import Atom, CSet, CTuple, Value
+from ..objects.values import Atom, CSet
 
 __all__ = [
     "atoms_universe",

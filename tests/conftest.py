@@ -10,7 +10,6 @@ from repro.objects import (
     AtomOrder,
     CSet,
     CTuple,
-    Instance,
     database_schema,
     instance,
     parse_type,

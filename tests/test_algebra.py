@@ -26,7 +26,7 @@ from repro.algebra import (
     tc_via_loop,
     tc_via_powerset,
 )
-from repro.objects import CSet, atom, cset, ctuple, database_schema, instance
+from repro.objects import CSet, atom, ctuple, database_schema, instance
 from repro.workloads import chain_graph, cycle_graph, random_graph
 
 

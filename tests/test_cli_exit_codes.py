@@ -1,0 +1,129 @@
+"""The CLI exit-code convention, uniform across subcommands.
+
+* ``0`` — success, nothing at/above the failure threshold.
+* ``1`` — findings: a non-range-restricted query, lint diagnostics at
+  or above ``--fail-on``.
+* ``2`` — usage or load errors: malformed arguments, unreadable
+  instance files, unknown diagnostic codes.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import EXIT_ERROR, EXIT_FINDINGS, EXIT_OK, main
+from repro.objects import atom, cset, database_schema, dump_instance, instance
+
+SAFE = ("{[x:{U}, y:{U}] | ifp[S(x:{U}, y:{U})]"
+        "(G(x,y) or exists z:{U} (S(x,z) and G(z,y)))(x, y)}")
+UNSAFE = "{[x:{U}] | not G(x, x)}"
+#: Range restricted, but carries a COST001 *warning* (s has set height 1
+#: over a flat schema) — distinguishes --fail-on error from warning.
+WARN_ONLY = ("{[x:U] | P(x, x) and exists s:{U} "
+             "(forall y:U (y in s <-> P(x, y)))}")
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    schema = database_schema(G=["{U}", "{U}"])
+    a, b, c = cset(atom("a")), cset(atom("b")), cset(atom("c"))
+    path = tmp_path / "graph.json"
+    dump_instance(instance(schema, G=[(a, b), (b, c)]), str(path))
+    return str(path)
+
+
+@pytest.fixture
+def flat_file(tmp_path):
+    schema = database_schema(P=["U", "U"])
+    path = tmp_path / "flat.json"
+    dump_instance(instance(schema, P=[("a", "b"), ("a", "c")]), str(path))
+    return str(path)
+
+
+class TestQueryCommand:
+    def test_safe_query_ok(self, graph_file, capsys):
+        assert main(["query", graph_file, SAFE, "--mode", "rr"]) == EXIT_OK
+
+    def test_unsafe_query_is_a_finding(self, graph_file, capsys):
+        code = main(["query", graph_file, UNSAFE, "--mode", "rr"])
+        assert code == EXIT_FINDINGS
+
+    def test_missing_instance_is_an_error(self, tmp_path, capsys):
+        code = main(["query", str(tmp_path / "absent.json"), SAFE])
+        assert code == EXIT_ERROR
+
+    def test_malformed_query_is_an_error(self, graph_file, capsys):
+        assert main(["query", graph_file, "{[x:U] | G(x"]) == EXIT_ERROR
+
+    def test_corrupt_instance_is_an_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        assert main(["query", str(path), SAFE]) == EXIT_ERROR
+
+
+class TestAnalyzeCommand:
+    def test_rr_query_ok(self, graph_file, capsys):
+        assert main(["analyze", graph_file, SAFE]) == EXIT_OK
+
+    def test_non_rr_query_is_a_finding(self, graph_file, capsys):
+        assert main(["analyze", graph_file, UNSAFE]) == EXIT_FINDINGS
+        out = capsys.readouterr().out
+        assert "diagnostics:" in out
+        assert "RR002" in out
+
+
+class TestLintCommand:
+    def test_clean_query_ok(self, graph_file, capsys):
+        assert main(["lint", graph_file, SAFE]) == EXIT_OK
+        assert "RR005" in capsys.readouterr().out
+
+    def test_violation_is_a_finding(self, graph_file, capsys):
+        assert main(["lint", graph_file, UNSAFE]) == EXIT_FINDINGS
+
+    def test_fail_on_warning_threshold(self, flat_file, capsys):
+        assert main(["lint", flat_file, WARN_ONLY]) == EXIT_OK
+        code = main(["lint", flat_file, WARN_ONLY, "--fail-on", "warning"])
+        assert code == EXIT_FINDINGS
+
+    def test_query_file_argument(self, graph_file, tmp_path, capsys):
+        query_file = tmp_path / "q.repro"
+        query_file.write_text(SAFE + "\n")
+        assert main(["lint", graph_file, str(query_file)]) == EXIT_OK
+        assert f"== {query_file}" in capsys.readouterr().out
+
+    def test_json_output_round_trips(self, graph_file, capsys):
+        assert main(["lint", graph_file, UNSAFE, "--json"]) == EXIT_FINDINGS
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["query"] == UNSAFE
+        codes = [d["code"] for d in payload[0]["diagnostics"]]
+        assert "RR002" in codes
+
+    def test_explain_known_code(self, capsys):
+        assert main(["lint", "--explain", "RR004"]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "RR004" in out and "Definition 5.2" in out
+
+    def test_explain_unknown_code_is_an_error(self, capsys):
+        assert main(["lint", "--explain", "XXX999"]) == EXIT_ERROR
+
+    def test_missing_arguments_is_an_error(self, capsys):
+        assert main(["lint"]) == EXIT_ERROR
+
+    def test_parse_failure_is_a_finding(self, graph_file, capsys):
+        assert main(["lint", graph_file, "{[x:U] | G(x"]) == EXIT_FINDINGS
+        assert "PAR001" in capsys.readouterr().out
+
+
+class TestOtherCommands:
+    def test_encode_ok(self, graph_file, capsys):
+        assert main(["encode", graph_file]) == EXIT_OK
+
+    def test_density_ok(self, graph_file, capsys):
+        code = main(["density", graph_file, "--i", "1", "--k", "2",
+                     "--degree", "1", "--coefficient", "2"])
+        assert code == EXIT_OK
+
+    def test_unknown_command_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["no-such-command"])
+        assert excinfo.value.code == 2

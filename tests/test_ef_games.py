@@ -10,10 +10,10 @@ calculus lacks.
 
 import pytest
 
-from repro.core.builder import V, eq, exists, forall, query, rel
+from repro.core.builder import V, exists, forall, rel
 from repro.core.evaluation import evaluate, evaluate_formula
 from repro.games import GameError, duplicator_wins, partially_isomorphic
-from repro.objects import cset, atom, database_schema, instance
+from repro.objects import atom, database_schema, instance
 from repro.workloads import atoms_universe, transitive_closure_query
 
 

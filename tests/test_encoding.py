@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.objects.domains import DomainTooLarge, domain_cardinality, materialize_domain
+from repro.objects.domains import domain_cardinality, materialize_domain
 from repro.objects.encoding import (
     EncodingError,
     atom_bits,
@@ -20,7 +20,7 @@ from repro.objects.encoding import (
 )
 from repro.objects.ordering import AtomOrder
 from repro.objects.types import parse_type
-from repro.objects.values import Atom, atom, cset, ctuple, make_value
+from repro.objects.values import Atom, atom, cset, make_value
 
 from .conftest import small_types, values_of_type
 

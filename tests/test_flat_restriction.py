@@ -20,7 +20,7 @@ from repro.analysis import is_dense_witness, is_sparse_witness
 from repro.core.builder import V, eq, exists, forall, ifp, member, proj, query, rel
 from repro.core.evaluation import evaluate
 from repro.core.typecheck import query_level
-from repro.objects import atom, cset, database_schema, instance
+from repro.objects import database_schema
 from repro.workloads import chain_graph, cycle_graph, random_graph
 
 

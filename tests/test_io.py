@@ -111,9 +111,10 @@ class TestCLI:
         assert len(lines) == 2
 
     def test_query_rr_rejects_unsafe(self, instance_file, capsys):
+        # Not-RR is a *finding* (exit 1), not a usage error (exit 2).
         code = main(["query", instance_file,
                      "{[x:{U}] | not G(x, x)}", "--mode", "rr"])
-        assert code == 2
+        assert code == 1
 
     def test_analyze(self, instance_file, capsys):
         code = main(["analyze", instance_file,

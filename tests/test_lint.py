@@ -1,0 +1,254 @@
+"""Golden tests for the ``repro.lint`` static analyzer.
+
+Each test pins a diagnostic transcript from the paper's own examples:
+Example 5.1 (rule 9 nesting), Example 5.3 (rules 9'/10 via IFP terms),
+Example 5.2 (the tau* iteration dropping columns), and the Theorem 5.3
+exempt-type discipline.
+"""
+
+import json
+
+import pytest
+
+from repro.core.builder import V, exists, ifp, pfp, query, rel
+from repro.datalog.syntax import Literal, Program, Rule
+from repro.lint import (
+    CODES,
+    Severity,
+    explain,
+    lint_program,
+    lint_query,
+    lint_source,
+)
+from repro.objects import database_schema
+from repro.workloads import (
+    nest_query,
+    nest_query_ifp,
+    pfp_transitive_closure_query,
+    set_graph_schema,
+)
+
+from .test_theorem53 import EXEMPT, guarded_parity_query
+
+
+def codes(report):
+    return [d.code for d in report]
+
+
+def find(report, code):
+    return [d for d in report if d.code == code]
+
+
+def rr_citations(report):
+    """``RR001`` diagnostics keyed by the cited variable name."""
+    return {d.message.split("'")[1]: d for d in find(report, "RR001")}
+
+
+@pytest.fixture
+def p_schema():
+    return database_schema(P=["U", "U"])
+
+
+class TestGoldenExamples:
+    def test_example_5_1_cites_rule_9(self, p_schema):
+        report = lint_query(nest_query(), p_schema)
+        assert find(report, "RR005"), "Example 5.1 is range restricted"
+        by_var = rr_citations(report)
+        assert set(by_var) == {"x", "s", "y", "z"}
+        assert by_var["s"].rule == "9"
+        assert "nest pattern" in by_var["s"].message
+        assert by_var["y"].rule == "9"
+        assert by_var["x"].rule == "1"
+        verdict = find(report, "CPX001")[0]
+        assert "LOGSPACE" in verdict.message
+
+    def test_example_5_3_cites_rules_9prime_and_10(self, p_schema):
+        report = lint_query(nest_query_ifp(), p_schema)
+        assert find(report, "RR005")
+        by_var = rr_citations(report)
+        assert by_var["s"].rule == "9'"
+        assert "fixpoint term" in by_var["s"].message
+        assert by_var["yv"].rule == "10"
+        assert "survives the tau iteration" in by_var["yv"].message
+        verdict = find(report, "CPX001")[0]
+        assert "PTIME" in verdict.message
+
+    def test_example_5_2_tau_star_drops_columns(self):
+        # Example 5.2: tau* = {2}, so only y is restricted; x and z are
+        # free-variable violations and columns 1, 3 are dropped.
+        x, y, z, t = (V(n, "U") for n in "xyzt")
+        phi = (exists(t, rel("S52")(z, x, t) & rel("S52")(t, y, y))
+               | (~rel("Pu")(x) & rel("Pu")(y)))
+        fix = ifp("S52", [x, y, z], phi)
+        q = query([x, y, z], fix(x, y, z))
+        report = lint_query(q, database_schema(Pu=["U"]))
+
+        assert not find(report, "RR005")
+        free = find(report, "RR002")
+        assert {d.message.split("'")[1] for d in free} == {"x", "z"}
+        for diagnostic in free:
+            assert diagnostic.severity is Severity.ERROR
+            assert diagnostic.suggestion is not None
+            assert "rule 1 of Definition 5.2" in diagnostic.suggestion
+        dropped = find(report, "RR006")[0]
+        assert dropped.severity is Severity.WARNING
+        assert "[1, 3]" in dropped.message
+        assert "rule 10" in dropped.message
+        assert find(report, "CPX003")
+
+    def test_theorem_5_3_exempt_discipline(self):
+        schema = database_schema(P=["U"])
+        q = guarded_parity_query()
+
+        strict = lint_query(q, schema)
+        assert not find(strict, "RR005")
+        assert find(strict, "CPX003")
+
+        relaxed = lint_query(q, schema, exempt_types=EXEMPT)
+        assert find(relaxed, "RR005")
+        note = find(relaxed, "CPX004")[0]
+        assert "Theorem 5.3" in note.message
+        verdict = find(relaxed, "CPX001")[0]
+        assert "Theorem 5.3" in verdict.message
+
+
+class TestTypePass:
+    def test_three_independent_errors_three_diagnostics(self):
+        schema = database_schema(G=["U", "U"])
+        report = lint_source("{[x:U] | H(x) and G(x) and G(x, x, x)}",
+                             schema)
+        assert codes(report) == ["TYP001", "TYP002", "TYP002"]
+        assert all(d.severity is Severity.ERROR for d in report)
+        # Distinct source locations: the errors are independent.
+        assert len({d.column for d in report}) == 3
+
+    def test_type_errors_suppress_later_passes(self):
+        schema = database_schema(G=["U", "U"])
+        report = lint_source("{[x:U] | H(x)}", schema)
+        assert codes(report) == ["TYP001"]  # no LVL/RR/CPX noise
+
+    def test_parse_error_is_a_finding(self):
+        report = lint_source("{[x:U] | G(x", database_schema(G=["U"]))
+        assert codes(report) == ["PAR001"]
+        assert report.fails()
+
+
+class TestSpans:
+    def test_violation_pinpoints_source(self):
+        report = lint_source("{[x:{U}] | not G(x, x)}", set_graph_schema())
+        violation = find(report, "RR002")[0]
+        assert violation.line == 1
+        assert violation.column == 12
+        assert violation.snippet == "not G(x, x)"
+        text = "{[x:{U}] | not G(x, x)}"
+        assert text[violation.span.start:violation.span.end] == "not G(x, x)"
+
+    def test_render_includes_location_and_suggestion(self):
+        report = lint_source("{[x:{U}] | not G(x, x)}", set_graph_schema())
+        rendered = report.render()
+        assert "1:12: error[RR002]" in rendered
+        assert "suggestion:" in rendered
+
+
+class TestCostPass:
+    def test_cost001_when_quantified_height_exceeds_schema(self, p_schema):
+        report = lint_source(
+            "{[x:U] | P(x, x) and exists s:{U} "
+            "(forall y:U (y in s <-> P(x, y)))}",
+            p_schema)
+        warning = find(report, "COST001")[0]
+        assert warning.severity is Severity.WARNING
+        assert "set height 1" in warning.message
+        assert "Theorem 5.1" in warning.suggestion
+        # The query is still range restricted; the warning is advisory.
+        assert find(report, "RR005")
+
+    def test_cost002_for_set_typed_quantification(self):
+        report = lint_query(pfp_transitive_closure_query(),
+                            set_graph_schema())
+        info = find(report, "COST002")[0]
+        assert info.severity is Severity.INFO
+        assert "|dom({U}, D)| = 256" in info.message
+
+
+class TestComplexityPass:
+    def test_pfp_with_reassertion_converges(self):
+        report = lint_query(pfp_transitive_closure_query(),
+                            set_graph_schema())
+        divergence = find(report, "CPX002")[0]
+        assert divergence.severity is Severity.INFO
+        assert "inflationary" in divergence.message
+        assert "PSPACE" in find(report, "CPX001")[0].message
+
+    def test_pfp_without_reassertion_warns(self):
+        x, y, z = V("x", "{U}"), V("y", "{U}"), V("z", "{U}")
+        G, S = rel("G"), rel("S")
+        fix = pfp("S", [x, y], G(x, y) | exists(z, S(x, z) & G(z, y)))
+        report = lint_query(query([x, y], fix(x, y)), set_graph_schema())
+        divergence = find(report, "CPX002")[0]
+        assert divergence.severity is Severity.WARNING
+        assert "use IFP" in divergence.suggestion
+
+
+class TestDatalogPass:
+    def test_translated_program_gets_full_pipeline(self):
+        program = Program(
+            rules=[
+                Rule(Literal("T", ["x", "y"]), [Literal("G", ["x", "y"])]),
+                Rule(Literal("T", ["x", "y"]),
+                     [Literal("T", ["x", "z"]), Literal("G", ["z", "y"])]),
+            ],
+            idb_types={"T": ["{U}", "{U}"]},
+        )
+        report = lint_program(program, set_graph_schema())
+        assert codes(report)[0] == "DLG002"
+        assert find(report, "RR005")
+        assert "PTIME" in find(report, "CPX001")[0].message
+
+    def test_untranslatable_program_is_a_finding(self):
+        program = Program(
+            rules=[
+                Rule(Literal("A", ["x"]), [Literal("G", ["x", "y"])]),
+                Rule(Literal("B", ["x"]), [Literal("G", ["y", "x"])]),
+            ],
+            idb_types={"A": ["{U}"], "B": ["{U}"]},
+        )
+        report = lint_program(program, set_graph_schema())
+        assert codes(report) == ["DLG001"]
+        assert report.fails()
+
+
+class TestReportAPI:
+    def test_json_round_trip(self):
+        report = lint_source("{[x:{U}] | not G(x, x)}", set_graph_schema())
+        payload = json.loads(report.to_json())
+        assert [d["code"] for d in payload] == codes(report)
+        assert all(d["severity"] in {"info", "warning", "error"}
+                   for d in payload)
+        violation = next(d for d in payload if d["code"] == "RR002")
+        assert violation["span"] == {"start": 11, "end": 22}
+        assert violation["line"] == 1 and violation["column"] == 12
+        assert "suggestion" in violation
+
+    def test_fail_on_thresholds(self, p_schema):
+        clean = lint_query(nest_query(), p_schema)
+        assert not clean.fails()
+        assert not clean.fails(Severity.WARNING)
+        report = lint_source(
+            "{[x:U] | P(x, x) and exists s:{U} "
+            "(forall y:U (y in s <-> P(x, y)))}",
+            p_schema)
+        assert not report.fails()  # only a warning
+        assert report.fails(Severity.WARNING)
+
+    def test_every_code_in_registry_explains(self):
+        for code in CODES:
+            text = explain(code)
+            assert text.startswith(code)
+            assert "Paper:" in text
+        with pytest.raises(KeyError):
+            explain("XXX999")
+
+    def test_severity_ordering(self):
+        assert Severity.ERROR > Severity.WARNING > Severity.INFO
+        assert str(Severity.WARNING) == "warning"

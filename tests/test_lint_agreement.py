@@ -1,0 +1,87 @@
+"""Regression: the lint verdict agrees with the evaluator.
+
+For every workload query, ``lint_query`` says "range restricted"
+(``RR005``) exactly when :func:`evaluate_range_restricted` accepts the
+query — the static analyzer and the safe evaluation path share one
+Definition 5.2/5.3 analysis and must never drift apart.
+"""
+
+import pytest
+
+from repro.core.builder import V, query, rel
+from repro.core.range_restriction import RangeComputationError
+from repro.core.safety import evaluate_range_restricted
+from repro.lint import lint_query
+from repro.objects import atom, cset, database_schema, instance
+from repro.workloads import (
+    bipartite_query,
+    chain_graph,
+    cyclic_nodes_query,
+    nest_query,
+    nest_query_ifp,
+    pfp_transitive_closure_query,
+    same_members_query,
+    set_chain_graph,
+    transitive_closure_query,
+    transitive_closure_term_query,
+)
+
+
+def _flat_p_instance():
+    schema = database_schema(P=["U", "U"])
+    return instance(schema, P=[("a", "b"), ("a", "c"), ("b", "c")])
+
+
+def _sets_instance():
+    schema = database_schema(R=["{U}"])
+    return instance(schema, R=[
+        (cset(atom("a")),),
+        (cset(atom("a"), atom("b")),),
+    ])
+
+
+def _unsafe_query():
+    x = V("x", "{U}")
+    return query([x], ~rel("G")(x, x))
+
+
+CASES = [
+    ("transitive_closure", transitive_closure_query,
+     lambda: set_chain_graph(4)),
+    ("transitive_closure_term", transitive_closure_term_query,
+     lambda: set_chain_graph(4)),
+    ("pfp_transitive_closure", pfp_transitive_closure_query,
+     lambda: set_chain_graph(4)),
+    ("cyclic_nodes", cyclic_nodes_query, lambda: set_chain_graph(4)),
+    ("bipartite", bipartite_query, lambda: chain_graph(3)),
+    ("nest", nest_query, _flat_p_instance),
+    ("nest_ifp", nest_query_ifp, _flat_p_instance),
+    ("same_members", same_members_query, _sets_instance),
+    ("unsafe_negation", _unsafe_query, lambda: set_chain_graph(3)),
+]
+
+
+@pytest.mark.parametrize(("name", "make_query", "make_instance"), CASES,
+                         ids=[case[0] for case in CASES])
+def test_lint_verdict_matches_evaluator(name, make_query, make_instance):
+    q = make_query()
+    inst = make_instance()
+    report = lint_query(q, inst.schema)
+
+    lint_says_rr = any(d.code == "RR005" for d in report)
+    try:
+        evaluate_range_restricted(q, inst)
+        evaluator_accepts = True
+    except RangeComputationError:
+        evaluator_accepts = False
+
+    assert lint_says_rr == evaluator_accepts, (
+        f"{name}: lint says range-restricted={lint_says_rr} but the "
+        f"evaluator {'accepted' if evaluator_accepts else 'rejected'} it"
+    )
+    # A rejected query must come with pinpointed violations, an accepted
+    # one with per-variable citations.
+    if lint_says_rr:
+        assert any(d.code == "RR001" for d in report)
+    else:
+        assert any(d.code in {"RR002", "RR003", "RR004"} for d in report)

@@ -73,7 +73,7 @@ class TestLemma43:
     def test_formula_is_plain_calc(self):
         """The order formulas use no fixpoint operators (Lemma 4.3 is
         about CALC_i^k proper)."""
-        from repro.core.syntax import FixpointPred, FixpointTerm
+        from repro.core.syntax import FixpointPred
 
         typ = parse_type("{[U,U]}")
         phi = less_than_formula(typ)(Var("x", typ), Var("y", typ))

@@ -10,7 +10,7 @@ needs no order assumption, only density.
 
 import pytest
 
-from repro.core.builder import V, eq, exists, forall, ifp, query, rel
+from repro.core.builder import V, exists, ifp, query, rel
 from repro.core.evaluation import Evaluator, evaluate
 from repro.core.order_formulas import pair_in, total_order_formula
 from repro.core.syntax import Exists, Var

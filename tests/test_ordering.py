@@ -29,7 +29,7 @@ from repro.objects.ordering import (
     unrank,
 )
 from repro.objects.types import U, parse_type
-from repro.objects.values import Atom, CSet, cset, ctuple, atom
+from repro.objects.values import Atom, cset, ctuple, atom
 
 from .conftest import values_of_type
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.builder import V, eq, exists, forall, ifp, member, query, rel
+from repro.core.builder import V, exists, query, rel
 from repro.core.evaluation import evaluate
 from repro.core.parser import ParseError, parse_formula, parse_query, parse_term
 from repro.core.syntax import (
@@ -19,7 +19,6 @@ from repro.core.syntax import (
     Not,
     Or,
     Proj,
-    RelAtom,
     Subset,
     Var,
 )

@@ -9,7 +9,6 @@ import pytest
 
 from repro.machines import (
     PFPSimulation,
-    TMSimulation,
     copy_machine,
     identity_machine,
     simulate_query,

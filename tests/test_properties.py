@@ -4,7 +4,6 @@ Invariants that every layer must uphold together: genericity of queries,
 order-invariance of the semantics, encode/decode/rank coherence.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -21,7 +20,6 @@ from repro.objects import (
     decode_value,
     encode_value,
     instance,
-    parse_type,
     rank,
     sort_key,
     unrank,

@@ -3,8 +3,7 @@ experiments E14, E15, E16)."""
 
 import pytest
 
-from repro.core.builder import C, V, eq, exists, forall, ifp, member, proj, query, rel, subset
-from repro.core.evaluation import evaluate
+from repro.core.builder import C, V, eq, exists, forall, ifp, member, proj, query, rel
 from repro.core.range_restriction import (
     RangeComputationError,
     analyze,
@@ -15,8 +14,8 @@ from repro.core.range_restriction import (
     nnf,
 )
 from repro.core.safety import evaluate_range_restricted, verify_safety
-from repro.core.syntax import And, Exists, Forall, Iff, Implies, In, Not, Or, RelAtom
-from repro.objects import atom, cset, database_schema, instance, parse_type
+from repro.core.syntax import And, Forall, Implies, Not, Or
+from repro.objects import atom, cset, database_schema, instance
 from repro.workloads import (
     bipartite_query,
     nest_query,
@@ -62,7 +61,6 @@ class TestDefinition52Rules:
     """Each rule of Definition 5.2 exercised in isolation."""
 
     def _rr(self, formula, schema, **types):
-        from repro.objects.types import Type
         from repro.objects import parse_type as pt
 
         resolved = {n: pt(t) if isinstance(t, str) else t

@@ -1,29 +1,18 @@
 """Tests for C-safe evaluation (Definition 5.1, Proposition 5.1,
 Theorem 5.2; E14)."""
 
-import pytest
 
-from repro.core.builder import C, V, eq, exists, forall, member, query, rel
+from repro.core.builder import V, eq, exists, forall, query, rel
 from repro.core.evaluation import Evaluator, evaluate
-from repro.core.order_formulas import (
-    ORDER_RELATION,
-    order_schema,
-    with_order_relation,
-)
-from repro.core.range_restriction import RangeComputationError
+from repro.core.order_formulas import ORDER_RELATION, with_order_relation
 from repro.core.safety import (
     SafeEvaluationReport,
     evaluate_range_restricted,
     safety_diagnostics,
     verify_safety,
 )
-from repro.objects import AtomOrder, atom, cset, database_schema, instance
-from repro.workloads import (
-    bipartite_query,
-    chain_graph,
-    nest_query,
-    transitive_closure_query,
-)
+from repro.objects import atom, database_schema, instance
+from repro.workloads import bipartite_query, chain_graph, nest_query
 
 
 class TestSafeEvaluation:

@@ -4,7 +4,6 @@ import pytest
 
 from repro.objects import (
     DatabaseSchema,
-    Instance,
     InstanceError,
     Relation,
     RelationSchema,

@@ -9,18 +9,10 @@ from repro.machines import (
     erase_machine,
     identity_machine,
     initial_configuration_rows,
-    parity_machine,
     simulate_query,
 )
 from repro.machines.turing import BLANK, TuringMachine, Transition
-from repro.objects import (
-    AtomOrder,
-    atom,
-    cset,
-    database_schema,
-    encode_instance,
-    instance,
-)
+from repro.objects import AtomOrder, database_schema, encode_instance, instance
 
 TAPE_ALPHABET = set("01#[]{}GP")
 

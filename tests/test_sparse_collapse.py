@@ -10,14 +10,7 @@ import pytest
 
 from repro.analysis import SparseEncoding, SparseEncodingError
 from repro.core.safety import evaluate_range_restricted
-from repro.objects import (
-    CSet,
-    atom,
-    cset,
-    database_schema,
-    instance,
-    parse_type,
-)
+from repro.objects import CSet, database_schema, instance, parse_type
 from repro.workloads import (
     set_random_graph,
     sparse_chain_family,

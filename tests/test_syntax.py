@@ -6,22 +6,17 @@ from repro.core.builder import V, eq, exists, forall, ifp, member, pfp, proj, qu
 from repro.core.syntax import (
     And,
     Const,
-    Equals,
     Exists,
     Fixpoint,
-    FixpointPred,
     FixpointTerm,
     Forall,
     Iff,
     Implies,
-    In,
     Not,
     Or,
-    Proj,
     Query,
     RelAtom,
     SyntaxError_,
-    Var,
     constants_of,
     relation_names_of,
 )

@@ -2,13 +2,12 @@
 
 import pytest
 
-from repro.core.builder import V, eq, exists, forall, ifp, member, query, rel, subset
+from repro.core.builder import V, eq, exists, ifp, member, query, rel, subset
 from repro.core.typecheck import (
     TypeCheckError,
     assert_calc_ik,
     check_formula,
     check_query,
-    formula_level,
     query_level,
 )
 from repro.objects import database_schema, parse_type

@@ -7,7 +7,7 @@ canonical programs.
 
 import pytest
 
-from repro.core.builder import V, eq, exists, rel
+from repro.core.builder import V, exists, rel
 from repro.core.evaluation import evaluate
 from repro.core.while_lang import Assign, WhileChange, WhileError, WhileProgram, run_program
 from repro.objects import atom, cset, database_schema, instance
