@@ -15,7 +15,7 @@ from repro.datalog import (
     evaluate_inflationary,
     program_to_query,
 )
-from repro.workloads import set_random_graph
+from repro.workloads import chain_graph, set_random_graph
 
 GRAPH = set_random_graph(3, 6, p=0.3, seed=77)
 
@@ -58,6 +58,41 @@ def test_datalog_with_builtins(benchmark):
     program = _members_program()
     result = benchmark(lambda: evaluate_inflationary(program, GRAPH))
     assert len(result["M"]) <= 3
+
+
+def _flat_tc_program():
+    return Program(
+        rules=[
+            Rule(Literal("T", ["x", "y"]), [Literal("G", ["x", "y"])]),
+            Rule(Literal("T", ["x", "y"]),
+                 [Literal("T", ["x", "z"]), Literal("G", ["z", "y"])]),
+        ],
+        idb_types={"T": ["U", "U"]},
+    )
+
+
+def test_seminaive_beats_naive_on_long_chain(benchmark):
+    """PR 3's headline: on chain TC the naive strategy re-fires every
+    settled row each stage (O(n) stages x O(n^2) rows), the delta
+    rewrite touches each row once.  The gap must be at least 2x."""
+    inst = chain_graph(48)
+    program = _flat_tc_program()
+
+    def compare():
+        naive_seconds, naive_result = measure_seconds(
+            evaluate_inflationary, program, inst, strategy="naive")
+        semi_seconds, semi_result = measure_seconds(
+            evaluate_inflationary, program, inst, strategy="seminaive")
+        assert naive_result == semi_result
+        assert len(semi_result["T"]) == 48 * 47 // 2
+        return naive_seconds, semi_seconds
+
+    naive_seconds, semi_seconds = benchmark.pedantic(
+        compare, rounds=1, iterations=1)
+    print(f"\nE19/PR3: chain(48) TC — naive {naive_seconds:.4f}s, "
+          f"semi-naive {semi_seconds:.4f}s "
+          f"({naive_seconds / max(semi_seconds, 1e-9):.1f}x)")
+    assert semi_seconds * 2 < naive_seconds
 
 
 def test_engine_comparison(benchmark):

@@ -62,6 +62,26 @@ def test_naive_fixpoint_on_dense_input(benchmark):
     )
 
 
+def test_strategy_agreement_on_dense_input(benchmark):
+    """PR 3: the delta-driven evaluator returns the same closure on the
+    dense subset graph (where stages are large and skips frequent)."""
+    inst = _dense_subset_graph(3)
+    query = transitive_closure_query()
+
+    def compare():
+        naive_seconds, naive_answer = measure_seconds(
+            evaluate, query, inst, strategy="naive")
+        semi_seconds, semi_answer = measure_seconds(
+            evaluate, query, inst, strategy="seminaive")
+        assert naive_answer == semi_answer
+        return naive_seconds, semi_seconds
+
+    naive_seconds, semi_seconds = benchmark.pedantic(
+        compare, rounds=1, iterations=1)
+    print(f"\nE11/PR3: dense subset graph n=3 — naive {naive_seconds:.4f}s, "
+          f"semi-naive {semi_seconds:.4f}s")
+
+
 def test_polynomial_growth_on_dense_family(benchmark):
     """Runtime vs ||I|| fits a polynomial of modest degree."""
     sizes = [2, 3, 4]

@@ -78,6 +78,33 @@ def test_tc_engines_agree_and_rank(benchmark):
     assert native <= min(naive, rr, datalog)
 
 
+def test_tc_strategy_differential(benchmark):
+    """PR 3: naive vs delta-driven evaluation of the same query — the
+    answers must agree; the bench records both costs for both engines."""
+    program = _datalog_program()
+
+    def compare():
+        calc_naive, answer_naive = measure_seconds(
+            evaluate, QUERY, GRAPH, strategy="naive")
+        calc_semi, answer_semi = measure_seconds(
+            evaluate, QUERY, GRAPH, strategy="seminaive")
+        assert answer_naive == answer_semi
+        dl_naive, result_naive = measure_seconds(
+            evaluate_inflationary, program, GRAPH, strategy="naive")
+        dl_semi, result_semi = measure_seconds(
+            evaluate_inflationary, program, GRAPH, strategy="seminaive")
+        assert result_naive == result_semi
+        return calc_naive, calc_semi, dl_naive, dl_semi
+
+    calc_naive, calc_semi, dl_naive, dl_semi = benchmark.pedantic(
+        compare, rounds=1, iterations=1)
+    print("\nE06/PR3: naive vs semi-naive on one TC query (seconds)")
+    print(f"  CALC+IFP naive      : {calc_naive:.4f}")
+    print(f"  CALC+IFP semi-naive : {calc_semi:.4f}")
+    print(f"  datalog naive       : {dl_naive:.4f}")
+    print(f"  datalog semi-naive  : {dl_semi:.4f}")
+
+
 def test_tc_counter_report(obs_counters):
     """Report the engine counters behind the timings (not itself timed):
     fixpoint stage counts, range sizes, and Datalog dedup pressure."""

@@ -1,0 +1,138 @@
+"""Benchmark smoke for PR 3: naive vs semi-naive series -> BENCH_PR3.json.
+
+Runs the chain-graph transitive-closure workload through the three
+engines that grew a ``strategy`` switch (Datalog, CALC+IFP, algebra
+loop), records seconds and work counters for both strategies, and
+writes the series to ``BENCH_PR3.json`` at the repo root.  Exits
+non-zero if the strategies disagree or the semi-naive Datalog engine
+fails to beat naive by at least 2x on the largest chain — the gate CI
+enforces.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/smoke_pr3.py [output.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.algebra import tc_via_loop
+from repro.core.evaluation import evaluate
+from repro.datalog import Literal, Program, Rule, evaluate_inflationary
+from repro.obs import Tracer, use_tracer
+from repro.workloads import chain_graph, transitive_closure_query
+
+DATALOG_SIZES = (8, 16, 32, 64)
+CALC_SIZES = (6, 8, 10, 12)
+LOOP_SIZES = (64, 128, 256)
+
+
+def _tc_program() -> Program:
+    return Program(
+        [Rule(Literal("T", ["x", "y"]), [Literal("G", ["x", "y"])]),
+         Rule(Literal("T", ["x", "y"]),
+              [Literal("T", ["x", "z"]), Literal("G", ["z", "y"])])],
+        idb_types={"T": ["U", "U"]},
+    )
+
+
+def _timed_with_counters(fn, *args, **kwargs):
+    tracer = Tracer()
+    with use_tracer(tracer):
+        start = time.perf_counter()
+        result = fn(*args, **kwargs)
+        seconds = time.perf_counter() - start
+    return seconds, result, dict(tracer.counters)
+
+
+def datalog_series() -> list[dict]:
+    series = []
+    for n in DATALOG_SIZES:
+        inst = chain_graph(n)
+        point: dict = {"n": n, "closure_rows": n * (n - 1) // 2}
+        results = {}
+        for strategy in ("naive", "seminaive"):
+            seconds, result, counters = _timed_with_counters(
+                evaluate_inflationary, _tc_program(), inst,
+                strategy=strategy)
+            results[strategy] = result
+            point[strategy] = {
+                "seconds": round(seconds, 6),
+                "rows_derived": counters.get("datalog.rows_derived", 0),
+                "dedup_hits": counters.get("datalog.dedup_hits", 0),
+                "refires_avoided": counters.get("datalog.refires_avoided", 0),
+                "stages": counters.get("ifp.stages", 0),
+            }
+        assert results["naive"] == results["seminaive"], f"datalog n={n}"
+        assert len(results["seminaive"]["T"]) == point["closure_rows"]
+        series.append(point)
+    return series
+
+
+def calc_series() -> list[dict]:
+    series = []
+    query = transitive_closure_query("U")
+    for n in CALC_SIZES:
+        inst = chain_graph(n)
+        point: dict = {"n": n, "closure_rows": n * (n - 1) // 2}
+        answers = {}
+        for strategy in ("naive", "seminaive"):
+            seconds, answer, counters = _timed_with_counters(
+                evaluate, query, inst, strategy=strategy)
+            answers[strategy] = answer
+            point[strategy] = {
+                "seconds": round(seconds, 6),
+                "delta_rows": counters.get("eval.delta_rows", 0),
+                "stage_skips": counters.get("eval.stage_skips", 0),
+                "stages": counters.get("ifp.stages", 0),
+            }
+        assert answers["naive"] == answers["seminaive"], f"calc n={n}"
+        series.append(point)
+    return series
+
+
+def loop_series() -> list[dict]:
+    series = []
+    for n in LOOP_SIZES:
+        inst = chain_graph(n)
+        point: dict = {"n": n}
+        pairs = {}
+        for strategy in ("naive", "seminaive"):
+            start = time.perf_counter()
+            pairs[strategy] = tc_via_loop(inst, strategy=strategy)
+            point[strategy] = {
+                "seconds": round(time.perf_counter() - start, 6),
+            }
+        assert pairs["naive"] == pairs["seminaive"], f"loop n={n}"
+        series.append(point)
+    return series
+
+
+def main(argv: list[str]) -> int:
+    output = Path(argv[1]) if len(argv) > 1 else Path("BENCH_PR3.json")
+    document = {
+        "experiment": "PR3 naive vs semi-naive fixpoint evaluation",
+        "workload": "transitive closure of chain_graph(n), flat U nodes",
+        "datalog": datalog_series(),
+        "calc_ifp": calc_series(),
+        "algebra_loop": loop_series(),
+    }
+    largest = document["datalog"][-1]
+    speedup = (largest["naive"]["seconds"]
+               / max(largest["seminaive"]["seconds"], 1e-9))
+    document["datalog_speedup_at_largest_n"] = round(speedup, 2)
+    output.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"wrote {output} (datalog n={largest['n']}: "
+          f"semi-naive {speedup:.1f}x faster)")
+    if speedup < 2.0:
+        print("FAIL: semi-naive not measurably faster", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -34,13 +34,32 @@ def _edges(inst: Instance, relation: str = "G") -> Pairs:
     )
 
 
-def tc_via_loop(inst: Instance, relation: str = "G") -> Pairs:
-    """Transitive closure by semi-naive iteration (polynomial baseline)."""
+def tc_via_loop(inst: Instance, relation: str = "G",
+                strategy: str = "seminaive") -> Pairs:
+    """Transitive closure by a native loop (polynomial baseline).
+
+    ``strategy="seminaive"`` (default) extends only the frontier of
+    newly discovered pairs each round; ``strategy="naive"`` recomposes
+    the whole closure with the edge relation every round — the algebra
+    counterpart of the engines' two strategies, raced in benchmarks.
+    """
+    if strategy not in ("naive", "seminaive"):
+        raise AlgebraError(f"unknown strategy {strategy!r}")
     edges = _edges(inst, relation)
     successors: dict[Value, set[Value]] = {}
     for source, target in edges:
         successors.setdefault(source, set()).add(target)
     closure = set(edges)
+    if strategy == "naive":
+        while True:
+            new = {
+                (source, target)
+                for source, middle in closure
+                for target in successors.get(middle, ())
+            } | edges
+            if new <= closure:
+                return frozenset(closure)
+            closure |= new
     frontier = set(edges)
     while frontier:
         new_frontier = set()

@@ -96,10 +96,13 @@ def _run_query(args: argparse.Namespace, tracer) -> tuple[frozenset, str]:
     """
     inst = _load_instance(args.instance)
     query = parse_query(args.query)
+    strategy = getattr(args, "strategy", "seminaive")
     if args.mode == "active":
-        return evaluate(query, inst, max_domain_size=args.max_domain), "active"
+        return (evaluate(query, inst, max_domain_size=args.max_domain,
+                         strategy=strategy), "active")
     try:
-        return evaluate_range_restricted(query, inst).answer, "rr"
+        return (evaluate_range_restricted(query, inst,
+                                          strategy=strategy).answer, "rr")
     except RangeComputationError as error:
         # Only the RR-analysis rejection triggers the fallback; genuine
         # engine failures propagate instead of masquerading as "not RR".
@@ -109,8 +112,8 @@ def _run_query(args: argparse.Namespace, tracer) -> tuple[frozenset, str]:
         print(f"note: range-restricted evaluation unavailable "
               f"({error}); falling back to active-domain semantics",
               file=sys.stderr)
-        return (evaluate(query, inst, max_domain_size=args.max_domain),
-                "active")
+        return (evaluate(query, inst, max_domain_size=args.max_domain,
+                         strategy=strategy), "active")
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
@@ -286,6 +289,10 @@ def build_parser() -> argparse.ArgumentParser:
              "auto: rr with active fallback (default)")
     query_cmd.add_argument("--max-domain", type=int, default=1_000_000,
                            help="cap on materialised domains (active mode)")
+    query_cmd.add_argument(
+        "--strategy", choices=("naive", "seminaive"), default="seminaive",
+        help="fixpoint evaluation strategy: seminaive (delta-driven, "
+             "default) or naive (re-derive everything each stage)")
     query_cmd.add_argument("--trace", action="store_true",
                            help="print the trace tree to stderr")
     query_cmd.add_argument("--stats", action="store_true",
@@ -304,6 +311,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="evaluation mode (as for the query command)")
     profile_cmd.add_argument("--max-domain", type=int, default=1_000_000,
                              help="cap on materialised domains (active mode)")
+    profile_cmd.add_argument(
+        "--strategy", choices=("naive", "seminaive"), default="seminaive",
+        help="fixpoint evaluation strategy (as for the query command)")
     profile_cmd.add_argument("--json", action="store_true",
                              help="emit the trace document as JSON on stdout")
     profile_cmd.add_argument("--no-times", action="store_true",

@@ -16,6 +16,20 @@ Implements the paper's two interpretations:
 The evaluator handles IFP and PFP per Definition 3.1 (see
 :mod:`repro.core.fixpoint`), including fixpoints used as *terms* and
 fixpoints with outer parameters (Example 5.3's range-restricted nest).
+
+Two evaluation strategies are offered (``Evaluator(strategy=...)``):
+
+* ``"naive"`` — every fixpoint stage re-enumerates the full column
+  product and re-checks every candidate row; every subformula is
+  re-evaluated from scratch.  This is the reference oracle the
+  differential tests compare against.
+* ``"seminaive"`` (default) — delta-driven: inflationary stages skip
+  candidate rows already in the fixpoint (their membership is settled —
+  the union keeps them regardless), and ``_satisfy`` memoizes subformula
+  results whose free variables are bound and whose referenced fixpoint
+  relations are unchanged between stages.  Both refinements preserve the
+  Definition 3.1 semantics exactly — stage sequences, answers, and
+  :class:`PFPDivergenceError` period/stage all match the naive strategy.
 """
 
 from __future__ import annotations
@@ -29,7 +43,7 @@ from ..objects.instance import Instance
 from ..objects.schema import DatabaseSchema
 from ..objects.types import Type
 from ..objects.values import Atom, CSet, CTuple, Value
-from .fixpoint import PFPDivergenceError, iterate_ifp, iterate_pfp
+from .fixpoint import PFPDivergenceError, iterate_ifp, iterate_ifp_delta, iterate_pfp
 from .syntax import (
     IFP,
     And,
@@ -60,6 +74,7 @@ __all__ = [
     "EvalError",
     "PFPDivergenceError",
     "Evaluator",
+    "STRATEGIES",
     "evaluate",
     "evaluate_formula",
     "active_atoms",
@@ -69,6 +84,11 @@ __all__ = [
 DEFAULT_MAX_DOMAIN = 1_000_000
 #: Default cap on the size of a quantifier/head product enumeration.
 DEFAULT_MAX_PRODUCT = 20_000_000
+#: Cap on memoized subformula results per evaluation (bounds memory).
+DEFAULT_MAX_MEMO = 250_000
+
+#: Recognised evaluation strategies.
+STRATEGIES = ("naive", "seminaive")
 
 
 class EvalError(Exception):
@@ -112,6 +132,36 @@ class _DomainCache:
         return self._cache[typ]
 
 
+def _referenced_relations(formula: Formula) -> frozenset[str]:
+    """Relation names a formula's truth value can depend on.
+
+    Collects every :class:`RelAtom` name reachable from the formula,
+    descending into fixpoint bodies in both predicate and term position
+    (a fixpoint body may read an *enclosing* fixpoint's relation through
+    the evaluator's relation environment, so those names count as
+    dependencies of the outer formula too).
+    """
+    names: set[str] = set()
+
+    def visit_term(term: Term) -> None:
+        for sub in term.walk_terms():
+            if isinstance(sub, FixpointTerm):
+                visit(sub.fixpoint.body)
+
+    def visit(node: Formula) -> None:
+        if isinstance(node, RelAtom):
+            names.add(node.name)
+        if isinstance(node, FixpointPred):
+            visit(node.fixpoint.body)
+        for child in node.children():
+            visit(child)
+        for term in node.terms():
+            visit_term(term)
+
+    visit(formula)
+    return frozenset(names)
+
+
 class _Context:
     """State threaded through a single evaluation."""
 
@@ -124,6 +174,8 @@ class _Context:
         variable_ranges: Mapping[str, Collection[Value]] | None,
         fixpoint_ranges: Mapping[str, Mapping[str, Collection[Value]]] | None,
         tracer: Tracer | NullTracer | None = None,
+        strategy: str = "seminaive",
+        max_memo: int = DEFAULT_MAX_MEMO,
     ):
         self.instance = instance
         self.tracer = tracer if tracer is not None else get_tracer()
@@ -133,16 +185,38 @@ class _Context:
         self.fixpoint_ranges = {
             name: dict(ranges) for name, ranges in (fixpoint_ranges or {}).items()
         }
+        self.strategy = strategy
         #: Relations bound by enclosing fixpoints: name -> frozenset of rows.
         self.rel_env: dict[str, frozenset[tuple[Value, ...]]] = {}
         #: Cache of fixpoint results keyed by (fixpoint, parameter values).
         self.fixpoint_cache: dict[tuple, frozenset[tuple[Value, ...]]] = {}
         #: Statistics (exposed for benchmarks).
-        self.stats = {"atom_checks": 0, "quantifier_iterations": 0,
-                      "fixpoint_stages": 0}
+        self.stats = {"atom_checks": 0, "formula_checks": 0,
+                      "quantifier_iterations": 0, "fixpoint_stages": 0,
+                      "delta_rows": 0, "stage_skips": 0,
+                      "satisfy_memo_hits": 0}
         #: Enumeration shapes already reported to the tracer (dedup so a
         #: quantifier inside a hot loop traces once, not per outer env).
         self.traced_enumerations: set[tuple] = set()
+        #: Memoized _satisfy results (seminaive strategy only), keyed by
+        #: (formula, free-variable bindings); capped by ``max_memo``.
+        self.memo_enabled = strategy == "seminaive"
+        self.max_memo = max_memo
+        self.satisfy_memo: dict[tuple, bool] = {}
+        #: Per-formula (free variables, referenced relations), computed once.
+        #: Keyed by ``id(formula)``: AST nodes are immutable and outlive
+        #: the context, and structural hashing of a subtree on every
+        #: lookup is exactly the per-node cost memoization must avoid.
+        self._profiles: dict[int, tuple[tuple[str, ...], frozenset[str]]] = {}
+
+    def profile(self, formula: Formula) -> tuple[tuple[str, ...], frozenset[str]]:
+        """Free-variable names (sorted) and referenced relation names."""
+        cached = self._profiles.get(id(formula))
+        if cached is None:
+            cached = (tuple(sorted(formula.free_variables())),
+                      _referenced_relations(formula))
+            self._profiles[id(formula)] = cached
+        return cached
 
     def candidates(self, var_name: str, typ: Type) -> Collection[Value]:
         """Values a variable ranges over: its range if given, else dom(T, D)."""
@@ -161,6 +235,8 @@ class Evaluator:
         max_fixpoint_stages: guard on fixpoint iteration counts.
         variable_ranges: optional restricted-domain ranges, variable name
             to a collection of candidate values (restricted semantics).
+        strategy: ``"seminaive"`` (delta-driven, the default) or
+            ``"naive"`` (the reference oracle; see the module docstring).
     """
 
     def __init__(
@@ -171,12 +247,19 @@ class Evaluator:
         max_fixpoint_stages: int | None = 100_000,
         variable_ranges: Mapping[str, Collection[Value]] | None = None,
         tracer: Tracer | NullTracer | None = None,
+        strategy: str = "seminaive",
     ):
+        if strategy not in STRATEGIES:
+            raise ValueError(
+                f"unknown evaluation strategy {strategy!r}; "
+                f"expected one of {STRATEGIES}"
+            )
         self.schema = schema
         self.max_domain_size = max_domain_size
         self.max_product = max_product
         self.max_fixpoint_stages = max_fixpoint_stages
         self.variable_ranges = variable_ranges
+        self.strategy = strategy
         #: Explicit tracer; None resolves the active one per evaluation,
         #: so ``with use_tracer(...)`` works without rebuilding Evaluators.
         self.tracer = tracer
@@ -245,15 +328,19 @@ class Evaluator:
         return _Context(
             inst, atoms, self.max_domain_size, self.max_product,
             self.variable_ranges, fixpoint_ranges, tracer,
+            strategy=self.strategy,
         )
 
     def _finish(self, ctx: _Context) -> None:
         """Publish per-evaluation stats (kept on ``last_stats`` for
-        backwards compatibility, mirrored into the tracer's counters)."""
+        backwards compatibility, mirrored into the tracer's counters).
+        Zero-valued stats are not mirrored, keeping EXPLAIN output free
+        of counters the evaluation never touched."""
         self.last_stats = ctx.stats
         if ctx.tracer.enabled:
             for name, value in ctx.stats.items():
-                ctx.tracer.count(f"eval.{name}", value)
+                if value:
+                    ctx.tracer.count(f"eval.{name}", value)
 
     def _bindings(
         self,
@@ -313,30 +400,42 @@ class Evaluator:
         raise EvalError(f"unknown term {term!r}")
 
     def _satisfy(self, formula: Formula, env: dict[str, Value], ctx: _Context) -> bool:
-        ctx.stats["atom_checks"] += 1
+        """Truth of ``formula`` under ``env``.
+
+        ``formula_checks`` counts every node visited; ``atom_checks``
+        counts atomic formulas only.  Quantifier and fixpoint nodes — the
+        only ones whose evaluation loops — detour through
+        :meth:`_satisfy_memoized`; everything else is dispatched inline
+        so the per-node cost stays what it was before memoization existed.
+        """
+        stats = ctx.stats
+        stats["formula_checks"] += 1
         if isinstance(formula, Equals):
+            stats["atom_checks"] += 1
             return (self._eval_term(formula.left, env, ctx)
                     == self._eval_term(formula.right, env, ctx))
         if isinstance(formula, In):
+            stats["atom_checks"] += 1
             container = self._eval_term(formula.container, env, ctx)
             if not isinstance(container, CSet):
                 raise EvalError(f"'in' on non-set value {container!r}")
             return self._eval_term(formula.element, env, ctx) in container
         if isinstance(formula, Subset):
+            stats["atom_checks"] += 1
             left = self._eval_term(formula.left, env, ctx)
             right = self._eval_term(formula.right, env, ctx)
             if not isinstance(left, CSet) or not isinstance(right, CSet):
                 raise EvalError("'sub' on non-set values")
             return left.issubset(right)
         if isinstance(formula, RelAtom):
+            stats["atom_checks"] += 1
             row = tuple(self._eval_term(a, env, ctx) for a in formula.args)
             if formula.name in ctx.rel_env:
                 return row in ctx.rel_env[formula.name]
             return CTuple(row) in ctx.instance.relation(formula.name).tuples
         if isinstance(formula, FixpointPred):
-            rows = self._fixpoint_rows(formula.fixpoint, env, ctx)
-            row = tuple(self._eval_term(a, env, ctx) for a in formula.args)
-            return row in rows
+            stats["atom_checks"] += 1
+            return self._satisfy_memoized(formula, env, ctx)
         if isinstance(formula, Not):
             return not self._satisfy(formula.operand, env, ctx)
         if isinstance(formula, And):
@@ -349,6 +448,46 @@ class Evaluator:
         if isinstance(formula, Iff):
             return (self._satisfy(formula.left, env, ctx)
                     == self._satisfy(formula.right, env, ctx))
+        if isinstance(formula, (Exists, Forall)):
+            return self._satisfy_memoized(formula, env, ctx)
+        raise EvalError(f"unknown formula {formula!r}")
+
+    def _satisfy_memoized(self, formula: Formula, env: dict[str, Value],
+                          ctx: _Context) -> bool:
+        """Quantifier/fixpoint nodes, memoized under the seminaive
+        strategy.
+
+        Subformulas whose referenced relations are not bound by an
+        enclosing fixpoint are cached on their free-variable bindings:
+        their truth then depends only on the (constant) instance, so the
+        cached result stays valid across fixpoint stages and across
+        sibling candidate rows.
+        """
+        memo_key = None
+        if ctx.memo_enabled:
+            free_names, rel_names = ctx.profile(formula)
+            if not any(name in ctx.rel_env for name in rel_names):
+                try:
+                    memo_key = (id(formula),
+                                tuple(env[name] for name in free_names))
+                except KeyError:
+                    memo_key = None  # unbound free variable: don't memoize
+                if memo_key is not None:
+                    cached = ctx.satisfy_memo.get(memo_key)
+                    if cached is not None:
+                        ctx.stats["satisfy_memo_hits"] += 1
+                        return cached
+        result = self._satisfy_quantified(formula, env, ctx)
+        if memo_key is not None and len(ctx.satisfy_memo) < ctx.max_memo:
+            ctx.satisfy_memo[memo_key] = result
+        return result
+
+    def _satisfy_quantified(self, formula: Formula, env: dict[str, Value],
+                            ctx: _Context) -> bool:
+        if isinstance(formula, FixpointPred):
+            rows = self._fixpoint_rows(formula.fixpoint, env, ctx)
+            row = tuple(self._eval_term(a, env, ctx) for a in formula.args)
+            return row in rows
         if isinstance(formula, Exists):
             for extended in self._bindings([formula.var], ctx, env):
                 if self._satisfy(formula.body, extended, ctx):
@@ -379,15 +518,26 @@ class Evaluator:
 
         column_vars = [Var(n, t) for n, t in fixpoint.columns]
 
-        def stage(current: frozenset[tuple[Value, ...]]) -> frozenset[tuple[Value, ...]]:
+        def body_rows(current: frozenset[tuple[Value, ...]],
+                      skip_known: bool) -> frozenset[tuple[Value, ...]]:
+            """One application of phi against ``current``.
+
+            With ``skip_known`` (seminaive IFP), candidate rows already
+            in ``current`` are not re-checked: the inflationary union
+            keeps them regardless of whether phi still derives them.
+            """
             ctx.stats["fixpoint_stages"] += 1
             previous = ctx.rel_env.get(fixpoint.name)
             ctx.rel_env[fixpoint.name] = current
             try:
                 rows = set()
                 for extended in self._bindings(column_vars, ctx, env):
+                    row = tuple(extended[v.name] for v in column_vars)
+                    if skip_known and row in current:
+                        ctx.stats["stage_skips"] += 1
+                        continue
                     if self._satisfy(fixpoint.body, extended, ctx):
-                        rows.add(tuple(extended[v.name] for v in column_vars))
+                        rows.add(row)
                 return frozenset(rows)
             finally:
                 if previous is None:
@@ -395,14 +545,31 @@ class Evaluator:
                 else:
                     ctx.rel_env[fixpoint.name] = previous
 
+        def naive_stage(current: frozenset[tuple[Value, ...]]) -> frozenset[tuple[Value, ...]]:
+            return body_rows(current, False)
+
+        def delta_stage(current: frozenset[tuple[Value, ...]],
+                        delta: frozenset[tuple[Value, ...]]) -> frozenset[tuple[Value, ...]]:
+            rows = body_rows(current, True)
+            ctx.stats["delta_rows"] += len(rows)
+            return rows
+
         kind = "ifp" if fixpoint.kind == IFP else "pfp"
         with ctx.tracer.span("fixpoint", name=fixpoint.name,
-                             kind=kind) as span:
+                             kind=kind, strategy=ctx.strategy) as span:
             if fixpoint.kind == IFP:
-                result = iterate_ifp(stage, self.max_fixpoint_stages,
-                                     ctx.tracer)
+                if ctx.strategy == "seminaive":
+                    result = iterate_ifp_delta(
+                        delta_stage, self.max_fixpoint_stages, ctx.tracer)
+                else:
+                    result = iterate_ifp(naive_stage,
+                                         self.max_fixpoint_stages,
+                                         ctx.tracer)
             else:
-                result = iterate_pfp(stage, self.max_fixpoint_stages,
+                # PFP stages *replace* the relation, so no candidate can
+                # be skipped; the seminaive strategy still benefits from
+                # _satisfy memoization of stage-invariant subformulas.
+                result = iterate_pfp(naive_stage, self.max_fixpoint_stages,
                                      ctx.tracer)
             span.set(rows=len(result))
         ctx.fixpoint_cache[key] = result

@@ -11,6 +11,7 @@ from .syntax import (
     Rule,
 )
 from .engine import (
+    STRATEGIES,
     evaluate_inflationary,
     evaluate_partial,
     inflationary_stages,
@@ -19,7 +20,7 @@ from .translation import program_to_query
 
 __all__ = [
     "BuiltinLiteral", "DatalogError", "DConst", "DTerm", "DVar", "Literal",
-    "Program", "Rule",
+    "Program", "Rule", "STRATEGIES",
     "evaluate_inflationary", "evaluate_partial", "inflationary_stages",
     "program_to_query",
 ]

@@ -17,13 +17,32 @@ any fully-bound literal used as a filter.  If no literal is evaluable the
 rule is *unsafe* and :class:`DatalogError` is raised: this is the
 deductive counterpart of range restriction, and it keeps evaluation
 polynomial per stage.
+
+Inflationary evaluation supports two strategies:
+
+* ``strategy="naive"`` — every stage re-fires every rule against the
+  full previous IDB, re-deriving everything derived before (the oracle
+  the differential tests compare against);
+* ``strategy="seminaive"`` (default) — true semi-naive firing: each rule
+  is rewritten into *delta versions*, one per positive IDB body literal,
+  where that literal reads only the rows derived at the previous stage.
+  Because the inflationary IDB only grows, a derivation that is new at
+  stage ``i`` must have some positive IDB literal matching a stage
+  ``i-1`` delta row (negative IDB literals can only flip from true to
+  false as the IDB grows, never enable a new derivation), so firing only
+  the delta versions after stage 1 is exact — including for programs
+  with negation.
+
+Partial (PFP) semantics replaces the IDB wholesale each stage, so no
+derivation can be carried over; ``strategy`` is accepted for interface
+symmetry but both values evaluate identically.
 """
 
 from __future__ import annotations
 
 from typing import Iterator, Mapping
 
-from ..core.fixpoint import iterate_ifp, iterate_pfp
+from ..core.fixpoint import iterate_ifp, iterate_ifp_delta, iterate_pfp
 from ..obs import get_tracer
 from ..objects.instance import Instance
 from ..objects.values import CSet, Value
@@ -38,6 +57,7 @@ from .syntax import (
 )
 
 __all__ = [
+    "STRATEGIES",
     "evaluate_inflationary",
     "evaluate_partial",
     "inflationary_stages",
@@ -46,17 +66,34 @@ __all__ = [
 Row = tuple
 Env = dict[str, Value]
 
+#: Recognised evaluation strategies (mirrors repro.core.evaluation).
+STRATEGIES = ("naive", "seminaive")
+
+#: Prefix marking a delta view of an IDB predicate in rewritten rules.
+#: Rewrites are engine-internal; user predicates never carry the prefix.
+_DELTA = "Δ::"
+
 
 class _Database:
-    """Uniform view of EDB relations and the current IDB state."""
+    """Uniform view of EDB relations and the current IDB state.
+
+    ``delta`` (when given) holds the per-predicate rows derived at the
+    previous stage; rewritten rules address it through predicates named
+    ``Δ::P``.
+    """
 
     def __init__(self, inst: Instance, idb: Mapping[str, frozenset[Row]],
-                 program: Program):
+                 program: Program,
+                 delta: Mapping[str, frozenset[Row]] | None = None):
         self.inst = inst
         self.idb = idb
         self.program = program
+        self.delta = delta
 
     def rows(self, predicate: str) -> frozenset[Row]:
+        if predicate.startswith(_DELTA):
+            assert self.delta is not None
+            return self.delta.get(predicate[len(_DELTA):], frozenset())
         if predicate in self.program.idb_types:
             return self.idb.get(predicate, frozenset())
         relation = self.inst.relation(predicate)
@@ -191,18 +228,18 @@ def _rule_bindings(rule: Rule, db: _Database) -> Iterator[Env]:
     yield from extend({}, list(rule.body))
 
 
-def _fire_rules(program: Program, inst: Instance,
-                idb: Mapping[str, frozenset[Row]]) -> dict[str, frozenset[Row]]:
-    """One simultaneous application of all rules against the given IDB.
+def _derive(rules, db: _Database,
+            idb: Mapping[str, frozenset[Row]]) -> dict[str, frozenset[Row]]:
+    """Fire the given rules once against ``db``; collect head rows.
 
     When tracing, counts rows derived and *dedup hits* — derivations of
     a row already produced this stage or already present in the previous
-    IDB (the re-derivations semi-naive evaluation would skip).
+    IDB (the re-derivations semi-naive evaluation skips).
     """
-    db = _Database(inst, idb, program)
     tracer = get_tracer()
+    program = db.program
     derived: dict[str, set[Row]] = {name: set() for name in program.idb_types}
-    for rule in program.rules:
+    for rule in rules:
         for env in _rule_bindings(rule, db):
             row = []
             for term in rule.head.terms:
@@ -223,6 +260,72 @@ def _fire_rules(program: Program, inst: Instance,
     return {name: frozenset(rows) for name, rows in derived.items()}
 
 
+def _fire_rules(program: Program, inst: Instance,
+                idb: Mapping[str, frozenset[Row]]) -> dict[str, frozenset[Row]]:
+    """One simultaneous naive application of all rules against the IDB."""
+    return _derive(program.rules, _Database(inst, idb, program), idb)
+
+
+def _delta_rules(program: Program) -> tuple[Rule, ...]:
+    """The semi-naive rewriting: one variant of each rule per positive
+    IDB body literal, with that occurrence reading the ``Δ::`` view.
+
+    Rules with no positive IDB literal have no variant — their
+    derivations cannot depend on newly derived rows, so they fire only
+    at the first stage.
+    """
+    variants: list[Rule] = []
+    for rule in program.rules:
+        for position, literal in enumerate(rule.body):
+            if (isinstance(literal, Literal) and literal.positive
+                    and literal.predicate in program.idb_types):
+                body = list(rule.body)
+                body[position] = Literal(_DELTA + literal.predicate,
+                                         literal.terms)
+                variants.append(Rule(rule.head, body))
+    return tuple(variants)
+
+
+def _check_strategy(strategy: str) -> None:
+    if strategy not in STRATEGIES:
+        raise ValueError(
+            f"unknown evaluation strategy {strategy!r}; "
+            f"expected one of {STRATEGIES}"
+        )
+
+
+def _seminaive_stage(program: Program, inst: Instance,
+                     delta_rules: tuple[Rule, ...]):
+    """Build a delta-protocol stage function for the packed IDB state.
+
+    The first call (empty state, empty delta) fires every original rule;
+    subsequent calls fire only the delta variants against the previous
+    stage's fresh rows.  ``datalog.delta_rows`` counts the fresh rows a
+    stage contributes; ``datalog.refires_avoided`` counts, per delta
+    stage, the rows already settled in the IDB — each is at least one
+    re-derivation the naive engine would perform and this stage skips.
+    """
+    tracer = get_tracer()
+
+    def stage(packed: frozenset, packed_delta: frozenset) -> frozenset:
+        idb = _unpack(packed, program)
+        if not packed and not packed_delta:
+            derived = _fire_rules(program, inst, idb)
+        else:
+            delta = _unpack(packed_delta, program)
+            db = _Database(inst, idb, program, delta=delta)
+            derived = _derive(delta_rules, db, idb)
+        packed_derived = _pack(derived)
+        if tracer.enabled:
+            tracer.count("datalog.delta_rows",
+                         len(packed_derived - packed))
+            if packed:
+                tracer.count("datalog.refires_avoided", len(packed))
+        return packed_derived
+
+    return stage
+
+
 def _pack(idb: Mapping[str, frozenset[Row]]) -> frozenset:
     """Pack a multi-predicate IDB state into one frozenset for the
     generic fixpoint engines (rows are tagged with their predicate)."""
@@ -241,17 +344,30 @@ def _unpack(packed: frozenset, program: Program) -> dict[str, frozenset[Row]]:
 def evaluate_inflationary(
     program: Program, inst: Instance,
     max_stages: int | None = 100_000,
+    strategy: str = "seminaive",
 ) -> dict[str, frozenset[Row]]:
-    """Inflationary semantics: ``J_i = T(J_{i-1}) ∪ J_{i-1}``."""
+    """Inflationary semantics: ``J_i = T(J_{i-1}) ∪ J_{i-1}``.
 
-    def stage(packed: frozenset) -> frozenset:
-        idb = _unpack(packed, program)
-        return _pack(_fire_rules(program, inst, idb))
-
+    ``strategy="seminaive"`` (default) fires delta-rewritten rules after
+    the first stage; ``strategy="naive"`` re-fires every rule against
+    the full IDB each stage.  Both produce identical results and stage
+    counts (see the module docstring for why the rewriting is exact).
+    """
+    _check_strategy(strategy)
     tracer = get_tracer()
     with tracer.span("datalog.inflationary",
-                     idb=sorted(program.idb_types)) as span:
-        final = iterate_ifp(stage, max_stages, tracer)
+                     idb=sorted(program.idb_types),
+                     strategy=strategy) as span:
+        if strategy == "seminaive":
+            final = iterate_ifp_delta(
+                _seminaive_stage(program, inst, _delta_rules(program)),
+                max_stages, tracer)
+        else:
+            def stage(packed: frozenset) -> frozenset:
+                idb = _unpack(packed, program)
+                return _pack(_fire_rules(program, inst, idb))
+
+            final = iterate_ifp(stage, max_stages, tracer)
         span.set(rows=len(final))
     return _unpack(final, program)
 
@@ -259,11 +375,16 @@ def evaluate_inflationary(
 def evaluate_partial(
     program: Program, inst: Instance,
     max_stages: int | None = 100_000,
+    strategy: str = "seminaive",
 ) -> dict[str, frozenset[Row]]:
     """Partial (non-inflationary) semantics: ``J_i = T(J_{i-1})``.
 
     Raises :class:`repro.core.fixpoint.PFPDivergenceError` on cycles.
+    ``strategy`` is validated for interface symmetry, but the stage
+    *replaces* the IDB, so there is no delta to exploit: both strategies
+    evaluate identically.
     """
+    _check_strategy(strategy)
 
     def stage(packed: frozenset) -> frozenset:
         idb = _unpack(packed, program)
@@ -271,21 +392,33 @@ def evaluate_partial(
 
     tracer = get_tracer()
     with tracer.span("datalog.partial",
-                     idb=sorted(program.idb_types)) as span:
+                     idb=sorted(program.idb_types),
+                     strategy=strategy) as span:
         final = iterate_pfp(stage, max_stages, tracer)
         span.set(rows=len(final))
     return _unpack(final, program)
 
 
 def inflationary_stages(
-    program: Program, inst: Instance
+    program: Program, inst: Instance,
+    strategy: str = "seminaive",
 ) -> Iterator[dict[str, frozenset[Row]]]:
-    """Yield the successive inflationary stages (for tests/inspection)."""
-    from ..core.fixpoint import ifp_stages
+    """Yield the successive inflationary stages (for tests/inspection).
 
-    def stage(packed: frozenset) -> frozenset:
-        idb = _unpack(packed, program)
-        return _pack(_fire_rules(program, inst, idb))
+    The stage sequence is strategy-independent; exposing the parameter
+    lets the differential tests assert exactly that.
+    """
+    from ..core.fixpoint import ifp_delta_stages, ifp_stages
 
-    for packed in ifp_stages(stage):
+    _check_strategy(strategy)
+    if strategy == "seminaive":
+        packed_stages = ifp_delta_stages(
+            _seminaive_stage(program, inst, _delta_rules(program)))
+    else:
+        def stage(packed: frozenset) -> frozenset:
+            idb = _unpack(packed, program)
+            return _pack(_fire_rules(program, inst, idb))
+
+        packed_stages = ifp_stages(stage)
+    for packed in packed_stages:
         yield _unpack(packed, program)

@@ -53,6 +53,121 @@ def small_types():
 
 
 # ---------------------------------------------------------------------------
+# Hypothesis strategies for the differential-testing harness (PR 3)
+# ---------------------------------------------------------------------------
+#
+# Random flat-graph instances, random CALC(+IFP/PFP) queries and random
+# safe Datalog programs over them.  Everything is kept tiny (<= 4 atoms,
+# formula depth <= 3) so active-domain evaluation stays instantaneous;
+# the point is breadth of shapes, not size.
+
+FLAT_GRAPH_SCHEMA = database_schema(G=["U", "U"])
+
+
+def flat_graph_instances(labels: str = "abcd", max_edges: int = 8):
+    """Random flat graphs G[U, U] over a tiny atom universe."""
+    node = st.sampled_from([Atom(ch) for ch in labels])
+    return st.frozensets(st.tuples(node, node), max_size=max_edges).map(
+        lambda edges: instance(FLAT_GRAPH_SCHEMA,
+                               G=sorted(edges, key=repr))
+    )
+
+
+def calc_queries(kind: str = "ifp"):
+    """Random CALC+IFP (or +PFP) queries over the flat graph schema.
+
+    The query applies a random binary fixpoint ``S`` (whose body may
+    mention ``G`` and ``S``) and optionally disjoins a fixpoint-free
+    context formula; the head lists every free variable.  Quantifier
+    binders are drawn fresh (``q1``, ``q2``, ...) so the rename-apart
+    discipline of the type checker (TYP005) holds by construction.
+    """
+    from repro.core.builder import V, eq, exists, ifp, pfp, query, rel
+
+    build_fix = ifp if kind == "ifp" else pfp
+
+    @st.composite
+    def queries(draw):
+        counter = [0]
+
+        def formula(rels, pool, depth):
+            pick = draw(st.integers(0, 5 if depth > 0 else 1))
+            if pick == 0:
+                return rel(draw(st.sampled_from(rels)))(
+                    V(draw(st.sampled_from(pool)), "U"),
+                    V(draw(st.sampled_from(pool)), "U"))
+            if pick == 1:
+                return eq(V(draw(st.sampled_from(pool)), "U"),
+                          V(draw(st.sampled_from(pool)), "U"))
+            if pick == 2:
+                return formula(rels, pool, depth - 1) \
+                    & formula(rels, pool, depth - 1)
+            if pick == 3:
+                return formula(rels, pool, depth - 1) \
+                    | formula(rels, pool, depth - 1)
+            if pick == 4:
+                return ~formula(rels, pool, depth - 1)
+            counter[0] += 1
+            fresh = V(f"q{counter[0]}", "U")
+            return exists(fresh,
+                          formula(rels, pool + (fresh.name,), depth - 1))
+
+        body = formula(("G", "S"), ("x", "y", "z"), draw(st.integers(1, 3)))
+        fix = build_fix("S", [V("x", "U"), V("y", "U")], body)
+        result = fix(V("x", "U"), V("y", "U"))
+        if draw(st.booleans()):
+            result = result | formula(("G",), ("x", "y", "z"),
+                                      draw(st.integers(0, 2)))
+        head = [V(name, "U") for name in sorted(result.free_variables())]
+        return query(head, result)
+
+    return queries()
+
+
+@st.composite
+def datalog_rules(draw):
+    """One random *safe* rule over EDB ``G`` and IDB ``T``/``S``.
+
+    Safety by construction: head variables, negated literals and
+    built-ins only use variables bound by the positive body literals.
+    """
+    from repro.datalog import BuiltinLiteral, Literal, Rule
+
+    variables = ("x", "y", "z")
+    # "G" is double-weighted so most programs actually touch the EDB.
+    positives = [
+        Literal(draw(st.sampled_from(("G", "G", "T", "S"))),
+                (draw(st.sampled_from(variables)),
+                 draw(st.sampled_from(variables))))
+        for _ in range(draw(st.integers(1, 2)))
+    ]
+    bound = sorted({v for lit in positives for v in lit.variables()})
+    head = Literal(draw(st.sampled_from(("T", "S"))),
+                   (draw(st.sampled_from(bound)),
+                    draw(st.sampled_from(bound))))
+    body = list(positives)
+    if draw(st.booleans()):
+        body.append(Literal(draw(st.sampled_from(("G", "T", "S"))),
+                            (draw(st.sampled_from(bound)),
+                             draw(st.sampled_from(bound))),
+                            positive=False))
+    if draw(st.booleans()):
+        body.append(BuiltinLiteral("=", draw(st.sampled_from(bound)),
+                                   draw(st.sampled_from(bound)),
+                                   positive=draw(st.booleans())))
+    return Rule(head, body)
+
+
+@st.composite
+def datalog_programs(draw):
+    """Random inf-Datalog programs (1-4 safe rules, IDB T[U,U], S[U,U])."""
+    from repro.datalog import Program
+
+    rules = [draw(datalog_rules()) for _ in range(draw(st.integers(1, 4)))]
+    return Program(rules, idb_types={"T": ["U", "U"], "S": ["U", "U"]})
+
+
+# ---------------------------------------------------------------------------
 # Fixtures: the paper's worked instances
 # ---------------------------------------------------------------------------
 

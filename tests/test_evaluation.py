@@ -167,6 +167,23 @@ class TestGuards:
         assert evaluator.last_stats is not None
         assert evaluator.last_stats["atom_checks"] > 0
 
+    def test_atom_checks_count_atoms_only(self, p_instance):
+        """Regression: ``atom_checks`` once counted every formula node.
+        On a pure-atom body the two counters coincide; wrapping the atom
+        in connectives grows ``formula_checks`` but not ``atom_checks``."""
+        x = V("x", "U")
+        plain = Evaluator(p_instance.schema)
+        plain.evaluate(query([x], rel("P")(x, x)), p_instance)
+        assert (plain.last_stats["atom_checks"]
+                == plain.last_stats["formula_checks"] > 0)
+
+        wrapped = Evaluator(p_instance.schema)
+        wrapped.evaluate(query([x], ~(~rel("P")(x, x))), p_instance)
+        assert (wrapped.last_stats["atom_checks"]
+                == plain.last_stats["atom_checks"])
+        assert (wrapped.last_stats["formula_checks"]
+                == 3 * wrapped.last_stats["atom_checks"])
+
 
 class TestEvaluateFormula:
     def test_sentence(self, p_instance):

@@ -154,7 +154,8 @@ class TestEvaluationCounters:
         )
         tracer = Tracer()
         with use_tracer(tracer):
-            result = evaluate_inflationary(program, chain_graph)
+            result = evaluate_inflationary(program, chain_graph,
+                                           strategy="naive")
         assert len(result["T"]) == 3
         assert tracer.counters["ifp.stages"] == 3
         # Naive evaluation re-derives earlier-stage rows every stage.
@@ -162,6 +163,27 @@ class TestEvaluationCounters:
         assert tracer.counters["datalog.dedup_hits"] >= 1
         assert tracer.counters["datalog.rows_derived"] - \
             tracer.counters["datalog.dedup_hits"] == 3
+
+    def test_datalog_seminaive_counters(self, chain_graph):
+        """The semi-naive default derives each closure row exactly once
+        and reports the naive re-derivations it skipped."""
+        program = Program(
+            rules=[
+                Rule(Literal("T", ["x", "y"]), [Literal("G", ["x", "y"])]),
+                Rule(Literal("T", ["x", "y"]),
+                     [Literal("T", ["x", "z"]), Literal("G", ["z", "y"])]),
+            ],
+            idb_types={"T": ["{U}", "{U}"]},
+        )
+        tracer = Tracer()
+        with use_tracer(tracer):
+            result = evaluate_inflationary(program, chain_graph)
+        assert len(result["T"]) == 3
+        assert tracer.counters["ifp.stages"] == 3
+        assert tracer.counters["datalog.rows_derived"] == 3
+        assert "datalog.dedup_hits" not in tracer.counters
+        assert tracer.counters["datalog.delta_rows"] == 3
+        assert tracer.counters["datalog.refires_avoided"] > 0
 
     def test_algebra_operator_spans(self, chain_graph):
         from repro.algebra import BaseRel, Join, Project
@@ -208,7 +230,7 @@ trace
   query head=['x', 'y'] rows=3
     • domain type={U} cardinality=8
     • enumerate vars=['x', 'y'] sizes=[8, 8] product=64
-    fixpoint name=S kind=ifp rows=3
+    fixpoint name=S kind=ifp strategy=seminaive rows=3
       • enumerate vars=['z'] sizes=[8] product=8
       • ifp.stage stage=1 size=2 delta=2
       • ifp.stage stage=2 size=3 delta=1
@@ -216,10 +238,38 @@ trace
 == counters ==
 domain[{U}]                 8
 domains.materialized        1
-eval.atom_checks            3624
+eval.atom_checks            1759
+eval.delta_rows             3
+eval.enumerations           189
+eval.fixpoint_cache_hits    63
+eval.fixpoint_stages        3
+eval.formula_checks         3606
+eval.quantifier_iterations  1731
+eval.stage_skips            5
+ifp.stages                  3
+-- 3 tuple(s)
+"""
+
+GOLDEN_PROFILE_NAIVE = """\
+mode: active
+== trace ==
+trace
+  query head=['x', 'y'] rows=3
+    • domain type={U} cardinality=8
+    • enumerate vars=['x', 'y'] sizes=[8, 8] product=64
+    fixpoint name=S kind=ifp strategy=naive rows=3
+      • enumerate vars=['z'] sizes=[8] product=8
+      • ifp.stage stage=1 size=2 delta=2
+      • ifp.stage stage=2 size=3 delta=1
+      • ifp.stage stage=3 size=3 delta=0
+== counters ==
+domain[{U}]                 8
+domains.materialized        1
+eval.atom_checks            1768
 eval.enumerations           190
 eval.fixpoint_cache_hits    63
 eval.fixpoint_stages        3
+eval.formula_checks         3624
 eval.quantifier_iterations  1734
 ifp.stages                  3
 -- 3 tuple(s)
@@ -232,6 +282,13 @@ class TestCli:
                        "--mode", "active", "--no-times"])
         assert status == 0
         assert capsys.readouterr().out == GOLDEN_PROFILE
+
+    def test_profile_golden_naive(self, graph_file, capsys):
+        status = main(["profile", graph_file, TC_QUERY_TEXT,
+                       "--mode", "active", "--no-times",
+                       "--strategy", "naive"])
+        assert status == 0
+        assert capsys.readouterr().out == GOLDEN_PROFILE_NAIVE
 
     def test_profile_json_export(self, graph_file, capsys):
         status = main(["profile", graph_file, TC_QUERY_TEXT,
