@@ -160,6 +160,8 @@ class Expr:
             rows = self._compute(inst)
             span.set(rows=len(rows))
             tracer.count("algebra.operator_applications")
+            tracer.observe("space.algebra.rows", len(rows))
+            tracer.gauge_max("space.peak_algebra_rows", len(rows))
         return rows
 
     def _compute(self, inst: Instance) -> Rows:

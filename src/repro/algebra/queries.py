@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import itertools
 
+from ..obs import get_tracer
 from ..objects.instance import Instance
 from ..objects.values import Value
 from .operators import AlgebraError
@@ -45,6 +46,7 @@ def tc_via_loop(inst: Instance, relation: str = "G",
     """
     if strategy not in ("naive", "seminaive"):
         raise AlgebraError(f"unknown strategy {strategy!r}")
+    tracer = get_tracer()
     edges = _edges(inst, relation)
     successors: dict[Value, set[Value]] = {}
     for source, target in edges:
@@ -57,6 +59,9 @@ def tc_via_loop(inst: Instance, relation: str = "G",
                 for source, middle in closure
                 for target in successors.get(middle, ())
             } | edges
+            if tracer.enabled:
+                tracer.observe("space.loop.round_rows", len(new | closure))
+                tracer.gauge_max("space.peak_loop_rows", len(new | closure))
             if new <= closure:
                 return frozenset(closure)
             closure |= new
@@ -70,6 +75,9 @@ def tc_via_loop(inst: Instance, relation: str = "G",
                     closure.add(pair)
                     new_frontier.add(pair)
         frontier = new_frontier
+        if tracer.enabled:
+            tracer.observe("space.loop.round_rows", len(closure))
+            tracer.gauge_max("space.peak_loop_rows", len(closure))
     return frozenset(closure)
 
 

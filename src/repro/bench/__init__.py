@@ -1,0 +1,53 @@
+"""repro.bench — the unified benchmark runner ("scaling observatory").
+
+Declared sweeps (workload × size-series × strategy) live in
+:mod:`repro.bench.registry`; :mod:`repro.bench.runner` measures each
+point's wall time *and* space counters under a fresh tracer;
+:mod:`repro.bench.fit` fits log-log slopes and doubling ratios and
+classifies each curve poly-vs-superpolynomial; and
+:mod:`repro.bench.report` renders the result and regression-gates it
+against a committed baseline.  The CLI front end is ``repro bench``.
+
+Typical use::
+
+    from repro.bench import resolve_suites, run_suites, render_document
+
+    document = run_suites(resolve_suites(["smoke"]))
+    print(render_document(document))
+"""
+
+from .fit import Classification, Fit, classify, doubling_ratios, local_degrees, loglog_fit
+from .registry import (
+    GROUPS,
+    SUITES,
+    Expectation,
+    SpeedupGate,
+    Suite,
+    Tolerance,
+    resolve_suites,
+)
+from .report import diff_against_baseline, document_failures, render_document
+from .runner import BenchError, run_suite, run_suites, series
+
+__all__ = [
+    "Fit",
+    "Classification",
+    "loglog_fit",
+    "local_degrees",
+    "doubling_ratios",
+    "classify",
+    "Expectation",
+    "SpeedupGate",
+    "Tolerance",
+    "Suite",
+    "SUITES",
+    "GROUPS",
+    "resolve_suites",
+    "BenchError",
+    "run_suite",
+    "run_suites",
+    "series",
+    "render_document",
+    "diff_against_baseline",
+    "document_failures",
+]

@@ -1,0 +1,302 @@
+"""The suite registry: declared sweeps (workload × size-series × strategy).
+
+This replaces the loose one-off benchmark scripts with declarations: a
+:class:`Suite` names a workload, a size series, the strategies to race,
+and — the part the scripts never had — the *predicted* resource shapes:
+
+* :class:`Expectation` — the fitted curve of a metric must be
+  polynomial of bounded degree (``kind="poly"``), superpolynomial
+  (``kind="superpoly"``), or within an explicit per-point bound
+  ``coefficient * n**degree`` (``kind="bound"``, Theorem 5.1 style);
+* :class:`SpeedupGate` — one strategy must beat another by a factor at
+  the largest size (the PR 3 ``>=2x`` semi-naive gate lives on as a
+  declaration);
+* :class:`Tolerance` — deterministic counters regress-gated against a
+  committed baseline (``max_ratio=0`` means exact match).
+
+Suites keep their ``run(n, strategy)`` callables tiny: build the
+workload, evaluate, return a checksum.  All measurement (timing, space
+counters, histograms) happens in :mod:`repro.bench.runner` around the
+call, through the installed tracer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+__all__ = [
+    "Expectation",
+    "SpeedupGate",
+    "Tolerance",
+    "Suite",
+    "SUITES",
+    "GROUPS",
+    "resolve_suites",
+]
+
+
+@dataclass(frozen=True)
+class Expectation:
+    """A predicted curve shape for one metric of one strategy's series."""
+
+    metric: str  # "seconds" or a tracer counter name
+    kind: str  # "poly" | "superpoly" | "bound"
+    strategy: str = "seminaive"
+    max_degree: float | None = None  # poly: fitted slope must stay <=
+    bound_degree: int | None = None  # bound: metric <= coeff * n**degree
+    bound_coefficient: float = 1.0
+    note: str = ""
+
+
+@dataclass(frozen=True)
+class SpeedupGate:
+    """``slow`` strategy time over ``fast`` strategy time at the largest
+    size must be at least ``min_ratio``."""
+
+    slow: str = "naive"
+    fast: str = "seminaive"
+    min_ratio: float = 2.0
+
+
+@dataclass(frozen=True)
+class Tolerance:
+    """Regression tolerance for a deterministic metric vs a baseline.
+
+    Per size/strategy point, the new value may exceed the baseline by at
+    most ``max_ratio`` (relative); ``0.0`` demands equality.  Counters
+    only ever compare against the same machine-independent quantities —
+    wall times are never diffed across runs (the speedup gates cover
+    time, as within-run ratios).
+    """
+
+    metric: str
+    max_ratio: float = 0.0
+
+
+@dataclass(frozen=True)
+class Suite:
+    """One declared sweep."""
+
+    name: str
+    title: str
+    sizes: tuple[int, ...]
+    strategies: tuple[str, ...]
+    run: Callable[[int, str], Mapping[str, Any]]
+    expectations: tuple[Expectation, ...] = ()
+    gates: tuple[SpeedupGate, ...] = ()
+    tolerances: tuple[Tolerance, ...] = ()
+    agree: bool = True  # checksums must match across strategies per size
+    baseline_key: str | None = None  # section name in legacy baselines
+
+
+# ---------------------------------------------------------------------------
+# Workload runners (n, strategy) -> {"checksum": int, ...}
+# ---------------------------------------------------------------------------
+
+def _tc_program():
+    """Datalog transitive closure over a flat (atom-node) graph."""
+    from ..datalog import Literal, Program, Rule
+
+    return Program(
+        rules=[
+            Rule(Literal("T", ["x", "y"]), [Literal("G", ["x", "y"])]),
+            Rule(Literal("T", ["x", "y"]),
+                 [Literal("T", ["x", "z"]), Literal("G", ["z", "y"])]),
+        ],
+        idb_types={"T": ["U", "U"]},
+    )
+
+
+def _chain_closure_rows(n: int) -> int:
+    """|TC(chain_graph(n))| — all ordered pairs along the path."""
+    return n * (n - 1) // 2
+
+
+def _run_datalog_tc(n: int, strategy: str) -> dict[str, Any]:
+    from ..datalog import evaluate_inflationary
+    from ..workloads import chain_graph
+
+    result = evaluate_inflationary(_tc_program(), chain_graph(n),
+                                   strategy=strategy)
+    rows = len(result["T"])
+    expected = _chain_closure_rows(n)
+    if rows != expected:
+        raise AssertionError(
+            f"datalog TC on chain({n}) produced {rows} rows, "
+            f"expected {expected}"
+        )
+    return {"checksum": rows}
+
+
+def _run_calc_ifp_tc(n: int, strategy: str) -> dict[str, Any]:
+    from ..core.evaluation import evaluate
+    from ..workloads import chain_graph, transitive_closure_query
+
+    answer = evaluate(transitive_closure_query("U"), chain_graph(n),
+                      strategy=strategy)
+    return {"checksum": len(answer)}
+
+
+def _run_loop_tc(n: int, strategy: str) -> dict[str, Any]:
+    from ..algebra import tc_via_loop
+    from ..workloads import chain_graph
+
+    pairs = tc_via_loop(chain_graph(n), strategy=strategy)
+    return {"checksum": len(pairs)}
+
+
+def _run_rr_tc(n: int, strategy: str) -> dict[str, Any]:
+    from ..core.safety import evaluate_range_restricted
+    from ..workloads import chain_graph, transitive_closure_query
+
+    report = evaluate_range_restricted(
+        transitive_closure_query("U"), chain_graph(n), strategy=strategy)
+    return {"checksum": len(report.answer)}
+
+
+def _run_hyper_domain(n: int, strategy: str) -> dict[str, Any]:
+    from ..workloads import full_domain_instance
+
+    inst = full_domain_instance("{U}", n)
+    return {"checksum": len(inst.relation("R").tuples)}
+
+
+# ---------------------------------------------------------------------------
+# The registry
+# ---------------------------------------------------------------------------
+
+SUITES: dict[str, Suite] = {}
+
+
+def _register(suite: Suite) -> Suite:
+    SUITES[suite.name] = suite
+    return suite
+
+
+_register(Suite(
+    name="seminaive-smoke",
+    title="Datalog TC on chains: naive vs semi-naive (the PR 3 gate)",
+    sizes=(8, 16, 32, 64),
+    strategies=("naive", "seminaive"),
+    run=_run_datalog_tc,
+    expectations=(
+        Expectation(metric="datalog.rows_derived", kind="poly",
+                    strategy="seminaive", max_degree=2.5,
+                    note="semi-naive derives each closure row once-ish"),
+    ),
+    gates=(SpeedupGate(slow="naive", fast="seminaive", min_ratio=2.0),),
+    tolerances=(
+        Tolerance(metric="datalog.rows_derived", max_ratio=0.0),
+        Tolerance(metric="ifp.stages", max_ratio=0.0),
+    ),
+    baseline_key="datalog",
+))
+
+_register(Suite(
+    name="tc-seminaive-dense",
+    title="Dense PTIME curve: semi-naive Datalog TC, larger chains",
+    sizes=(16, 32, 64, 128),
+    strategies=("seminaive",),
+    run=_run_datalog_tc,
+    expectations=(
+        Expectation(metric="seconds", kind="poly", strategy="seminaive",
+                    max_degree=3.2,
+                    note="Theorem 4.1 PTIME side: cubic-or-better"),
+        Expectation(metric="datalog.rows_derived", kind="poly",
+                    strategy="seminaive", max_degree=2.5),
+    ),
+    agree=False,  # single strategy
+))
+
+_register(Suite(
+    name="hyper-domain",
+    title="hyper(i,k) domain materialisation: the superpolynomial wall",
+    sizes=(6, 8, 10, 12, 14),
+    strategies=("seminaive",),
+    run=_run_hyper_domain,
+    expectations=(
+        Expectation(metric="space.domain_values", kind="superpoly",
+                    strategy="seminaive",
+                    note="|dom({U}, D)| = 2**n — Section 2's bound"),
+        Expectation(metric="space.domain_nodes", kind="superpoly",
+                    strategy="seminaive"),
+    ),
+    agree=False,
+))
+
+_register(Suite(
+    name="rr-space-chain",
+    title="Range-restricted TC: space within the Theorem 5.1 bound",
+    sizes=(8, 12, 16, 24),
+    strategies=("seminaive",),
+    run=_run_rr_tc,
+    expectations=(
+        Expectation(metric="space.peak_range", kind="bound",
+                    strategy="seminaive", bound_degree=1,
+                    bound_coefficient=2.0,
+                    note="ranges stay linear in the chain length"),
+        Expectation(metric="space.peak_fixpoint_rows", kind="bound",
+                    strategy="seminaive", bound_degree=2,
+                    bound_coefficient=1.0,
+                    note="working set bounded by |TC| <= n^2"),
+    ),
+    agree=False,
+))
+
+_register(Suite(
+    name="calc-ifp-dense",
+    title="CALC+IFP TC on chains: naive vs semi-naive evaluator",
+    sizes=(6, 8, 10, 12),
+    strategies=("naive", "seminaive"),
+    run=_run_calc_ifp_tc,
+    tolerances=(
+        Tolerance(metric="ifp.stages", max_ratio=0.0),
+        Tolerance(metric="eval.delta_rows", max_ratio=0.0),
+    ),
+    baseline_key="calc_ifp",
+))
+
+_register(Suite(
+    name="algebra-loop",
+    title="Native TC loop: frontier semi-naive vs full recomposition",
+    sizes=(32, 64, 128),
+    strategies=("naive", "seminaive"),
+    run=_run_loop_tc,
+    expectations=(
+        Expectation(metric="space.peak_loop_rows", kind="poly",
+                    strategy="seminaive", max_degree=2.2,
+                    note="closure cardinality is Theta(n^2) on a chain"),
+    ),
+    baseline_key="algebra_loop",
+))
+
+
+#: Named groups accepted by ``repro bench --suite``.
+GROUPS: dict[str, tuple[str, ...]] = {
+    "smoke": ("seminaive-smoke", "tc-seminaive-dense", "hyper-domain",
+              "rr-space-chain", "calc-ifp-dense", "algebra-loop"),
+    "all": tuple(SUITES),
+}
+
+
+def resolve_suites(names: list[str] | None) -> list[Suite]:
+    """Expand suite and group names into Suite objects (order-preserving,
+    deduplicated).  Unknown names raise ``KeyError`` with the candidates.
+    """
+    if not names:
+        names = ["smoke"]
+    resolved: list[Suite] = []
+    seen: set[str] = set()
+    for name in names:
+        expanded = GROUPS.get(name, (name,))
+        for suite_name in expanded:
+            if suite_name not in SUITES:
+                known = sorted(set(SUITES) | set(GROUPS))
+                raise KeyError(
+                    f"unknown suite {suite_name!r}; known: {', '.join(known)}"
+                )
+            if suite_name not in seen:
+                seen.add(suite_name)
+                resolved.append(SUITES[suite_name])
+    return resolved

@@ -1,0 +1,219 @@
+"""Rendering and baseline diffing for observatory documents.
+
+Two jobs:
+
+* :func:`render_document` — the human-readable report: per suite, the
+  measured points (time + headline space counters), the fitted curves,
+  and PASS/FAIL lines for every declared expectation, speedup gate, and
+  cross-strategy agreement check.
+* :func:`diff_against_baseline` — the regression gate.  Deterministic
+  counters (rows derived, stages, delta rows — never wall seconds,
+  which do not compare across machines) are checked point-by-point
+  against a committed baseline within each suite's declared
+  :class:`~repro.bench.registry.Tolerance`.  Both baseline formats are
+  understood: the observatory's own ``schema: 1`` documents, and the
+  legacy flat ``BENCH_PR3.json`` layout (sections ``datalog`` /
+  ``calc_ifp`` / ``algebra_loop`` with per-strategy sub-dicts), so the
+  first observatory run gates against the pre-observatory baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .registry import Suite
+
+__all__ = ["render_document", "diff_against_baseline", "document_failures"]
+
+#: Observatory counter name -> field name in legacy baseline sections.
+_LEGACY_METRIC = {
+    "datalog.rows_derived": "rows_derived",
+    "datalog.dedup_hits": "dedup_hits",
+    "datalog.refires_avoided": "refires_avoided",
+    "ifp.stages": "stages",
+    "eval.delta_rows": "delta_rows",
+    "eval.stage_skips": "stage_skips",
+}
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    return f"{seconds * 1000:.2f}ms"
+
+
+def _headline_counters(point: dict[str, Any]) -> str:
+    counters = point.get("counters", {})
+    shown = []
+    for name in ("datalog.rows_derived", "eval.delta_rows",
+                 "space.domain_values", "space.peak_fixpoint_rows",
+                 "space.peak_range", "space.peak_loop_rows"):
+        if name in counters:
+            shown.append(f"{name}={counters[name]}")
+    return "  ".join(shown)
+
+
+def render_document(document: dict[str, Any]) -> str:
+    """The whole observatory document as a text report."""
+    lines: list[str] = []
+    for suite_doc in document.get("suites", {}).values():
+        lines.append(f"== {suite_doc['name']}: {suite_doc['title']}")
+        for point in suite_doc["points"]:
+            extra = _headline_counters(point)
+            lines.append(
+                f"  n={point['n']:>4} {point['strategy']:<10} "
+                f"{_format_seconds(point['seconds']):>9}  "
+                f"checksum={point['checksum']}"
+                + (f"  {extra}" if extra else "")
+            )
+        for strategy, fits in sorted(suite_doc.get("fits", {}).items()):
+            fit = fits.get("seconds")
+            if fit:
+                lines.append(
+                    f"  fit[{strategy}] seconds ~ n^{fit['slope']:.2f} "
+                    f"(r2={fit['r2']:.3f})"
+                )
+        for expectation in suite_doc.get("expectations", ()):
+            status = "PASS" if expectation.get("ok") else "FAIL"
+            detail = ""
+            fit = expectation.get("fit")
+            if fit is not None:
+                detail = (f" detected={fit['kind']} "
+                          f"degree={fit['degree']:.2f}")
+            if "bound" in expectation:
+                detail = f" bound={expectation['bound']}"
+            lines.append(
+                f"  [{status}] {expectation['kind']}:"
+                f"{expectation['metric']} ({expectation['strategy']})"
+                + detail
+            )
+        for gate in suite_doc.get("gates", ()):
+            status = "PASS" if gate.get("ok") else "FAIL"
+            if "ratio" in gate:
+                lines.append(
+                    f"  [{status}] speedup {gate['slow']}/{gate['fast']} "
+                    f"at n={gate['n']}: {gate['ratio']:.2f}x "
+                    f"(need >= {gate['min_ratio']}x)"
+                )
+            else:
+                lines.append(
+                    f"  [{status}] speedup {gate['slow']}/{gate['fast']}: "
+                    f"{gate.get('reason', 'no data')}"
+                )
+        agreement = suite_doc.get("agreement")
+        if agreement is not None:
+            status = "PASS" if agreement["ok"] else "FAIL"
+            lines.append(f"  [{status}] cross-strategy agreement")
+        lines.append("")
+    return "\n".join(lines).rstrip("\n")
+
+
+def _legacy_lookup(baseline: dict[str, Any], suite: Suite, n: int,
+                   strategy: str, metric: str) -> float | None:
+    if suite.baseline_key is None:
+        return None
+    section = baseline.get(suite.baseline_key)
+    if not isinstance(section, list):
+        return None
+    field = _LEGACY_METRIC.get(metric, metric)
+    for entry in section:
+        if entry.get("n") == n:
+            per_strategy = entry.get(strategy)
+            if isinstance(per_strategy, dict):
+                return per_strategy.get(field)
+            return None
+    return None
+
+
+def _modern_lookup(baseline: dict[str, Any], suite: Suite, n: int,
+                   strategy: str, metric: str) -> float | None:
+    suite_doc = baseline.get("suites", {}).get(suite.name)
+    if suite_doc is None:
+        return None
+    for point in suite_doc.get("points", ()):
+        if point.get("n") == n and point.get("strategy") == strategy:
+            if metric in ("seconds", "checksum"):
+                return point.get(metric)
+            return point.get("counters", {}).get(metric)
+    return None
+
+
+def _baseline_value(baseline: dict[str, Any], suite: Suite, n: int,
+                    strategy: str, metric: str) -> float | None:
+    if "suites" in baseline:
+        return _modern_lookup(baseline, suite, n, strategy, metric)
+    return _legacy_lookup(baseline, suite, n, strategy, metric)
+
+
+def diff_against_baseline(
+    document: dict[str, Any],
+    baseline: dict[str, Any],
+    suites: list[Suite],
+) -> list[str]:
+    """Check each suite's declared tolerances against a baseline.
+
+    Returns breach descriptions (empty = within tolerance).  Points the
+    baseline does not cover (new sizes, new suites) are not breaches —
+    the baseline only ever *gates*, it does not have to be complete.
+    """
+    breaches: list[str] = []
+    by_name = {suite.name: suite for suite in suites}
+    for name, suite_doc in document.get("suites", {}).items():
+        suite = by_name.get(name)
+        if suite is None:
+            continue
+        for point in suite_doc["points"]:
+            n, strategy = point["n"], point["strategy"]
+            for tolerance in suite.tolerances:
+                base = _baseline_value(baseline, suite, n, strategy,
+                                       tolerance.metric)
+                if base is None:
+                    continue
+                new = point["counters"].get(tolerance.metric, 0)
+                if tolerance.max_ratio == 0.0:
+                    ok = new == base
+                else:
+                    ok = new <= base * (1.0 + tolerance.max_ratio)
+                if not ok:
+                    breaches.append(
+                        f"{name}: {tolerance.metric} at n={n} "
+                        f"({strategy}) regressed: {new} vs baseline "
+                        f"{base} (tolerance {tolerance.max_ratio:.0%})"
+                    )
+            # Answer cardinality is exact in both baseline layouts.
+            base_rows = _baseline_value(baseline, suite, n, strategy,
+                                        "checksum")
+            if base_rows is None and "suites" not in baseline:
+                section = baseline.get(suite.baseline_key or "", [])
+                for entry in section if isinstance(section, list) else []:
+                    if entry.get("n") == n and "closure_rows" in entry:
+                        base_rows = entry["closure_rows"]
+            if base_rows is not None and point["checksum"] != base_rows:
+                breaches.append(
+                    f"{name}: checksum at n={n} ({strategy}) changed: "
+                    f"{point['checksum']} vs baseline {base_rows}"
+                )
+    return breaches
+
+
+def document_failures(document: dict[str, Any]) -> list[str]:
+    """Every failed expectation/gate/agreement in a document, as text."""
+    failures: list[str] = []
+    for name, suite_doc in document.get("suites", {}).items():
+        for expectation in suite_doc.get("expectations", ()):
+            if not expectation.get("ok"):
+                failures.append(
+                    f"{name}: expectation {expectation['kind']}:"
+                    f"{expectation['metric']} failed"
+                )
+        for gate in suite_doc.get("gates", ()):
+            if not gate.get("ok"):
+                failures.append(
+                    f"{name}: speedup gate {gate['slow']}/{gate['fast']} "
+                    f"failed ({gate.get('ratio', 'n/a')})"
+                )
+        agreement = suite_doc.get("agreement")
+        if agreement is not None and not agreement["ok"]:
+            failures.append(f"{name}: strategies disagree: "
+                            f"{agreement['disagreements']}")
+    return failures

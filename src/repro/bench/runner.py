@@ -1,0 +1,244 @@
+"""The measurement loop: run suites, collect time and space per point,
+fit curves, evaluate expectations and gates.
+
+Each point runs under a fresh :class:`repro.obs.Tracer`, so the flat
+counters *and* the typed metrics (histograms of per-stage cardinalities,
+peak gauges, deep node counts) are per-point — exactly the series the
+fits consume.  Wall time is ``perf_counter`` around the suite's ``run``
+callable; peak allocated bytes via ``tracemalloc`` are opt-in (the
+tracing itself roughly doubles runtimes).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from ..obs import Tracer, use_tracer
+from ..obs.metrics import tracemalloc_peak
+from .fit import Classification, classify, doubling_ratios, loglog_fit
+from .registry import Suite
+
+__all__ = ["BenchError", "run_suite", "run_suites", "series"]
+
+
+class BenchError(Exception):
+    """A suite failed structurally (bad sizes, missing series, checksum
+    mismatch across strategies)."""
+
+
+def _run_point(suite: Suite, n: int, strategy: str,
+               tracemalloc: bool) -> dict[str, Any]:
+    tracer = Tracer()
+    if tracemalloc:
+        with tracemalloc_peak() as peak:
+            start = time.perf_counter()
+            with use_tracer(tracer):
+                result = suite.run(n, strategy)
+            seconds = time.perf_counter() - start
+        peak_bytes = peak.bytes
+    else:
+        start = time.perf_counter()
+        with use_tracer(tracer):
+            result = suite.run(n, strategy)
+        seconds = time.perf_counter() - start
+        peak_bytes = None
+    point: dict[str, Any] = {
+        "n": n,
+        "strategy": strategy,
+        "seconds": seconds,
+        "checksum": result.get("checksum"),
+        "counters": dict(tracer.counters),
+        "histograms": {
+            name: histogram.summary()
+            for name, histogram in tracer.metrics.histograms()
+        },
+    }
+    if peak_bytes is not None:
+        point["tracemalloc_peak_bytes"] = peak_bytes
+    return point
+
+
+def series(points: list[dict[str, Any]], strategy: str,
+           metric: str) -> tuple[list[int], list[float]]:
+    """The (sizes, values) series of one metric for one strategy.
+
+    ``metric`` is ``"seconds"``, ``"tracemalloc_peak_bytes"``, or a
+    counter name; missing counters read as 0.
+    """
+    xs: list[int] = []
+    ys: list[float] = []
+    for point in points:
+        if point["strategy"] != strategy:
+            continue
+        xs.append(point["n"])
+        if metric in ("seconds", "tracemalloc_peak_bytes", "checksum"):
+            ys.append(float(point.get(metric) or 0.0))
+        else:
+            ys.append(float(point["counters"].get(metric, 0)))
+    return xs, ys
+
+
+def _evaluate_expectations(suite: Suite,
+                           points: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    results = []
+    for expectation in suite.expectations:
+        xs, ys = series(points, expectation.strategy, expectation.metric)
+        entry: dict[str, Any] = {
+            "metric": expectation.metric,
+            "strategy": expectation.strategy,
+            "kind": expectation.kind,
+            "note": expectation.note,
+        }
+        if len(xs) < 2:
+            entry.update(ok=False, reason=f"series too short ({len(xs)})")
+            results.append(entry)
+            continue
+        if expectation.kind == "bound":
+            degree = expectation.bound_degree or 1
+            coefficient = expectation.bound_coefficient
+            breaches = [
+                (n, y) for n, y in zip(xs, ys)
+                if y > coefficient * n**degree
+            ]
+            entry.update(
+                ok=not breaches,
+                bound=f"{coefficient} * n**{degree}",
+                points=[{"n": n, "value": y} for n, y in zip(xs, ys)],
+            )
+            if breaches:
+                entry["breaches"] = [
+                    {"n": n, "value": y} for n, y in breaches
+                ]
+        else:
+            detected: Classification = classify(xs, ys)
+            entry["fit"] = detected.to_json()
+            entry["doubling_ratios"] = doubling_ratios(xs, ys)
+            if expectation.kind == "poly":
+                ok = detected.kind == "poly"
+                if ok and expectation.max_degree is not None:
+                    ok = detected.degree <= expectation.max_degree
+                    entry["max_degree"] = expectation.max_degree
+                entry["ok"] = ok
+            elif expectation.kind == "superpoly":
+                entry["ok"] = detected.kind == "superpoly"
+            else:
+                entry.update(ok=False,
+                             reason=f"unknown kind {expectation.kind!r}")
+        results.append(entry)
+    return results
+
+
+def _evaluate_gates(suite: Suite,
+                    points: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    results = []
+    for gate in suite.gates:
+        slow_xs, slow_ys = series(points, gate.slow, "seconds")
+        fast_xs, fast_ys = series(points, gate.fast, "seconds")
+        common = sorted(set(slow_xs) & set(fast_xs))
+        entry: dict[str, Any] = {
+            "slow": gate.slow, "fast": gate.fast,
+            "min_ratio": gate.min_ratio,
+        }
+        if not common:
+            entry.update(ok=False, reason="no common sizes")
+            results.append(entry)
+            continue
+        n = common[-1]
+        slow_seconds = slow_ys[slow_xs.index(n)]
+        fast_seconds = fast_ys[fast_xs.index(n)]
+        ratio = slow_seconds / fast_seconds if fast_seconds > 0 else float("inf")
+        entry.update(n=n, slow_seconds=slow_seconds,
+                     fast_seconds=fast_seconds, ratio=ratio,
+                     ok=ratio >= gate.min_ratio)
+        results.append(entry)
+    return results
+
+
+def _check_agreement(suite: Suite,
+                     points: list[dict[str, Any]]) -> dict[str, Any]:
+    """Cross-strategy checksum agreement per size (differential check)."""
+    by_n: dict[int, set] = {}
+    for point in points:
+        by_n.setdefault(point["n"], set()).add(point["checksum"])
+    disagreements = {n: sorted(sums) for n, sums in by_n.items()
+                     if len(sums) > 1}
+    return {
+        "ok": not disagreements,
+        "disagreements": {str(n): sums
+                          for n, sums in sorted(disagreements.items())},
+    }
+
+
+def run_suite(
+    suite: Suite,
+    sizes: tuple[int, ...] | None = None,
+    strategies: tuple[str, ...] | None = None,
+    tracemalloc: bool = False,
+) -> dict[str, Any]:
+    """Run one suite; returns its JSON-safe result document."""
+    sizes = sizes or suite.sizes
+    strategies = strategies or suite.strategies
+    unknown = [s for s in strategies if s not in suite.strategies]
+    if unknown:
+        raise BenchError(
+            f"suite {suite.name!r} does not declare strategies {unknown}; "
+            f"declared: {list(suite.strategies)}"
+        )
+    points = [
+        _run_point(suite, n, strategy, tracemalloc)
+        for n in sizes
+        for strategy in strategies
+    ]
+    fits: dict[str, dict[str, Any]] = {}
+    for strategy in strategies:
+        xs, ys = series(points, strategy, "seconds")
+        if len(xs) >= 2:
+            fits[strategy] = {"seconds": loglog_fit(xs, ys).to_json()}
+    document: dict[str, Any] = {
+        "name": suite.name,
+        "title": suite.title,
+        "sizes": list(sizes),
+        "strategies": list(strategies),
+        "points": points,
+        "fits": fits,
+        "expectations": _evaluate_expectations(suite, points),
+        "gates": _evaluate_gates(suite, points),
+    }
+    if suite.agree and len(strategies) > 1:
+        document["agreement"] = _check_agreement(suite, points)
+    return document
+
+
+def run_suites(
+    suites: list[Suite],
+    sizes: tuple[int, ...] | None = None,
+    strategy: str | None = None,
+    tracemalloc: bool = False,
+) -> dict[str, Any]:
+    """Run several suites into one observatory document.
+
+    ``sizes``/``strategy`` overrides apply to every suite (``repro bench
+    --sizes --strategy``); a strategy a suite does not declare silently
+    skips that suite rather than failing the sweep.
+    """
+    documents: dict[str, Any] = {}
+    skipped: list[str] = []
+    for suite in suites:
+        strategies = None
+        if strategy is not None:
+            if strategy not in suite.strategies:
+                skipped.append(suite.name)
+                continue
+            strategies = (strategy,)
+        documents[suite.name] = run_suite(
+            suite, sizes=sizes, strategies=strategies,
+            tracemalloc=tracemalloc)
+    result: dict[str, Any] = {
+        "schema": 1,
+        "experiment": "repro-bench",
+        "suites": documents,
+    }
+    if skipped:
+        result["skipped"] = skipped
+    return result

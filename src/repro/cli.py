@@ -6,6 +6,8 @@ Commands:
 * ``query``    — evaluate a query (textual syntax) over a JSON instance;
 * ``profile``  — evaluate with tracing on; print the EXPLAIN-style trace
   tree and a counter summary (or the trace as JSON);
+* ``bench``    — the scaling observatory: run declared benchmark suites,
+  record time + space per point, fit curves, gate against a baseline;
 * ``analyze``  — type-check a query and run the range-restriction analysis;
 * ``lint``     — the :mod:`repro.lint` static analyzer (structured
   diagnostics, ``--json``, ``--explain CODE``, ``--fail-on``);
@@ -20,7 +22,8 @@ Exit codes (uniform across commands, CI-friendly):
 * ``0`` — clean: the command ran and found nothing wrong;
 * ``1`` — findings: lint diagnostics at/above the ``--fail-on``
   threshold, a not-range-restricted query under ``analyze`` or
-  ``query --mode rr``;
+  ``query --mode rr``, a failed expectation/gate/tolerance under
+  ``bench``;
 * ``2`` — usage or load error: bad arguments, unreadable/malformed
   instance files, queries that do not parse or type check (where the
   command is not itself reporting that as a finding).
@@ -58,6 +61,7 @@ from .lint import Severity, explain, lint_query, lint_source
 from .obs import (
     NULL_TRACER,
     Tracer,
+    metrics_table,
     render_tree,
     summary_table,
     trace_to_json,
@@ -128,17 +132,39 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print(f"range-restricted evaluation failed: {error}",
               file=sys.stderr)
         return EXIT_FINDINGS
+    stats_json = args.stats and args.format == "json"
     for row in sorted(answer, key=str):
         print(_format_row(row))
-    print(f"-- {len(answer)} tuple(s)", file=sys.stderr)
+    if not stats_json:
+        # In JSON stats mode stderr carries exactly one parseable
+        # document; the row count rides inside it instead.
+        print(f"-- {len(answer)} tuple(s)", file=sys.stderr)
     if args.trace:
         print(render_tree(tracer), file=sys.stderr)
     if args.stats:
-        print(summary_table(tracer), file=sys.stderr)
+        if stats_json:
+            document = _stats_document(tracer)
+            document["answer_rows"] = len(answer)
+            json.dump(document, sys.stderr, indent=2)
+            print(file=sys.stderr)
+        else:
+            print(summary_table(tracer), file=sys.stderr)
     if args.trace_json:
         with open(args.trace_json, "w", encoding="utf-8") as handle:
             json.dump(trace_to_json(tracer), handle, indent=2)
     return EXIT_OK
+
+
+def _stats_document(tracer: Tracer) -> dict:
+    """Counters + typed metrics as one machine-readable document
+    (``--format json`` for ``query --stats`` and ``profile``)."""
+    from .obs import metrics_to_json
+
+    return {
+        "schema": 1,
+        "counters": dict(tracer.counters),
+        "metrics": metrics_to_json(tracer.metrics)["metrics"],
+    }
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -147,7 +173,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     with use_tracer(tracer):
         answer, mode_used = _run_query(args, tracer)
     elapsed = time.perf_counter() - start
-    if args.json:
+    if args.json or args.format == "json":
         document = trace_to_json(tracer)
         document["mode"] = mode_used
         document["answer_rows"] = len(answer)
@@ -161,10 +187,69 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     print(render_tree(tracer, times=times))
     print("== counters ==")
     print(summary_table(tracer))
+    print("== metrics ==")
+    print(metrics_table(tracer.metrics))
     if times:
         print(f"-- {len(answer)} tuple(s) in {elapsed * 1000:.1f} ms")
     else:
         print(f"-- {len(answer)} tuple(s)")
+    return EXIT_OK
+
+
+def _parse_sizes(text: str) -> tuple[int, ...]:
+    try:
+        sizes = tuple(int(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise ValueError(f"bad --sizes {text!r}; expected e.g. 8,16,32") from None
+    if not sizes:
+        raise ValueError("--sizes needs at least one size")
+    return sizes
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import (
+        GROUPS,
+        SUITES,
+        diff_against_baseline,
+        document_failures,
+        render_document,
+        resolve_suites,
+        run_suites,
+    )
+
+    if args.list:
+        for name, members in sorted(GROUPS.items()):
+            print(f"{name} (group): {', '.join(members)}")
+        for name, suite in sorted(SUITES.items()):
+            print(f"{name}: {suite.title} "
+                  f"[sizes {','.join(map(str, suite.sizes))}; "
+                  f"{'/'.join(suite.strategies)}]")
+        return EXIT_OK
+    try:
+        suites = resolve_suites(args.suite)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return EXIT_ERROR
+    sizes = _parse_sizes(args.sizes) if args.sizes else None
+    document = run_suites(suites, sizes=sizes, strategy=args.strategy,
+                          tracemalloc=args.tracemalloc)
+    failures = document_failures(document)
+    if args.baseline:
+        with open(args.baseline, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        breaches = diff_against_baseline(document, baseline, suites)
+        document["baseline"] = {"path": args.baseline, "breaches": breaches}
+        failures.extend(breaches)
+    print(render_document(document))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2)
+            handle.write("\n")
+        print(f"-- wrote {args.json}", file=sys.stderr)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return EXIT_FINDINGS
     return EXIT_OK
 
 
@@ -299,6 +384,9 @@ def build_parser() -> argparse.ArgumentParser:
                            help="print engine counters to stderr")
     query_cmd.add_argument("--trace-json", metavar="FILE",
                            help="export the trace as JSON to FILE")
+    query_cmd.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="--stats output format: aligned table (default) or JSON")
     query_cmd.set_defaults(func=_cmd_query)
 
     profile_cmd = commands.add_parser(
@@ -315,10 +403,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--strategy", choices=("naive", "seminaive"), default="seminaive",
         help="fixpoint evaluation strategy (as for the query command)")
     profile_cmd.add_argument("--json", action="store_true",
-                             help="emit the trace document as JSON on stdout")
+                             help="emit the trace document as JSON on stdout "
+                                  "(alias for --format json)")
+    profile_cmd.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format: EXPLAIN tree + tables (default) or the "
+             "trace/metrics document as JSON")
     profile_cmd.add_argument("--no-times", action="store_true",
                              help="omit wall times (deterministic output)")
     profile_cmd.set_defaults(func=_cmd_profile)
+
+    bench_cmd = commands.add_parser(
+        "bench",
+        help="run benchmark suites: time + space per point, fitted "
+             "scaling curves, baseline regression gates")
+    bench_cmd.add_argument(
+        "--suite", action="append", metavar="NAME",
+        help="suite or group name (repeatable; default: smoke). "
+             "See --list.")
+    bench_cmd.add_argument("--list", action="store_true",
+                           help="list suites and groups, then exit")
+    bench_cmd.add_argument("--sizes", metavar="CSV",
+                           help="override the size series, e.g. 8,16,32")
+    bench_cmd.add_argument(
+        "--strategy", choices=("naive", "seminaive"),
+        help="run only this strategy (suites not declaring it are "
+             "skipped)")
+    bench_cmd.add_argument("--json", metavar="FILE",
+                           help="write the observatory document to FILE")
+    bench_cmd.add_argument("--baseline", metavar="FILE",
+                           help="regress-gate counters against this "
+                                "baseline document")
+    bench_cmd.add_argument("--tracemalloc", action="store_true",
+                           help="also record peak allocated bytes per "
+                                "point (slower)")
+    bench_cmd.set_defaults(func=_cmd_bench)
 
     analyze_cmd = commands.add_parser(
         "analyze", help="type level + range-restriction analysis")

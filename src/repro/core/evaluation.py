@@ -38,6 +38,7 @@ import itertools
 from typing import Collection, Iterable, Iterator, Mapping
 
 from ..obs import NullTracer, Tracer, get_tracer
+from ..obs.metrics import value_node_count
 from ..objects.domains import DomainTooLarge, domain_cardinality, materialize_domain
 from ..objects.instance import Instance
 from ..objects.schema import DatabaseSchema
@@ -279,6 +280,11 @@ class Evaluator:
                 if self._satisfy(query.body, env, ctx):
                     results.add(CTuple(env[v.name] for v in head_vars))
             span.set(rows=len(results))
+            if ctx.tracer.enabled:
+                ctx.tracer.count(
+                    "space.answer_nodes",
+                    sum(value_node_count(row) for row in results),
+                )
         self._finish(ctx)
         return frozenset(results)
 
@@ -572,6 +578,8 @@ class Evaluator:
                 result = iterate_pfp(naive_stage, self.max_fixpoint_stages,
                                      ctx.tracer)
             span.set(rows=len(result))
+            if ctx.tracer.enabled:
+                ctx.tracer.observe("space.fixpoint_rows", len(result))
         ctx.fixpoint_cache[key] = result
         return result
 

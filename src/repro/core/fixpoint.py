@@ -93,6 +93,8 @@ def iterate_ifp(
             tracer.event("ifp.stage", stage=count, size=len(new),
                          delta=len(new) - len(current))
             tracer.count("ifp.stages")
+            tracer.observe("space.ifp.stage_rows", len(new))
+            tracer.gauge_max("space.peak_fixpoint_rows", len(new))
         if new == current:
             return current
         current = new
@@ -134,6 +136,9 @@ def iterate_ifp_delta(
             tracer.event("ifp.stage", stage=count,
                          size=len(current) + len(fresh), delta=len(fresh))
             tracer.count("ifp.stages")
+            tracer.observe("space.ifp.stage_rows", len(current) + len(fresh))
+            tracer.gauge_max("space.peak_fixpoint_rows",
+                             len(current) + len(fresh))
         if not fresh:
             return current
         current = current | fresh
@@ -160,13 +165,18 @@ def iterate_pfp(
     current: Rows = frozenset()
     seen: dict[Rows, int] = {current: 0}
     count = 0
+    history_rows = 0
     while True:
         new = frozenset(stage(current))
         count += 1
+        history_rows += len(new)
         if tracer.enabled:
             tracer.event("pfp.stage", stage=count, size=len(new),
                          history=len(seen))
             tracer.count("pfp.stages")
+            tracer.observe("space.pfp.stage_rows", len(new))
+            tracer.gauge_max("space.peak_fixpoint_rows", len(new))
+            tracer.gauge_max("space.pfp.history_rows", history_rows)
         if new == current:
             return current
         if new in seen:

@@ -79,8 +79,13 @@ def evaluate_range_restricted(
                                 exempt_types=exempt_types)
         if tracer.enabled:
             for name in sorted(ranges):
-                tracer.event("range", var=name, size=len(ranges[name]))
-                tracer.gauge(f"range[{name}]", len(ranges[name]))
+                size = len(ranges[name])
+                tracer.event("range", var=name, size=size)
+                tracer.gauge(f"range[{name}]", size)
+                tracer.observe("space.range_size", size)
+                tracer.gauge_max("space.peak_range", size)
+            tracer.count("space.range_values",
+                         sum(len(values) for values in ranges.values()))
             tracer.count("rr.evaluations")
         evaluator = Evaluator(schema, variable_ranges=ranges,
                               **evaluator_options)

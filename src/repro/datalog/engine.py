@@ -369,7 +369,11 @@ def evaluate_inflationary(
 
             final = iterate_ifp(stage, max_stages, tracer)
         span.set(rows=len(final))
-    return _unpack(final, program)
+        result = _unpack(final, program)
+        if tracer.enabled:
+            for name in sorted(result):
+                tracer.gauge(f"space.idb[{name}]", len(result[name]))
+    return result
 
 
 def evaluate_partial(
@@ -396,7 +400,11 @@ def evaluate_partial(
                      strategy=strategy) as span:
         final = iterate_pfp(stage, max_stages, tracer)
         span.set(rows=len(final))
-    return _unpack(final, program)
+        result = _unpack(final, program)
+        if tracer.enabled:
+            for name in sorted(result):
+                tracer.gauge(f"space.idb[{name}]", len(result[name]))
+    return result
 
 
 def inflationary_stages(

@@ -26,6 +26,8 @@ import itertools
 from functools import lru_cache
 from typing import Iterator, Sequence
 
+from ..obs import get_tracer
+from ..obs.metrics import value_node_count
 from .types import AtomType, SetType, TupleType, Type
 from .values import Atom, CSet, CTuple, Value
 
@@ -158,8 +160,24 @@ def materialize_domain(
     atoms: Sequence[Atom],
     max_size: int | None = DEFAULT_MAX_ENUMERATION,
 ) -> list[Value]:
-    """Materialise ``dom(typ, D)`` as a list (guarded by ``max_size``)."""
-    return list(enumerate_domain(typ, atoms, max_size))
+    """Materialise ``dom(typ, D)`` as a list (guarded by ``max_size``).
+
+    This is the chokepoint every domain materialisation funnels through,
+    so space accounting lives here: the active tracer receives the value
+    count, the deep node count (every atom/tuple/set node of every
+    materialised object), and a histogram observation of the domain
+    cardinality — the quantity ``hyper(i, k)`` bounds.
+    """
+    values = list(enumerate_domain(typ, atoms, max_size))
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.count("space.domain_values", len(values))
+        tracer.count(
+            "space.domain_nodes",
+            sum(value_node_count(value) for value in values),
+        )
+        tracer.observe("space.domain_cardinality", len(values))
+    return values
 
 
 @lru_cache(maxsize=256)

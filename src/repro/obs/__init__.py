@@ -5,8 +5,10 @@ The observability layer for the evaluation stack: every engine
 evaluation, Datalog, nested algebra) reports the paper's cost drivers —
 materialised domain cardinalities, quantifier product sizes, fixpoint
 stage counts and per-stage deltas, derived range sizes, dedup hits —
-through the active tracer.  The default tracer is a no-op; install a
-live one with::
+through the active tracer, which also carries typed metrics (monotonic
+counters, gauges, log-bucketed histograms) for the space-accounting
+series the benchmark observatory fits curves to.  The default tracer is
+a no-op; install a live one with::
 
     from repro.obs import Tracer, use_tracer, render_tree, summary_table
 
@@ -16,10 +18,27 @@ live one with::
     print(render_tree(tracer))
     print(summary_table(tracer))
 
-or use ``repro profile`` / ``repro query --trace`` from the CLI.
+or use ``repro profile`` / ``repro query --trace`` / ``repro bench``
+from the CLI.
 """
 
-from .render import render_tree, summary_table, trace_from_json, trace_to_json
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    metrics_from_json,
+    metrics_to_json,
+    tracemalloc_peak,
+    value_node_count,
+)
+from .render import (
+    metrics_table,
+    render_tree,
+    summary_table,
+    trace_from_json,
+    trace_to_json,
+)
 from .trace import (
     NULL_TRACER,
     Event,
@@ -42,6 +61,15 @@ __all__ = [
     "use_tracer",
     "render_tree",
     "summary_table",
+    "metrics_table",
     "trace_to_json",
     "trace_from_json",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "metrics_to_json",
+    "metrics_from_json",
+    "value_node_count",
+    "tracemalloc_peak",
 ]

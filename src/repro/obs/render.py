@@ -4,24 +4,41 @@ Turns a :class:`repro.obs.trace.Tracer` into
 
 * an indented tree (:func:`render_tree`) — subformula → range → rows
   produced, one line per span/event, optionally with wall times;
-* an aligned counter table (:func:`summary_table`);
+* an aligned counter table (:func:`summary_table`) and a typed-metric
+  table with histogram summaries (:func:`metrics_table`);
 * a JSON document (:func:`trace_to_json`) that round-trips through
   :func:`trace_from_json` (machine consumption: benchmark harnesses,
   external plotting).
+
+JSON documents carry ``"schema": 1`` and *run-relative* timestamps —
+every span/event time is the offset in seconds from the root span's
+start, so traces of the same workload are directly comparable across
+runs and machines.  :func:`trace_from_json` also accepts the unversioned
+pre-schema form (absolute ``perf_counter`` timestamps).
 """
 
 from __future__ import annotations
 
 from typing import Any
 
+from .metrics import (
+    Histogram,
+    MetricsRegistry,
+    metrics_from_json,
+    metrics_to_json,
+)
 from .trace import Event, Span, Tracer
 
 __all__ = [
     "render_tree",
     "summary_table",
+    "metrics_table",
     "trace_to_json",
     "trace_from_json",
 ]
+
+#: Version of the JSON document layout produced by :func:`trace_to_json`.
+TRACE_SCHEMA = 1
 
 
 def _format_attrs(attrs: dict[str, Any]) -> str:
@@ -76,17 +93,51 @@ def summary_table(tracer: Tracer) -> str:
     return "\n".join(lines)
 
 
-def _span_to_dict(span: Span) -> dict[str, Any]:
+def _format_number(value: int | float) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.2f}"
+    return str(int(value))
+
+
+def metrics_table(metrics: MetricsRegistry) -> str:
+    """Histograms as aligned summary lines (count/min/mean/p50/p90/max).
+
+    Counters and gauges already appear in :func:`summary_table` via the
+    flat dict, so this table shows only what that one cannot: the
+    distributions.
+    """
+    rows: list[tuple[str, str]] = []
+    for name, metric in metrics.histograms():
+        summary = metric.summary()
+        rows.append((
+            name,
+            "count={count} min={min} mean={mean} p50={p50} p90={p90} "
+            "max={max}".format(
+                count=summary["count"],
+                min=_format_number(summary["min"]),
+                mean=_format_number(summary["mean"]),
+                p50=_format_number(summary["p50"]),
+                p90=_format_number(summary["p90"]),
+                max=_format_number(summary["max"]),
+            ),
+        ))
+    if not rows:
+        return "(no histograms recorded)"
+    width = max(len(name) for name, _ in rows)
+    return "\n".join(f"{name.ljust(width)}  {text}" for name, text in rows)
+
+
+def _span_to_dict(span: Span, origin: float) -> dict[str, Any]:
     return {
         "name": span.name,
         "attrs": dict(span.attrs),
-        "start": span.start,
-        "end": span.end,
+        "start": span.start - origin,
+        "end": None if span.end is None else span.end - origin,
         "events": [
-            {"name": e.name, "attrs": dict(e.attrs), "time": e.time}
+            {"name": e.name, "attrs": dict(e.attrs), "time": e.time - origin}
             for e in span.events
         ],
-        "children": [_span_to_dict(child) for child in span.children],
+        "children": [_span_to_dict(child, origin) for child in span.children],
     }
 
 
@@ -101,22 +152,34 @@ def _span_from_dict(doc: dict[str, Any]) -> Span:
 
 
 def trace_to_json(tracer: Tracer) -> dict[str, Any]:
-    """A JSON-safe document: counters, drop accounting, and the span
-    tree.  Attribute values must themselves be JSON-safe (the
-    instrumentation only records strings, numbers, and lists thereof)."""
+    """A JSON-safe document: schema version, counters, typed metrics,
+    drop accounting, and the span tree with run-relative timestamps
+    (the root span starts at 0.0).  Attribute values must themselves be
+    JSON-safe (the instrumentation only records strings, numbers, and
+    lists thereof)."""
     tracer.close()
+    origin = tracer.root.start
     return {
+        "schema": TRACE_SCHEMA,
         "counters": dict(tracer.counters),
+        "metrics": metrics_to_json(tracer.metrics)["metrics"],
         "dropped_events": tracer.dropped_events,
-        "trace": _span_to_dict(tracer.root),
+        "trace": _span_to_dict(tracer.root, origin),
     }
 
 
 def trace_from_json(doc: dict[str, Any]) -> Tracer:
     """Rebuild a :class:`Tracer` from :func:`trace_to_json` output, such
-    that re-exporting yields an equal document."""
+    that re-exporting yields an equal document.
+
+    Accepts both the current versioned form (``"schema": 1``,
+    run-relative timestamps — stored as-is, so the rebuilt root starts
+    at 0.0) and the unversioned pre-schema form (absolute timestamps,
+    which re-export will normalise to run-relative).
+    """
     tracer = Tracer()
     tracer.counters = dict(doc["counters"])
+    tracer.metrics = metrics_from_json({"metrics": doc.get("metrics", {})})
     tracer.dropped_events = doc["dropped_events"]
     tracer.root = _span_from_dict(doc["trace"])
     tracer._stack = [tracer.root]

@@ -26,6 +26,8 @@ import time
 from contextlib import contextmanager
 from typing import Any, Iterator
 
+from .metrics import MetricsRegistry
+
 __all__ = [
     "Event",
     "Span",
@@ -91,8 +93,13 @@ class Tracer:
 
     Counters are a flat ``name -> number`` dict; :meth:`count` adds
     (monotonic counters), :meth:`gauge` overwrites (last-write gauges
-    such as per-type domain cardinalities).  The span tree hangs off
-    ``root``, an implicit span opened at construction.
+    such as per-type domain cardinalities), :meth:`gauge_max` keeps the
+    high watermark (peak working-set rows).  Each of those also feeds a
+    typed metric of the same name in ``metrics``
+    (:class:`repro.obs.metrics.MetricsRegistry`); :meth:`observe`
+    records into a log-bucketed histogram there *without* polluting the
+    flat dict (distributions are not single numbers).  The span tree
+    hangs off ``root``, an implicit span opened at construction.
     """
 
     enabled = True
@@ -100,6 +107,7 @@ class Tracer:
     def __init__(self, max_events: int = DEFAULT_MAX_EVENTS):
         self.root = Span("trace", {}, time.perf_counter())
         self.counters: dict[str, int | float] = {}
+        self.metrics = MetricsRegistry()
         self.max_events = max_events
         self.dropped_events = 0
         self._stack: list[Span] = [self.root]
@@ -134,10 +142,27 @@ class Tracer:
     def count(self, name: str, /, delta: int | float = 1) -> None:
         """Add ``delta`` to a monotonic counter."""
         self.counters[name] = self.counters.get(name, 0) + delta
+        self.metrics.counter(name).inc(delta)
 
     def gauge(self, name: str, /, value: int | float) -> None:
         """Set a last-write gauge."""
         self.counters[name] = value
+        self.metrics.gauge(name).set(value)
+
+    def gauge_max(self, name: str, /, value: int | float) -> None:
+        """Raise a high-watermark gauge to ``value`` if it exceeds the
+        current reading (peak working-set rows, peak range size)."""
+        if value > self.counters.get(name, 0):
+            self.counters[name] = value
+        self.metrics.gauge(name).set_max(value)
+
+    def observe(self, name: str, /, value: int | float) -> None:
+        """Record ``value`` into the log-bucketed histogram ``name``.
+
+        Histograms live only in the typed registry — the flat
+        ``counters`` dict stays a scalar table.
+        """
+        self.metrics.histogram(name).record(value)
 
     def close(self) -> None:
         """Close the root span (idempotent); exporters call this."""
@@ -189,6 +214,12 @@ class NullTracer:
         pass
 
     def gauge(self, name: str, /, value: int | float) -> None:
+        pass
+
+    def gauge_max(self, name: str, /, value: int | float) -> None:
+        pass
+
+    def observe(self, name: str, /, value: int | float) -> None:
         pass
 
     def close(self) -> None:

@@ -247,6 +247,14 @@ eval.formula_checks         3606
 eval.quantifier_iterations  1731
 eval.stage_skips            5
 ifp.stages                  3
+space.answer_nodes          15
+space.domain_nodes          20
+space.domain_values         8
+space.peak_fixpoint_rows    3
+== metrics ==
+space.domain_cardinality  count=1 min=8 mean=8 p50=8 p90=8 max=8
+space.fixpoint_rows       count=1 min=3 mean=3 p50=3 p90=3 max=3
+space.ifp.stage_rows      count=3 min=2 mean=2.67 p50=3 p90=3 max=3
 -- 3 tuple(s)
 """
 
@@ -272,6 +280,14 @@ eval.fixpoint_stages        3
 eval.formula_checks         3624
 eval.quantifier_iterations  1734
 ifp.stages                  3
+space.answer_nodes          15
+space.domain_nodes          20
+space.domain_values         8
+space.peak_fixpoint_rows    3
+== metrics ==
+space.domain_cardinality  count=1 min=8 mean=8 p50=8 p90=8 max=8
+space.fixpoint_rows       count=1 min=3 mean=3 p50=3 p90=3 max=3
+space.ifp.stage_rows      count=3 min=2 mean=2.67 p50=3 p90=3 max=3
 -- 3 tuple(s)
 """
 
