@@ -2,21 +2,34 @@
 
 Declared sweeps (workload × size-series × strategy) live in
 :mod:`repro.bench.registry`; :mod:`repro.bench.runner` measures each
-point's wall time *and* space counters under a fresh tracer;
-:mod:`repro.bench.fit` fits log-log slopes and doubling ratios and
-classifies each curve poly-vs-superpolynomial; and
+point's wall time *and* space counters under a fresh tracer (serially,
+or sharded over a process pool via :mod:`repro.bench.shard` with
+``jobs > 1``); :mod:`repro.bench.fit` fits log-log slopes and doubling
+ratios and classifies each curve poly-vs-superpolynomial;
 :mod:`repro.bench.report` renders the result and regression-gates it
-against a committed baseline.  The CLI front end is ``repro bench``.
+against a committed ``schema: 1`` baseline; and
+:mod:`repro.bench.trend` stitches the per-PR ``BENCH_PR<N>.json``
+documents into cross-PR trajectories.  The CLI front end is
+``repro bench``.
 
 Typical use::
 
     from repro.bench import resolve_suites, run_suites, render_document
 
-    document = run_suites(resolve_suites(["smoke"]))
+    document = run_suites(resolve_suites(["smoke"]), jobs=4)
     print(render_document(document))
 """
 
-from .fit import Classification, Fit, classify, doubling_ratios, local_degrees, loglog_fit
+from .fit import (
+    Classification,
+    Fit,
+    bound_value,
+    classify,
+    doubling_ratios,
+    format_bound,
+    local_degrees,
+    loglog_fit,
+)
 from .registry import (
     GROUPS,
     SUITES,
@@ -26,8 +39,33 @@ from .registry import (
     Tolerance,
     resolve_suites,
 )
-from .report import diff_against_baseline, document_failures, render_document
-from .runner import BenchError, run_suite, run_suites, series
+from .report import (
+    LegacyBaselineError,
+    diff_against_baseline,
+    document_failures,
+    render_document,
+)
+from .runner import (
+    BenchError,
+    build_suite_document,
+    failed_point,
+    point_specs,
+    run_point,
+    run_suite,
+    run_suites,
+    series,
+)
+from .shard import PointTask, run_sharded, run_tasks, strip_timing
+from .trend import (
+    TrendError,
+    build_trend,
+    convert_legacy,
+    is_legacy,
+    label_for_path,
+    load_documents,
+    migrated_path,
+    render_trend,
+)
 
 __all__ = [
     "Fit",
@@ -36,6 +74,8 @@ __all__ = [
     "local_degrees",
     "doubling_ratios",
     "classify",
+    "bound_value",
+    "format_bound",
     "Expectation",
     "SpeedupGate",
     "Tolerance",
@@ -44,10 +84,27 @@ __all__ = [
     "GROUPS",
     "resolve_suites",
     "BenchError",
+    "run_point",
+    "failed_point",
+    "point_specs",
+    "build_suite_document",
     "run_suite",
     "run_suites",
     "series",
+    "PointTask",
+    "run_sharded",
+    "run_tasks",
+    "strip_timing",
+    "LegacyBaselineError",
     "render_document",
     "diff_against_baseline",
     "document_failures",
+    "TrendError",
+    "is_legacy",
+    "convert_legacy",
+    "label_for_path",
+    "load_documents",
+    "migrated_path",
+    "build_trend",
+    "render_trend",
 ]

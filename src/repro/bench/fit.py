@@ -38,6 +38,8 @@ __all__ = [
     "local_degrees",
     "doubling_ratios",
     "classify",
+    "bound_value",
+    "format_bound",
 ]
 
 #: Floor applied to measured values before taking logs, so zero counters
@@ -87,6 +89,27 @@ class Classification:
             "r2": self.r2,
             "local_degrees": list(self.local_degrees),
         }
+
+
+def bound_value(n: float, coefficient: float, degree: int,
+                base: float | None = None) -> float:
+    """The declared envelope ``coefficient * base**n * n**degree`` at
+    one size (``base=None`` drops the exponential factor: a pure
+    polynomial bound)."""
+    value = coefficient * float(n) ** degree
+    if base is not None:
+        value *= base ** n
+    return value
+
+
+def format_bound(coefficient: float, degree: int,
+                 base: float | None = None) -> str:
+    """Human form of the same envelope, for reports."""
+    parts = [str(coefficient)]
+    if base is not None:
+        parts.append(f"{base}**n")
+    parts.append(f"n**{degree}")
+    return " * ".join(parts)
 
 
 def _logs(values: Sequence[float]) -> list[float]:

@@ -38,25 +38,39 @@ __all__ = [
 
 @dataclass(frozen=True)
 class Expectation:
-    """A predicted curve shape for one metric of one strategy's series."""
+    """A predicted curve shape for one metric of one strategy's series.
+
+    ``kind="bound"`` checks every point against
+    ``coefficient * bound_base**n * n**degree``; with ``bound_base``
+    unset the bound is purely polynomial (Theorem 5.1 style), with
+    ``bound_base=2.0`` it is the paper's one-exponential ``P(hyper(1,k))``
+    envelope (Theorem 6.1 style).
+    """
 
     metric: str  # "seconds" or a tracer counter name
     kind: str  # "poly" | "superpoly" | "bound"
     strategy: str = "seminaive"
     max_degree: float | None = None  # poly: fitted slope must stay <=
-    bound_degree: int | None = None  # bound: metric <= coeff * n**degree
+    bound_degree: int | None = None  # bound: polynomial part's degree
     bound_coefficient: float = 1.0
+    bound_base: float | None = None  # bound: exponential part's base
     note: str = ""
 
 
 @dataclass(frozen=True)
 class SpeedupGate:
-    """``slow`` strategy time over ``fast`` strategy time at the largest
-    size must be at least ``min_ratio``."""
+    """The ``slow`` strategy's value over the ``fast`` strategy's value
+    at the largest common size must be at least ``min_ratio``.
+
+    ``metric`` defaults to wall ``"seconds"`` (a within-run ratio, so it
+    is machine-independent enough to gate); a counter name instead makes
+    the gate fully deterministic (e.g. the IFP-vs-PFP working-set ratio
+    of Theorem 4.1(3))."""
 
     slow: str = "naive"
     fast: str = "seminaive"
     min_ratio: float = 2.0
+    metric: str = "seconds"
 
 
 @dataclass(frozen=True)
@@ -87,7 +101,6 @@ class Suite:
     gates: tuple[SpeedupGate, ...] = ()
     tolerances: tuple[Tolerance, ...] = ()
     agree: bool = True  # checksums must match across strategies per size
-    baseline_key: str | None = None  # section name in legacy baselines
 
 
 # ---------------------------------------------------------------------------
@@ -162,6 +175,160 @@ def _run_hyper_domain(n: int, strategy: str) -> dict[str, Any]:
     return {"checksum": len(inst.relation("R").tuples)}
 
 
+# -- absorbed from the legacy benchmarks/bench_*.py scripts -----------------
+
+def _run_quantifier_tower(n: int, strategy: str) -> dict[str, Any]:
+    """Theorem 4.2 (ex ``bench_hyper_scaling.py``): a universal
+    quantifier one set level above the density boundary of a flat
+    instance sweeps the full ``2**n`` subset domain — a tautological
+    body prevents short-circuiting, so ``eval.quantifier_iterations``
+    tracks ``|dom({U}, D)|`` exactly."""
+    from ..core.builder import V, forall, member, query, rel
+    from ..core.evaluation import evaluate
+    from ..objects import database_schema, instance
+    from ..workloads import atoms_universe
+
+    atoms = atoms_universe(n)
+    inst = instance(database_schema(P=["U"]), P=[(a,) for a in atoms])
+    x = V("x", "U")
+    s = V("s", "{U}")
+    tautology = member(x, s).implies(member(x, s))
+    answer = evaluate(query([x], rel("P")(x) & forall(s, tautology)), inst)
+    if len(answer) != n:
+        raise AssertionError(
+            f"tower query on {n} atoms returned {len(answer)} rows")
+    return {"checksum": len(answer)}
+
+
+def _decoded_checksum(rows) -> int:
+    """Order- and process-independent checksum of an answer relation
+    (``hash`` is salted per process, so shards cannot use it)."""
+    import zlib
+
+    canonical = "\n".join(sorted(repr(row) for row in rows))
+    return zlib.crc32(canonical.encode("utf-8"))
+
+
+def _run_sparse_collapse(n: int, strategy: str) -> dict[str, Any]:
+    """Proposition 5.2 (ex ``bench_sparse_collapse.py``): TC over a
+    sparse chain of set-typed nodes, either directly over the nested
+    objects (``direct``) or through the Q_T tuple-encoding
+    (``encoded``).  Checksums are computed over the *decoded* answers,
+    so the cross-strategy agreement check is exactly the proposition's
+    RR ≡ RR+encoding claim; ``collapse.domain_values`` records each
+    route's quantification space (``2**n`` sets vs ``n**m`` tuples)."""
+    from ..analysis import SparseEncoding
+    from ..core.safety import evaluate_range_restricted
+    from ..obs import get_tracer
+    from ..objects import domain_cardinality, parse_type
+    from ..workloads import sparse_chain_family, transitive_closure_query
+
+    inst = sparse_chain_family(n)
+    if strategy == "direct":
+        answer = evaluate_range_restricted(
+            transitive_closure_query("{U}"), inst).answer
+        space = domain_cardinality(parse_type("{U}"), n)
+    elif strategy == "encoded":
+        encoding = SparseEncoding(inst)
+        flat = encoding.encode_instance()
+        node_type = flat.schema["G"].column_types[0]
+        encoded = evaluate_range_restricted(
+            transitive_closure_query(node_type), flat).answer
+        answer = encoding.decode_rows(encoded)
+        space = domain_cardinality(node_type, n)
+    else:
+        raise AssertionError(f"unknown sparse-collapse route {strategy!r}")
+    get_tracer().count("collapse.domain_values", space)
+    return {"checksum": _decoded_checksum(answer)}
+
+
+def _run_density_measures(n: int, strategy: str) -> dict[str, Any]:
+    """Lemma 4.1 (ex ``bench_density_equivalence.py``): the four
+    measures |I|, ||I||, |dom|, ||dom|| on a dense family (all subsets)
+    and a sparse family (singleton chain) at the same ``n``.  The run
+    asserts the lemma's facts (a)-(c) and records the dense family's
+    measures so the declared expectations can pin their shapes."""
+    import math
+
+    from ..analysis import lemma41_witness
+    from ..obs import get_tracer
+    from ..workloads import all_subsets_instance, sparse_chain_family
+
+    dense = lemma41_witness(all_subsets_instance(n), 1, 1)
+    sparse = lemma41_witness(sparse_chain_family(n), 1, 1)
+    for label, witness in (("dense", dense), ("sparse", sparse)):
+        bad = [fact for fact, holds in witness.facts.items() if not holds]
+        if bad:
+            raise AssertionError(f"Lemma 4.1 facts failed ({label}): {bad}")
+    if sparse.cardinality > 4 * math.log2(sparse.dom_cardinality):
+        raise AssertionError("sparse family is not sparse w.r.t. <1,1>")
+    tracer = get_tracer()
+    tracer.count("lemma41.dense_dom_values", dense.dom_cardinality)
+    tracer.count("lemma41.dense_dom_per_1000_rows",
+                 int(1000 * dense.dom_cardinality / dense.cardinality))
+    tracer.count("lemma41.sparse_rows", sparse.cardinality)
+    return {"checksum": dense.cardinality}
+
+
+#: Tape alphabet of the copy machine (ex ``bench_pfp_simulation.py``).
+_TAPE_ALPHABET = frozenset("01#[]{}G:")
+
+
+def _run_simulation(n: int, strategy: str) -> dict[str, Any]:
+    """Theorem 4.1(3) (ex ``bench_pfp_simulation.py``): the same copy
+    machine on an ``n``-edge chain, simulated via the timestamped IFP
+    construction (``ifp``) or the current-configuration-only PFP one
+    (``pfp``).  Checksum = CRC of the final tape, so the agreement check
+    is tape equality; ``space.peak_fixpoint_rows`` feeds the
+    deterministic no-timestamps gate."""
+    import zlib
+
+    from ..machines import copy_machine, simulate_query, simulate_query_pfp
+    from ..objects import database_schema, instance
+    from ..workloads import atoms_universe
+
+    atoms = atoms_universe(n + 1)
+    inst = instance(database_schema(G=["U", "U"]),
+                    G=list(zip(atoms, atoms[1:])))
+    machine = copy_machine(_TAPE_ALPHABET)
+    simulate = simulate_query if strategy == "ifp" else simulate_query_pfp
+    result = simulate(machine, inst, max_steps=500_000)
+    if result.final_state != "done":
+        raise AssertionError(f"copy machine halted in {result.final_state!r}")
+    return {"checksum": zlib.crc32(result.final_tape.encode("utf-8"))}
+
+
+def _run_flat_kernel(n: int, strategy: str) -> dict[str, Any]:
+    """Theorem 6.1 (ex ``bench_flat_restriction.py``): the kernel query
+    — flat-to-flat with one height-1 existential set variable — on odd
+    cycles, where no kernel exists and the set quantifier cannot
+    short-circuit.  Iterations grow superpolynomially but stay inside
+    the single-exponential ``P(hyper(1,k))`` envelope."""
+    from ..core.builder import V, exists, forall, member, proj, query, rel
+    from ..core.evaluation import evaluate
+    from ..workloads import cycle_graph
+
+    if n % 2 == 0:
+        raise AssertionError("flat-kernel sizes must be odd cycles")
+    t = V("t", "[U,U]")
+    X = V("X", "{U}")
+    u, v = V("u", "U"), V("v", "U")
+    w, z = V("w", "U"), V("z", "U")
+    G = rel("G")
+    independent = forall([u, v],
+                         (member(u, X) & member(v, X)).implies(~G(u, v)))
+    is_node = (exists(V("n1", "U"), G(w, V("n1", "U")))
+               | exists(V("n2", "U"), G(V("n2", "U"), w)))
+    dominated = member(w, X) | exists(z, member(z, X) & G(z, w))
+    dominating = forall(w, is_node.implies(dominated))
+    kernel = query([t], G(proj(t, 1), proj(t, 2))
+                   & exists(X, independent & dominating))
+    answer = evaluate(kernel, cycle_graph(n))
+    if answer:  # odd cycles have no kernel: the full 2**n sweep happened
+        raise AssertionError(f"odd cycle C{n} reported a kernel")
+    return {"checksum": len(answer)}
+
+
 # ---------------------------------------------------------------------------
 # The registry
 # ---------------------------------------------------------------------------
@@ -190,7 +357,6 @@ _register(Suite(
         Tolerance(metric="datalog.rows_derived", max_ratio=0.0),
         Tolerance(metric="ifp.stages", max_ratio=0.0),
     ),
-    baseline_key="datalog",
 ))
 
 _register(Suite(
@@ -254,7 +420,6 @@ _register(Suite(
         Tolerance(metric="ifp.stages", max_ratio=0.0),
         Tolerance(metric="eval.delta_rows", max_ratio=0.0),
     ),
-    baseline_key="calc_ifp",
 ))
 
 _register(Suite(
@@ -268,12 +433,122 @@ _register(Suite(
                     strategy="seminaive", max_degree=2.2,
                     note="closure cardinality is Theta(n^2) on a chain"),
     ),
-    baseline_key="algebra_loop",
 ))
 
 
-#: Named groups accepted by ``repro bench --suite``.
+_register(Suite(
+    name="quantifier-tower",
+    title="Theorem 4.2: one set level above density costs one exponential",
+    sizes=(4, 6, 8, 10, 12),
+    strategies=("seminaive",),
+    run=_run_quantifier_tower,
+    expectations=(
+        Expectation(metric="eval.quantifier_iterations", kind="superpoly",
+                    strategy="seminaive",
+                    note="the {U} quantifier sweeps all 2**n subsets"),
+        Expectation(metric="eval.quantifier_iterations", kind="bound",
+                    strategy="seminaive", bound_degree=1,
+                    bound_coefficient=2.0, bound_base=2.0,
+                    note="...but only one exponential: <= 2 * n * 2**n"),
+    ),
+    agree=False,
+))
+
+_register(Suite(
+    name="sparse-collapse",
+    title="Proposition 5.2: tuple-encoding collapses the sparse "
+          "quantification space",
+    sizes=(5, 6, 7, 8),
+    strategies=("direct", "encoded"),
+    run=_run_sparse_collapse,
+    expectations=(
+        Expectation(metric="collapse.domain_values", kind="superpoly",
+                    strategy="direct",
+                    note="nested route quantifies over 2**n sets"),
+        Expectation(metric="collapse.domain_values", kind="bound",
+                    strategy="encoded", bound_degree=1,
+                    bound_coefficient=1.0,
+                    note="encoded route quantifies over n atom tuples"),
+    ),
+    tolerances=(Tolerance(metric="collapse.domain_values", max_ratio=0.0),),
+    agree=True,  # decoded answers must match: RR == RR+encoding
+))
+
+_register(Suite(
+    name="density-measures",
+    title="Lemma 4.1: cardinality- and size-based measures move together",
+    sizes=(3, 4, 5, 6, 7),
+    strategies=("seminaive",),
+    run=_run_density_measures,
+    expectations=(
+        Expectation(metric="lemma41.dense_dom_values", kind="superpoly",
+                    strategy="seminaive",
+                    note="|dom(1,1)| of the all-subsets family is ~2**n"),
+        Expectation(metric="lemma41.dense_dom_per_1000_rows", kind="bound",
+                    strategy="seminaive", bound_degree=0,
+                    bound_coefficient=4000.0,
+                    note="...yet |dom| <= 4|I|: dense in both measures"),
+        Expectation(metric="lemma41.sparse_rows", kind="bound",
+                    strategy="seminaive", bound_degree=1,
+                    bound_coefficient=1.0,
+                    note="sparse family stays |I| = n - 1"),
+    ),
+    tolerances=(
+        Tolerance(metric="lemma41.dense_dom_values", max_ratio=0.0),
+        Tolerance(metric="lemma41.sparse_rows", max_ratio=0.0),
+    ),
+    agree=False,
+))
+
+_register(Suite(
+    name="pfp-vs-ifp",
+    title="Theorem 4.1(3): PFP simulation needs no timestamps",
+    sizes=(1, 2),
+    strategies=("ifp", "pfp"),
+    run=_run_simulation,
+    gates=(
+        SpeedupGate(slow="ifp", fast="pfp",
+                    metric="space.peak_fixpoint_rows", min_ratio=10.0),
+    ),
+    tolerances=(
+        Tolerance(metric="space.peak_fixpoint_rows", max_ratio=0.0),
+        Tolerance(metric="ifp.stages", max_ratio=0.0),
+    ),
+    agree=True,  # both simulations must leave the same final tape
+))
+
+_register(Suite(
+    name="flat-kernel",
+    title="Theorem 6.1: flat-to-flat kernel query, one exponential "
+          "and no more",
+    sizes=(3, 5, 7, 9),
+    strategies=("seminaive",),
+    run=_run_flat_kernel,
+    expectations=(
+        Expectation(metric="eval.quantifier_iterations", kind="superpoly",
+                    strategy="seminaive",
+                    note="the height-1 set variable doubles cost per node"),
+        Expectation(metric="eval.quantifier_iterations", kind="bound",
+                    strategy="seminaive", bound_degree=2,
+                    bound_coefficient=2.0, bound_base=2.0,
+                    note="the P(hyper(1,k)) envelope: <= 2 * n**2 * 2**n"),
+    ),
+    tolerances=(
+        Tolerance(metric="eval.quantifier_iterations", max_ratio=0.0),
+    ),
+    agree=False,
+))
+
+
+#: Named groups accepted by ``repro bench --suite``.  ``tc``/``space``/
+#: ``theorems`` partition the registry for CI's job matrix; ``smoke``
+#: keeps its PR 4 meaning (the original six suites).
 GROUPS: dict[str, tuple[str, ...]] = {
+    "tc": ("seminaive-smoke", "tc-seminaive-dense", "calc-ifp-dense",
+           "algebra-loop"),
+    "space": ("hyper-domain", "rr-space-chain"),
+    "theorems": ("quantifier-tower", "sparse-collapse", "density-measures",
+                 "pfp-vs-ifp", "flat-kernel"),
     "smoke": ("seminaive-smoke", "tc-seminaive-dense", "hyper-domain",
               "rr-space-chain", "calc-ifp-dense", "algebra-loop"),
     "all": tuple(SUITES),

@@ -5,16 +5,20 @@ Two jobs:
 * :func:`render_document` — the human-readable report: per suite, the
   measured points (time + headline space counters), the fitted curves,
   and PASS/FAIL lines for every declared expectation, speedup gate, and
-  cross-strategy agreement check.
+  cross-strategy agreement check.  Points that failed in a sharded run
+  render as explicit FAILED lines — a partial report never looks clean.
 * :func:`diff_against_baseline` — the regression gate.  Deterministic
   counters (rows derived, stages, delta rows — never wall seconds,
   which do not compare across machines) are checked point-by-point
-  against a committed baseline within each suite's declared
-  :class:`~repro.bench.registry.Tolerance`.  Both baseline formats are
-  understood: the observatory's own ``schema: 1`` documents, and the
-  legacy flat ``BENCH_PR3.json`` layout (sections ``datalog`` /
-  ``calc_ifp`` / ``algebra_loop`` with per-strategy sub-dicts), so the
-  first observatory run gates against the pre-observatory baseline.
+  against a committed ``schema: 1`` baseline within each suite's
+  declared :class:`~repro.bench.registry.Tolerance`.
+
+The pre-observatory flat ``BENCH_PR3.json`` baseline layout is
+**retired** here: :func:`diff_against_baseline` raises
+:class:`LegacyBaselineError` for it, pointing at ``repro bench --trend
+FILE --migrate``, which rewrites a legacy document in the ``schema: 1``
+layout (the trend tool keeps the only remaining legacy parser, since
+trajectories must reach back to PR 3).
 """
 
 from __future__ import annotations
@@ -23,17 +27,16 @@ from typing import Any
 
 from .registry import Suite
 
-__all__ = ["render_document", "diff_against_baseline", "document_failures"]
+__all__ = [
+    "LegacyBaselineError",
+    "render_document",
+    "diff_against_baseline",
+    "document_failures",
+]
 
-#: Observatory counter name -> field name in legacy baseline sections.
-_LEGACY_METRIC = {
-    "datalog.rows_derived": "rows_derived",
-    "datalog.dedup_hits": "dedup_hits",
-    "datalog.refires_avoided": "refires_avoided",
-    "ifp.stages": "stages",
-    "eval.delta_rows": "delta_rows",
-    "eval.stage_skips": "stage_skips",
-}
+
+class LegacyBaselineError(Exception):
+    """A baseline in the retired pre-schema-1 flat layout."""
 
 
 def _format_seconds(seconds: float) -> str:
@@ -47,7 +50,9 @@ def _headline_counters(point: dict[str, Any]) -> str:
     shown = []
     for name in ("datalog.rows_derived", "eval.delta_rows",
                  "space.domain_values", "space.peak_fixpoint_rows",
-                 "space.peak_range", "space.peak_loop_rows"):
+                 "space.peak_range", "space.peak_loop_rows",
+                 "eval.quantifier_iterations", "collapse.domain_values",
+                 "lemma41.dense_dom_values"):
         if name in counters:
             shown.append(f"{name}={counters[name]}")
     return "  ".join(shown)
@@ -59,6 +64,12 @@ def render_document(document: dict[str, Any]) -> str:
     for suite_doc in document.get("suites", {}).values():
         lines.append(f"== {suite_doc['name']}: {suite_doc['title']}")
         for point in suite_doc["points"]:
+            if point.get("failed"):
+                lines.append(
+                    f"  n={point['n']:>4} {point['strategy']:<10} "
+                    f"   FAILED  {point['error']}"
+                )
+                continue
             extra = _headline_counters(point)
             lines.append(
                 f"  n={point['n']:>4} {point['strategy']:<10} "
@@ -89,60 +100,42 @@ def render_document(document: dict[str, Any]) -> str:
             )
         for gate in suite_doc.get("gates", ()):
             status = "PASS" if gate.get("ok") else "FAIL"
+            metric = gate.get("metric", "seconds")
             if "ratio" in gate:
                 lines.append(
-                    f"  [{status}] speedup {gate['slow']}/{gate['fast']} "
-                    f"at n={gate['n']}: {gate['ratio']:.2f}x "
-                    f"(need >= {gate['min_ratio']}x)"
+                    f"  [{status}] {metric} gate {gate['slow']}/"
+                    f"{gate['fast']} at n={gate['n']}: "
+                    f"{gate['ratio']:.2f}x (need >= {gate['min_ratio']}x)"
                 )
             else:
                 lines.append(
-                    f"  [{status}] speedup {gate['slow']}/{gate['fast']}: "
-                    f"{gate.get('reason', 'no data')}"
+                    f"  [{status}] {metric} gate {gate['slow']}/"
+                    f"{gate['fast']}: {gate.get('reason', 'no data')}"
                 )
         agreement = suite_doc.get("agreement")
         if agreement is not None:
             status = "PASS" if agreement["ok"] else "FAIL"
             lines.append(f"  [{status}] cross-strategy agreement")
         lines.append("")
+    if document.get("partial"):
+        lines.append("PARTIAL RUN: one or more points failed (see above)")
+        lines.append("")
     return "\n".join(lines).rstrip("\n")
 
 
-def _legacy_lookup(baseline: dict[str, Any], suite: Suite, n: int,
-                   strategy: str, metric: str) -> float | None:
-    if suite.baseline_key is None:
-        return None
-    section = baseline.get(suite.baseline_key)
-    if not isinstance(section, list):
-        return None
-    field = _LEGACY_METRIC.get(metric, metric)
-    for entry in section:
-        if entry.get("n") == n:
-            per_strategy = entry.get(strategy)
-            if isinstance(per_strategy, dict):
-                return per_strategy.get(field)
-            return None
-    return None
-
-
-def _modern_lookup(baseline: dict[str, Any], suite: Suite, n: int,
-                   strategy: str, metric: str) -> float | None:
+def _baseline_value(baseline: dict[str, Any], suite: Suite, n: int,
+                    strategy: str, metric: str) -> float | None:
     suite_doc = baseline.get("suites", {}).get(suite.name)
     if suite_doc is None:
         return None
     for point in suite_doc.get("points", ()):
         if point.get("n") == n and point.get("strategy") == strategy:
+            if point.get("failed"):
+                return None
             if metric in ("seconds", "checksum"):
                 return point.get(metric)
             return point.get("counters", {}).get(metric)
     return None
-
-
-def _baseline_value(baseline: dict[str, Any], suite: Suite, n: int,
-                    strategy: str, metric: str) -> float | None:
-    if "suites" in baseline:
-        return _modern_lookup(baseline, suite, n, strategy, metric)
-    return _legacy_lookup(baseline, suite, n, strategy, metric)
 
 
 def diff_against_baseline(
@@ -150,12 +143,20 @@ def diff_against_baseline(
     baseline: dict[str, Any],
     suites: list[Suite],
 ) -> list[str]:
-    """Check each suite's declared tolerances against a baseline.
+    """Check each suite's declared tolerances against a ``schema: 1``
+    baseline document.
 
     Returns breach descriptions (empty = within tolerance).  Points the
     baseline does not cover (new sizes, new suites) are not breaches —
     the baseline only ever *gates*, it does not have to be complete.
+    Failed points in either document are skipped (a degraded run is
+    reported through the partial flag, not as a counter regression).
     """
+    if "suites" not in baseline:
+        raise LegacyBaselineError(
+            "baseline is in the retired pre-schema-1 flat layout; "
+            "rewrite it with: repro bench --trend FILE --migrate"
+        )
     breaches: list[str] = []
     by_name = {suite.name: suite for suite in suites}
     for name, suite_doc in document.get("suites", {}).items():
@@ -163,6 +164,8 @@ def diff_against_baseline(
         if suite is None:
             continue
         for point in suite_doc["points"]:
+            if point.get("failed"):
+                continue
             n, strategy = point["n"], point["strategy"]
             for tolerance in suite.tolerances:
                 base = _baseline_value(baseline, suite, n, strategy,
@@ -180,14 +183,9 @@ def diff_against_baseline(
                         f"({strategy}) regressed: {new} vs baseline "
                         f"{base} (tolerance {tolerance.max_ratio:.0%})"
                     )
-            # Answer cardinality is exact in both baseline layouts.
+            # Answer cardinality/checksum is exact.
             base_rows = _baseline_value(baseline, suite, n, strategy,
                                         "checksum")
-            if base_rows is None and "suites" not in baseline:
-                section = baseline.get(suite.baseline_key or "", [])
-                for entry in section if isinstance(section, list) else []:
-                    if entry.get("n") == n and "closure_rows" in entry:
-                        base_rows = entry["closure_rows"]
             if base_rows is not None and point["checksum"] != base_rows:
                 breaches.append(
                     f"{name}: checksum at n={n} ({strategy}) changed: "
@@ -197,7 +195,8 @@ def diff_against_baseline(
 
 
 def document_failures(document: dict[str, Any]) -> list[str]:
-    """Every failed expectation/gate/agreement in a document, as text."""
+    """Every failed expectation/gate/agreement/point in a document, as
+    text — anything here makes ``repro bench`` exit 1."""
     failures: list[str] = []
     for name, suite_doc in document.get("suites", {}).items():
         for expectation in suite_doc.get("expectations", ()):
@@ -209,11 +208,17 @@ def document_failures(document: dict[str, Any]) -> list[str]:
         for gate in suite_doc.get("gates", ()):
             if not gate.get("ok"):
                 failures.append(
-                    f"{name}: speedup gate {gate['slow']}/{gate['fast']} "
-                    f"failed ({gate.get('ratio', 'n/a')})"
+                    f"{name}: {gate.get('metric', 'seconds')} gate "
+                    f"{gate['slow']}/{gate['fast']} failed "
+                    f"({gate.get('ratio', 'n/a')})"
                 )
         agreement = suite_doc.get("agreement")
         if agreement is not None and not agreement["ok"]:
             failures.append(f"{name}: strategies disagree: "
                             f"{agreement['disagreements']}")
+        for failed in suite_doc.get("failed_points", ()):
+            failures.append(
+                f"{name}: point n={failed['n']} ({failed['strategy']}) "
+                f"failed: {failed['error']}"
+            )
     return failures

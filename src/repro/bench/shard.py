@@ -1,0 +1,175 @@
+"""Sharded parallel execution of bench points over a process pool.
+
+The unit of work is one (suite, size, strategy) *point* — the same unit
+:func:`repro.bench.runner.run_point` measures serially.  Sharding at
+point granularity (rather than suite granularity) keeps the pool busy
+even when one suite dominates the grid, and point isolation is free:
+every point already runs under a fresh tracer, so a worker process
+carries no state between points beyond warm imports.
+
+Guarantees:
+
+* **Deterministic merge.**  Tasks are enumerated in registry
+  declaration order and results are collected by task index, so the
+  merged document is independent of completion order.  Combined with
+  per-point fresh tracers and process-independent checksums, a
+  ``--jobs N`` document is byte-identical to the serial one apart from
+  wall-clock-derived fields (:func:`strip_timing` removes exactly
+  those, for comparisons).
+* **Failure isolation.**  A worker that raises marks *only its own
+  point* as failed (:func:`repro.bench.runner.failed_point`); every
+  other point completes and the document is flagged partial.
+* **Timeout degradation.**  ``point_timeout`` bounds the wait for each
+  point's result.  A point that exceeds it is marked failed with a
+  timeout error; its worker may still be wedged (POSIX offers no safe
+  preemption), so the pool is terminated once all results are
+  collected, never reused.
+
+Workers resolve suites by *name* through the registry rather than
+pickling ``run`` callables, so the pool works under any start method
+for declared suites; suites registered at runtime (tests do this)
+additionally need the ``fork`` start method, which is preferred when
+the platform offers it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Any
+
+from .registry import Suite
+
+__all__ = ["PointTask", "run_sharded", "run_tasks", "strip_timing"]
+
+#: One unit of pool work: (suite name, size, strategy, tracemalloc).
+PointTask = tuple[str, int, str, bool]
+
+#: Extra seconds granted to the first result wait of a parallel run,
+#: covering pool start-up and cold imports in the workers.
+_STARTUP_GRACE = 5.0
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def _execute_task(task: PointTask) -> dict[str, Any]:
+    """Worker body: resolve the suite by name, measure the point."""
+    from .registry import SUITES
+    from .runner import run_point
+
+    suite_name, n, strategy, tracemalloc = task
+    return run_point(SUITES[suite_name], n, strategy, tracemalloc)
+
+
+def run_tasks(
+    tasks: list[PointTask],
+    jobs: int,
+    point_timeout: float | None = None,
+) -> list[dict[str, Any]]:
+    """Run point tasks on a pool of ``jobs`` workers; returns one point
+    dict per task, in task order.  Failures and timeouts yield
+    :func:`repro.bench.runner.failed_point` entries in place."""
+    from .runner import failed_point
+
+    if not tasks:
+        return []
+    results: list[dict[str, Any]] = []
+    context = _pool_context()
+    pool = context.Pool(processes=min(jobs, len(tasks)))
+    try:
+        handles = [pool.apply_async(_execute_task, (task,)) for task in tasks]
+        grace = _STARTUP_GRACE
+        for task, handle in zip(tasks, handles):
+            _, n, strategy, _ = task
+            timeout = None if point_timeout is None else point_timeout + grace
+            grace = 0.0
+            try:
+                results.append(handle.get(timeout))
+            except multiprocessing.TimeoutError:
+                results.append(failed_point(
+                    n, strategy,
+                    f"timed out after {point_timeout}s"))
+            except Exception as error:  # re-raised from the worker
+                results.append(failed_point(
+                    n, strategy, f"{type(error).__name__}: {error}"))
+    finally:
+        # A timed-out worker may be wedged; never reuse the pool.
+        pool.terminate()
+        pool.join()
+    return results
+
+
+def run_sharded(
+    plan: list[tuple[Suite, tuple[str, ...] | None]],
+    sizes: tuple[int, ...] | None,
+    tracemalloc: bool,
+    jobs: int,
+    point_timeout: float | None,
+) -> dict[str, Any]:
+    """The parallel back end of :func:`repro.bench.runner.run_suites`:
+    flatten the plan's point grids into one task list, run it on the
+    pool, and reassemble per-suite documents in declaration order."""
+    from .runner import build_suite_document, point_specs
+
+    tasks: list[PointTask] = []
+    layout: list[tuple[Suite, tuple[int, ...], tuple[str, ...], int]] = []
+    for suite, strategies in plan:
+        specs = point_specs(suite, sizes, strategies)
+        layout.append((
+            suite,
+            sizes or suite.sizes,
+            strategies or suite.strategies,
+            len(specs),
+        ))
+        tasks.extend((suite.name, n, strategy, tracemalloc)
+                     for n, strategy in specs)
+    points = run_tasks(tasks, jobs, point_timeout)
+    documents: dict[str, Any] = {}
+    offset = 0
+    for suite, suite_sizes, suite_strategies, count in layout:
+        documents[suite.name] = build_suite_document(
+            suite, suite_sizes, suite_strategies,
+            points[offset:offset + count])
+        offset += count
+    return documents
+
+
+#: Point fields that carry wall-clock measurements.
+_TIMING_POINT_FIELDS = ("seconds", "tracemalloc_peak_bytes")
+#: Gate fields measured from a timing series (identity fields stay).
+_TIMING_GATE_FIELDS = ("n", "slow_value", "fast_value", "ratio", "ok",
+                      "slow_seconds", "fast_seconds", "reason")
+#: Expectation fields derived from a timing series.
+_TIMING_EXPECTATION_FIELDS = ("fit", "doubling_ratios", "ok", "max_degree",
+                             "bound", "points", "breaches", "reason")
+
+
+def strip_timing(document: dict[str, Any]) -> dict[str, Any]:
+    """A deep copy of an observatory document with every wall-clock-
+    derived field removed: per-point ``seconds``/``tracemalloc`` bytes,
+    per-strategy ``fits``, and the measured parts of ``seconds``-based
+    gates and expectations.  Deterministic fields — counters,
+    histograms, checksums, agreement, counter-metric gates and
+    expectations — survive untouched, so two stripped documents of the
+    same workload compare equal byte-for-byte regardless of machine,
+    wall time, or ``--jobs``."""
+    import copy
+
+    stripped = copy.deepcopy(document)
+    for suite_doc in stripped.get("suites", {}).values():
+        for point in suite_doc.get("points", ()):
+            for field in _TIMING_POINT_FIELDS:
+                point.pop(field, None)
+        suite_doc.pop("fits", None)
+        for gate in suite_doc.get("gates", ()):
+            if gate.get("metric", "seconds") == "seconds":
+                for field in _TIMING_GATE_FIELDS:
+                    gate.pop(field, None)
+        for expectation in suite_doc.get("expectations", ()):
+            if expectation.get("metric") == "seconds":
+                for field in _TIMING_EXPECTATION_FIELDS:
+                    expectation.pop(field, None)
+    return stripped

@@ -206,10 +206,54 @@ def _parse_sizes(text: str) -> tuple[int, ...]:
     return sizes
 
 
+def _cmd_bench_trend(args: argparse.Namespace) -> int:
+    """``repro bench --trend FILE...``: the cross-PR trajectory report."""
+    from .bench import (
+        TrendError,
+        build_trend,
+        load_documents,
+        migrated_path,
+        render_trend,
+    )
+
+    try:
+        records = load_documents(args.trend)
+    except TrendError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_ERROR
+    if args.migrate:
+        for record in records:
+            if not record["legacy"]:
+                continue
+            path = migrated_path(record["path"])
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(record["document"], handle, indent=2)
+                handle.write("\n")
+            print(f"-- migrated {record['path']} -> {path}",
+                  file=sys.stderr)
+    trend = build_trend(records)
+    if args.format == "json":
+        print(json.dumps(trend, indent=2))
+    else:
+        print(render_trend(trend))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(trend, handle, indent=2)
+            handle.write("\n")
+        print(f"-- wrote {args.json}", file=sys.stderr)
+    if trend["regressions"]:
+        for entry in trend["regressions"]:
+            print(f"FAIL: {entry}", file=sys.stderr)
+        return EXIT_FINDINGS
+    return EXIT_OK
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .bench import (
         GROUPS,
         SUITES,
+        BenchError,
+        LegacyBaselineError,
         diff_against_baseline,
         document_failures,
         render_document,
@@ -217,6 +261,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         run_suites,
     )
 
+    if args.trend:
+        return _cmd_bench_trend(args)
+    if args.migrate:
+        print("error: --migrate only applies to --trend inputs",
+              file=sys.stderr)
+        return EXIT_ERROR
+    if args.jobs < 1:
+        print(f"error: --jobs must be >= 1, got {args.jobs}",
+              file=sys.stderr)
+        return EXIT_ERROR
     if args.list:
         for name, members in sorted(GROUPS.items()):
             print(f"{name} (group): {', '.join(members)}")
@@ -231,16 +285,28 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"error: {error.args[0]}", file=sys.stderr)
         return EXIT_ERROR
     sizes = _parse_sizes(args.sizes) if args.sizes else None
-    document = run_suites(suites, sizes=sizes, strategy=args.strategy,
-                          tracemalloc=args.tracemalloc)
+    try:
+        document = run_suites(suites, sizes=sizes, strategy=args.strategy,
+                              tracemalloc=args.tracemalloc, jobs=args.jobs,
+                              point_timeout=args.timeout)
+    except BenchError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_ERROR
     failures = document_failures(document)
     if args.baseline:
         with open(args.baseline, encoding="utf-8") as handle:
             baseline = json.load(handle)
-        breaches = diff_against_baseline(document, baseline, suites)
+        try:
+            breaches = diff_against_baseline(document, baseline, suites)
+        except LegacyBaselineError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return EXIT_ERROR
         document["baseline"] = {"path": args.baseline, "breaches": breaches}
         failures.extend(breaches)
-    print(render_document(document))
+    if args.format == "json":
+        print(json.dumps(document, indent=2))
+    else:
+        print(render_document(document))
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(document, handle, indent=2)
@@ -426,14 +492,35 @@ def build_parser() -> argparse.ArgumentParser:
     bench_cmd.add_argument("--sizes", metavar="CSV",
                            help="override the size series, e.g. 8,16,32")
     bench_cmd.add_argument(
-        "--strategy", choices=("naive", "seminaive"),
-        help="run only this strategy (suites not declaring it are "
-             "skipped)")
+        "--strategy", metavar="NAME",
+        help="run only this strategy, e.g. seminaive or ifp (suites "
+             "not declaring it are skipped)")
+    bench_cmd.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="shard points over N worker processes (default 1: serial, "
+             "bit-for-bit today's behaviour)")
+    bench_cmd.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-point timeout; a point exceeding it is marked failed "
+             "and the run degrades to a flagged partial report")
     bench_cmd.add_argument("--json", metavar="FILE",
-                           help="write the observatory document to FILE")
+                           help="write the observatory (or trend) "
+                                "document to FILE")
     bench_cmd.add_argument("--baseline", metavar="FILE",
                            help="regress-gate counters against this "
-                                "baseline document")
+                                "schema-1 baseline document")
+    bench_cmd.add_argument(
+        "--trend", nargs="+", metavar="FILE",
+        help="cross-PR trend mode: align these BENCH_PR*.json documents "
+             "(legacy flat or schema-1) into per-suite trajectories "
+             "with regression flags")
+    bench_cmd.add_argument(
+        "--migrate", action="store_true",
+        help="with --trend: rewrite each legacy input as FILE.schema1."
+             "json (the sanctioned path off the retired flat layout)")
+    bench_cmd.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format for the report or trend table")
     bench_cmd.add_argument("--tracemalloc", action="store_true",
                            help="also record peak allocated bytes per "
                                 "point (slower)")

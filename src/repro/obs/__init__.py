@@ -33,6 +33,7 @@ from .metrics import (
     value_node_count,
 )
 from .render import (
+    align_table,
     metrics_table,
     render_tree,
     summary_table,
@@ -59,6 +60,7 @@ __all__ = [
     "get_tracer",
     "set_tracer",
     "use_tracer",
+    "align_table",
     "render_tree",
     "summary_table",
     "metrics_table",

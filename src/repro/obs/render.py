@@ -30,6 +30,7 @@ from .metrics import (
 from .trace import Event, Span, Tracer
 
 __all__ = [
+    "align_table",
     "render_tree",
     "summary_table",
     "metrics_table",
@@ -82,15 +83,35 @@ def render_tree(tracer: Tracer, times: bool = True) -> str:
     return "\n".join(lines)
 
 
+def align_table(rows: list[tuple[str, ...]]) -> list[str]:
+    """Left-align rows of string cells into columns (two-space gutter).
+
+    The generic alignment behind :func:`summary_table`,
+    :func:`metrics_table`, and the bench trend tables.  Rows may have
+    differing lengths; each column is as wide as its widest cell, and
+    trailing whitespace is stripped per line.
+    """
+    if not rows:
+        return []
+    columns = max(len(row) for row in rows)
+    widths = [0] * columns
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    return [
+        "  ".join(cell.ljust(widths[i])
+                  for i, cell in enumerate(row)).rstrip()
+        for row in rows
+    ]
+
+
 def summary_table(tracer: Tracer) -> str:
     """Counters and gauges as an aligned two-column table."""
     if not tracer.counters:
         return "(no counters recorded)"
-    names = sorted(tracer.counters)
-    width = max(len(name) for name in names)
-    lines = [f"{name.ljust(width)}  {tracer.counters[name]}"
-             for name in names]
-    return "\n".join(lines)
+    rows = [(name, str(tracer.counters[name]))
+            for name in sorted(tracer.counters)]
+    return "\n".join(align_table(rows))
 
 
 def _format_number(value: int | float) -> str:
@@ -123,8 +144,7 @@ def metrics_table(metrics: MetricsRegistry) -> str:
         ))
     if not rows:
         return "(no histograms recorded)"
-    width = max(len(name) for name, _ in rows)
-    return "\n".join(f"{name.ljust(width)}  {text}" for name, text in rows)
+    return "\n".join(align_table(rows))
 
 
 def _span_to_dict(span: Span, origin: float) -> dict[str, Any]:

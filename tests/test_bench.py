@@ -1,5 +1,7 @@
 """The bench observatory: curve fitting and classification, suite
-running, baseline diffing (both formats), and the ``repro bench`` CLI."""
+running, schema-1 baseline diffing (the flat PR 3 layout is retired;
+see tests/test_bench_trend.py for its conversion), and the
+``repro bench`` CLI."""
 
 from __future__ import annotations
 
@@ -9,10 +11,12 @@ import pytest
 
 from repro.bench import (
     BenchError,
+    LegacyBaselineError,
     Suite,
     SUITES,
     Tolerance,
     classify,
+    convert_legacy,
     diff_against_baseline,
     document_failures,
     doubling_ratios,
@@ -187,36 +191,20 @@ class TestBaselineDiff:
         document = run_suites([TOY])
         assert diff_against_baseline(document, {"suites": {}}, [TOY]) == []
 
-    def test_legacy_flat_baseline_format(self):
-        """The PR 3 layout: per-section lists with per-strategy dicts.
-        Exact-match tolerances and closure_rows both gate."""
-        suite = Suite(
-            name="toy-legacy", title="t", sizes=(4,),
-            strategies=("seminaive",), run=_run_counting,
-            tolerances=(Tolerance(metric="toy.rows", max_ratio=0.0),),
-            baseline_key="datalog", agree=False,
-        )
-        document = run_suites([suite])
-        matching = {"datalog": [
-            {"n": 4, "closure_rows": 16, "seminaive": {"rows": 16}},
-        ]}
-        # _LEGACY_METRIC has no entry for toy.rows, so the field name
-        # passes through; the baseline entry lacks it -> not a breach,
-        # and closure_rows matches the checksum.
-        assert diff_against_baseline(document, matching, [suite]) == []
-        breaching = {"datalog": [
-            {"n": 4, "closure_rows": 17, "seminaive": {"toy.rows": 15}},
-        ]}
-        breaches = diff_against_baseline(document, breaching, [suite])
-        assert len(breaches) == 2
-        assert any("toy.rows" in breach for breach in breaches)
-        assert any("checksum" in breach for breach in breaches)
+    def test_legacy_flat_baseline_is_retired(self):
+        """The PR 3 flat layout no longer gates directly: the diff
+        raises and points at the migration path."""
+        document = run_suites([TOY])
+        legacy = {"datalog": [{"n": 4, "closure_rows": 16,
+                               "seminaive": {"rows": 16}}]}
+        with pytest.raises(LegacyBaselineError, match="--migrate"):
+            diff_against_baseline(document, legacy, [TOY])
 
-    def test_committed_pr3_baseline_still_gates_the_smoke_suite(self):
-        """The real BENCH_PR3.json parses under the legacy path for the
-        suites that declare a baseline_key."""
+    def test_migrated_pr3_baseline_still_gates_the_smoke_suite(self):
+        """The committed BENCH_PR3.json, rewritten by convert_legacy,
+        gates the smoke suite exactly as the retired reader did."""
         with open("BENCH_PR3.json", encoding="utf-8") as handle:
-            baseline = json.load(handle)
+            baseline = convert_legacy(json.load(handle))
         suite = SUITES["seminaive-smoke"]
         document = run_suites([suite], sizes=(8, 16))
         assert diff_against_baseline(document, baseline, [suite]) == []

@@ -114,6 +114,32 @@ class TestLintCommand:
         assert "PAR001" in capsys.readouterr().out
 
 
+class TestBenchCommand:
+    def test_unknown_suite_exits_2_and_lists_available_suites(self, capsys):
+        assert main(["bench", "--suite", "nope"]) == EXIT_ERROR
+        err = capsys.readouterr().err
+        assert "unknown suite 'nope'" in err
+        # The stderr message enumerates what IS available.
+        for name in ("seminaive-smoke", "smoke", "theorems",
+                     "sparse-collapse"):
+            assert name in err
+
+    def test_bad_jobs_is_an_error(self, capsys):
+        code = main(["bench", "--suite", "seminaive-smoke", "--jobs", "0"])
+        assert code == EXIT_ERROR
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_missing_trend_file_is_an_error(self, tmp_path, capsys):
+        code = main(["bench", "--trend", str(tmp_path / "absent.json")])
+        assert code == EXIT_ERROR
+
+    def test_legacy_baseline_is_an_error(self, capsys):
+        code = main(["bench", "--suite", "seminaive-smoke",
+                     "--sizes", "8,16", "--baseline", "BENCH_PR3.json"])
+        assert code == EXIT_ERROR
+        assert "--migrate" in capsys.readouterr().err
+
+
 class TestOtherCommands:
     def test_encode_ok(self, graph_file, capsys):
         assert main(["encode", graph_file]) == EXIT_OK
