@@ -329,6 +329,154 @@ def _run_flat_kernel(n: int, strategy: str) -> dict[str, Any]:
     return {"checksum": len(answer)}
 
 
+def _set_tc_program():
+    """Datalog transitive closure over a set-node graph (Example 3.1)."""
+    from ..datalog import Literal, Program, Rule
+
+    return Program(
+        rules=[
+            Rule(Literal("T", ["x", "y"]), [Literal("G", ["x", "y"])]),
+            Rule(Literal("T", ["x", "y"]),
+                 [Literal("T", ["x", "z"]), Literal("G", ["z", "y"])]),
+        ],
+        idb_types={"T": ["{U}", "{U}"]},
+    )
+
+
+def _run_tc_engines(n: int, strategy: str) -> dict[str, Any]:
+    """E06 (ex ``bench_transitive_closure.py``): Example 3.1's one query,
+    four evaluation routes — naive active-domain CALC+IFP (``calc``),
+    range-restricted CALC+IFP (``rr``), inflationary Datalog
+    (``datalog``), and the hand-rolled semi-naive loop (``loop``) — on
+    the same seeded set-node random graph.  Checksums are taken over the
+    canonical (source, target) pair sets, so the cross-strategy
+    agreement check is the scripts' all-engines-agree assertion."""
+    from ..workloads import set_random_graph, transitive_closure_query
+
+    graph = set_random_graph(3, n, p=0.35, seed=41)
+    if strategy == "calc":
+        from ..core.evaluation import evaluate
+
+        answer = evaluate(transitive_closure_query(), graph)
+        pairs = frozenset((row.component(1), row.component(2))
+                          for row in answer)
+    elif strategy == "rr":
+        from ..core.safety import evaluate_range_restricted
+
+        report = evaluate_range_restricted(transitive_closure_query(), graph)
+        pairs = frozenset((row.component(1), row.component(2))
+                          for row in report.answer)
+    elif strategy == "datalog":
+        from ..datalog import evaluate_inflationary
+
+        result = evaluate_inflationary(_set_tc_program(), graph)
+        pairs = frozenset(tuple(pair) for pair in result["T"])
+    elif strategy == "loop":
+        from ..algebra import tc_via_loop
+
+        pairs = frozenset(tuple(pair) for pair in tc_via_loop(graph))
+    else:
+        raise AssertionError(f"unknown tc-engines route {strategy!r}")
+    return {"checksum": _decoded_checksum(pairs)}
+
+
+def _run_datalog_translation(n: int, strategy: str) -> dict[str, Any]:
+    """E19 (ex ``bench_datalog.py``): the Section 3 Datalog connection —
+    the same TC program evaluated by the Datalog join planner
+    (``datalog``) and, translated through ``program_to_query``, by the
+    calculus evaluator (``calc``).  Checksums over the canonical row
+    sets make the agreement check the scripts' translation-correctness
+    assertion; the seconds gate keeps the planner's advantage."""
+    from ..workloads import set_random_graph
+
+    graph = set_random_graph(3, n, p=0.3, seed=77)
+    program = _set_tc_program()
+    if strategy == "datalog":
+        from ..datalog import evaluate_inflationary
+
+        rows = evaluate_inflationary(program, graph)["T"]
+        canonical = frozenset(tuple(row) for row in rows)
+    elif strategy == "calc":
+        from ..core.evaluation import evaluate
+        from ..datalog import program_to_query
+
+        query = program_to_query(program, graph.schema)
+        answer = evaluate(query, graph)
+        canonical = frozenset(tuple(row.items) for row in answer)
+    else:
+        raise AssertionError(
+            f"unknown datalog-translation route {strategy!r}")
+    return {"checksum": _decoded_checksum(canonical)}
+
+
+def _run_dense_fixpoint(n: int, strategy: str) -> dict[str, Any]:
+    """Theorem 4.1(2) (ex ``bench_dense_fixpoint.py``): TC over the
+    dense all-subsets graph, where the instance fills its node domain.
+    The closure cardinality is exactly ``3**n - 2**n`` (strict-superset
+    pairs) — asserted, and used as the checksum.  The run records
+    ``dense.instance_size`` and the normalised
+    ``dense.checks_per_sq_size_x1000`` = ``1000 * eval.formula_checks /
+    ||I||**2``, whose declared degree-0 bound *is* the theorem's claim:
+    evaluation cost polynomial in the instance, not the (here equal)
+    domain."""
+    from ..core.evaluation import evaluate
+    from ..obs import get_tracer
+    from ..objects import instance_size
+    from ..workloads import dense_subset_graph, transitive_closure_query
+
+    inst = dense_subset_graph(n)
+    answer = evaluate(transitive_closure_query(), inst, strategy=strategy)
+    expected = 3 ** n - 2 ** n
+    if len(answer) != expected:
+        raise AssertionError(
+            f"dense subset graph n={n}: closure has {len(answer)} rows, "
+            f"expected {expected}")
+    size = instance_size(inst)
+    tracer = get_tracer()
+    tracer.count("dense.instance_size", size)
+    if tracer.enabled:
+        checks = tracer.counters.get("eval.formula_checks", 0)
+        tracer.count("dense.checks_per_sq_size_x1000",
+                     1000 * checks // (size * size))
+    return {"checksum": expected}
+
+
+def _run_nest_routes(n: int, strategy: str) -> dict[str, Any]:
+    """Examples 5.1/5.3 (ex ``bench_nest.py``): three routes to the nest
+    operation on the key × value grid — the rule-9 calculus form
+    (``rule9``), the IFP-term form (``ifp-term``), both RR-evaluated,
+    and the algebra's Nest operator (``algebra``, the [AB86] baseline).
+    Every route must produce one row per key; checksums over the
+    canonical rows make the agreement check the scripts' all-three-agree
+    assertion."""
+    from ..obs import get_tracer
+    from ..workloads import keyed_pairs_instance, nest_query, nest_query_ifp
+
+    inst = keyed_pairs_instance(n, values_per_key=4)
+    if strategy == "rule9":
+        from ..core.safety import evaluate_range_restricted
+
+        answer = evaluate_range_restricted(nest_query(), inst).answer
+        canonical = frozenset(tuple(row.items) for row in answer)
+    elif strategy == "ifp-term":
+        from ..core.safety import evaluate_range_restricted
+
+        answer = evaluate_range_restricted(nest_query_ifp(), inst).answer
+        canonical = frozenset(tuple(row.items) for row in answer)
+    elif strategy == "algebra":
+        from ..algebra import BaseRel, Nest
+
+        rows = Nest(BaseRel("P"), [1], [2]).evaluate(inst)
+        canonical = frozenset(tuple(row) for row in rows)
+    else:
+        raise AssertionError(f"unknown nest route {strategy!r}")
+    if len(canonical) != n:
+        raise AssertionError(
+            f"nest over {n} keys produced {len(canonical)} rows")
+    get_tracer().count("nest.answer_rows", len(canonical))
+    return {"checksum": _decoded_checksum(canonical)}
+
+
 # ---------------------------------------------------------------------------
 # The registry
 # ---------------------------------------------------------------------------
@@ -540,15 +688,95 @@ _register(Suite(
 ))
 
 
+_register(Suite(
+    name="tc-engines",
+    title="Example 3.1: one TC query, four engines (naive/RR/Datalog/loop)",
+    sizes=(4, 5, 6),
+    strategies=("calc", "rr", "datalog", "loop"),
+    run=_run_tc_engines,
+    expectations=(
+        Expectation(metric="space.peak_fixpoint_rows", kind="bound",
+                    strategy="rr", bound_degree=2, bound_coefficient=1.0,
+                    note="working set bounded by |TC| <= n^2 nodes"),
+    ),
+    gates=(
+        SpeedupGate(slow="calc", fast="loop", min_ratio=2.0),
+    ),
+    tolerances=(Tolerance(metric="ifp.stages", max_ratio=0.0),),
+    agree=True,  # all four engines must return the same closure
+))
+
+_register(Suite(
+    name="datalog-translation",
+    title="Section 3: inf-Datalog vs its CALC+IFP translation",
+    sizes=(4, 5, 6),
+    strategies=("datalog", "calc"),
+    run=_run_datalog_translation,
+    expectations=(
+        Expectation(metric="datalog.rows_derived", kind="bound",
+                    strategy="datalog", bound_degree=2,
+                    bound_coefficient=3.0,
+                    note="derivations stay quadratic in the node count"),
+    ),
+    gates=(
+        SpeedupGate(slow="calc", fast="datalog", min_ratio=2.0),
+    ),
+    tolerances=(
+        Tolerance(metric="datalog.rows_derived", max_ratio=0.0),
+        Tolerance(metric="ifp.stages", max_ratio=0.0),
+    ),
+    agree=True,  # translation correctness: planner == calculus
+))
+
+_register(Suite(
+    name="dense-fixpoint",
+    title="Theorem 4.1(2): naive fixpoint cost is polynomial in a "
+          "dense instance",
+    sizes=(2, 3, 4),
+    strategies=("naive", "seminaive"),
+    run=_run_dense_fixpoint,
+    expectations=(
+        Expectation(metric="dense.checks_per_sq_size_x1000", kind="bound",
+                    strategy="naive", bound_degree=0,
+                    bound_coefficient=400.0,
+                    note="formula checks <= 0.4 * ||I||^2: polynomial "
+                         "in the instance even for the naive evaluator"),
+    ),
+    tolerances=(
+        Tolerance(metric="dense.instance_size", max_ratio=0.0),
+        Tolerance(metric="eval.formula_checks", max_ratio=0.0),
+    ),
+    agree=True,  # naive and semi-naive closures coincide
+))
+
+_register(Suite(
+    name="nest-routes",
+    title="Examples 5.1/5.3: three routes to nest (rule 9 / IFP term / "
+          "algebra)",
+    sizes=(2, 4, 6),
+    strategies=("rule9", "ifp-term", "algebra"),
+    run=_run_nest_routes,
+    expectations=(
+        Expectation(metric="nest.answer_rows", kind="bound",
+                    strategy="rule9", bound_degree=1,
+                    bound_coefficient=1.0,
+                    note="nest yields exactly one row per key"),
+    ),
+    tolerances=(Tolerance(metric="nest.answer_rows", max_ratio=0.0),),
+    agree=True,  # all three routes must produce the same nested rows
+))
+
+
 #: Named groups accepted by ``repro bench --suite``.  ``tc``/``space``/
 #: ``theorems`` partition the registry for CI's job matrix; ``smoke``
 #: keeps its PR 4 meaning (the original six suites).
 GROUPS: dict[str, tuple[str, ...]] = {
     "tc": ("seminaive-smoke", "tc-seminaive-dense", "calc-ifp-dense",
-           "algebra-loop"),
+           "algebra-loop", "tc-engines", "datalog-translation"),
     "space": ("hyper-domain", "rr-space-chain"),
     "theorems": ("quantifier-tower", "sparse-collapse", "density-measures",
-                 "pfp-vs-ifp", "flat-kernel"),
+                 "pfp-vs-ifp", "flat-kernel", "dense-fixpoint",
+                 "nest-routes"),
     "smoke": ("seminaive-smoke", "tc-seminaive-dense", "hyper-domain",
               "rr-space-chain", "calc-ifp-dense", "algebra-loop"),
     "all": tuple(SUITES),

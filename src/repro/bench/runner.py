@@ -56,10 +56,30 @@ class BenchError(Exception):
 
 
 def run_point(suite: Suite, n: int, strategy: str,
-              tracemalloc: bool = False) -> dict[str, Any]:
-    """Measure one (suite, size, strategy) point under a fresh tracer."""
-    tracer = Tracer()
-    if tracemalloc:
+              tracemalloc: bool = False,
+              memory: bool = False) -> dict[str, Any]:
+    """Measure one (suite, size, strategy) point under a fresh tracer.
+
+    ``memory=True`` runs the tracer with span-level memory attribution
+    (:class:`repro.obs.MemoryAttributor`, ~2x slower) and records the
+    root span's traced peak as the ``space.traced_peak`` counter, so the
+    observatory's space series can be fit like any engine counter.
+    """
+    tracer = Tracer(memory=memory)
+    if memory:
+        # The attributor resets tracemalloc's peak at every span
+        # boundary, so the global peak tracemalloc_peak() reads is
+        # meaningless here; the root span's propagated peak is the
+        # correct whole-run figure.
+        start = time.perf_counter()
+        with use_tracer(tracer):
+            result = suite.run(n, strategy)
+        seconds = time.perf_counter() - start
+        tracer.close()
+        peak_bytes = tracer.root.peak_bytes if tracemalloc else None
+        if tracer.root.peak_bytes is not None:
+            tracer.counters["space.traced_peak"] = tracer.root.peak_bytes
+    elif tracemalloc:
         with tracemalloc_peak() as peak:
             start = time.perf_counter()
             with use_tracer(tracer):
@@ -280,11 +300,12 @@ def run_suite(
     sizes: tuple[int, ...] | None = None,
     strategies: tuple[str, ...] | None = None,
     tracemalloc: bool = False,
+    memory: bool = False,
 ) -> dict[str, Any]:
     """Run one suite serially; returns its JSON-safe result document."""
     specs = point_specs(suite, sizes, strategies)
     points = [
-        run_point(suite, n, strategy, tracemalloc)
+        run_point(suite, n, strategy, tracemalloc, memory=memory)
         for n, strategy in specs
     ]
     return build_suite_document(suite, sizes or suite.sizes,
@@ -317,6 +338,7 @@ def run_suites(
     tracemalloc: bool = False,
     jobs: int = 1,
     point_timeout: float | None = None,
+    memory: bool = False,
 ) -> dict[str, Any]:
     """Run several suites into one observatory document.
 
@@ -340,12 +362,13 @@ def run_suites(
         for suite, strategies in plan:
             documents[suite.name] = run_suite(
                 suite, sizes=sizes, strategies=strategies,
-                tracemalloc=tracemalloc)
+                tracemalloc=tracemalloc, memory=memory)
     else:
         from .shard import run_sharded
 
         documents = run_sharded(plan, sizes=sizes, tracemalloc=tracemalloc,
-                                jobs=jobs, point_timeout=point_timeout)
+                                jobs=jobs, point_timeout=point_timeout,
+                                memory=memory)
     result: dict[str, Any] = {
         "schema": 1,
         "experiment": "repro-bench",

@@ -1,55 +1,71 @@
-"""Sharded parallel execution of bench points over a process pool.
+"""Sharded parallel execution of bench points, one subprocess per point.
 
 The unit of work is one (suite, size, strategy) *point* — the same unit
-:func:`repro.bench.runner.run_point` measures serially.  Sharding at
-point granularity (rather than suite granularity) keeps the pool busy
-even when one suite dominates the grid, and point isolation is free:
-every point already runs under a fresh tracer, so a worker process
-carries no state between points beyond warm imports.
+:func:`repro.bench.runner.run_point` measures serially.  Each point runs
+in its **own fresh process** wired to the scheduler by a one-shot pipe.
+Process-per-point (rather than a reused pool) buys three things the
+observatory wants:
 
-Guarantees:
+* **Resource telemetry.**  The worker's ``resource.getrusage`` peak RSS
+  is *that point's* peak, not an accumulation over whatever the worker
+  ran before; it lands in the point's counters as ``space.rss_peak``
+  (and ``tracemalloc`` peaks mirror into ``space.traced_peak``), giving
+  every point an OS-level space measurement to set beside the engine's
+  own accounting.
+* **Hard timeouts.**  ``point_timeout`` is enforced by killing the
+  worker (``terminate`` then ``kill``), not by abandoning it: a wedged
+  point cannot poison later points or outlive the run.
+* **Failure isolation.**  A worker that raises — or dies outright —
+  marks *only its own point* as failed
+  (:func:`repro.bench.runner.failed_point`); every other point completes
+  and the document is flagged partial.
+
+Guarantees kept from the pool era:
 
 * **Deterministic merge.**  Tasks are enumerated in registry
-  declaration order and results are collected by task index, so the
-  merged document is independent of completion order.  Combined with
-  per-point fresh tracers and process-independent checksums, a
-  ``--jobs N`` document is byte-identical to the serial one apart from
-  wall-clock-derived fields (:func:`strip_timing` removes exactly
-  those, for comparisons).
-* **Failure isolation.**  A worker that raises marks *only its own
-  point* as failed (:func:`repro.bench.runner.failed_point`); every
-  other point completes and the document is flagged partial.
-* **Timeout degradation.**  ``point_timeout`` bounds the wait for each
-  point's result.  A point that exceeds it is marked failed with a
-  timeout error; its worker may still be wedged (POSIX offers no safe
-  preemption), so the pool is terminated once all results are
-  collected, never reused.
+  declaration order and results are stored by task index, so the merged
+  document is independent of completion order.  Combined with per-point
+  fresh tracers and process-independent checksums, a ``--jobs N``
+  document is byte-identical to the serial one apart from wall-clock and
+  machine-resource fields (:func:`strip_timing` removes exactly those,
+  for comparisons).
 
 Workers resolve suites by *name* through the registry rather than
-pickling ``run`` callables, so the pool works under any start method
-for declared suites; suites registered at runtime (tests do this)
-additionally need the ``fork`` start method, which is preferred when
-the platform offers it.
+pickling ``run`` callables, so sharding works under any start method for
+declared suites; suites registered at runtime (tests do this)
+additionally need the ``fork`` start method, which is preferred when the
+platform offers it.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-from typing import Any
+import sys
+import time
+from collections import deque
+from multiprocessing.connection import wait as connection_wait
+from typing import TYPE_CHECKING, Any
 
 from .registry import Suite
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import multiprocessing
+    from multiprocessing.connection import Connection
+
 __all__ = ["PointTask", "run_sharded", "run_tasks", "strip_timing"]
 
-#: One unit of pool work: (suite name, size, strategy, tracemalloc).
-PointTask = tuple[str, int, str, bool]
+#: One unit of work: (suite name, size, strategy, tracemalloc, memory).
+PointTask = tuple[str, int, str, bool, bool]
 
-#: Extra seconds granted to the first result wait of a parallel run,
-#: covering pool start-up and cold imports in the workers.
+#: Extra seconds granted on top of the timeout for points that pay
+#: process start-up and cold-import costs: the first point of a run
+#: always, every point under a non-fork start method (each spawn
+#: re-imports the world).
 _STARTUP_GRACE = 5.0
 
 
-def _pool_context() -> multiprocessing.context.BaseContext:
+def _mp_context() -> multiprocessing.context.BaseContext:
+    import multiprocessing
+
     if "fork" in multiprocessing.get_all_start_methods():
         return multiprocessing.get_context("fork")
     return multiprocessing.get_context()
@@ -60,8 +76,51 @@ def _execute_task(task: PointTask) -> dict[str, Any]:
     from .registry import SUITES
     from .runner import run_point
 
-    suite_name, n, strategy, tracemalloc = task
-    return run_point(SUITES[suite_name], n, strategy, tracemalloc)
+    suite_name, n, strategy, tracemalloc, memory = task
+    return run_point(SUITES[suite_name], n, strategy, tracemalloc,
+                     memory=memory)
+
+
+def _attach_resource_telemetry(point: dict[str, Any]) -> None:
+    """Inject the worker process's OS-level space figures into the
+    point's counters.  Meaningful only process-per-point: this process
+    ran exactly this point, so its peak RSS is the point's peak RSS."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return
+    ru_maxrss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is kilobytes on Linux, bytes on macOS.
+    scale = 1 if sys.platform == "darwin" else 1024
+    counters = point.setdefault("counters", {})
+    counters["space.rss_peak"] = ru_maxrss * scale
+    if point.get("tracemalloc_peak_bytes") is not None:
+        counters.setdefault("space.traced_peak",
+                            point["tracemalloc_peak_bytes"])
+
+
+def _point_worker(task: PointTask, conn: Connection) -> None:
+    """Subprocess entry point: run one point, send ("ok", point) or
+    ("error", message) down the one-shot pipe, exit."""
+    try:
+        point = _execute_task(task)
+        _attach_resource_telemetry(point)
+        conn.send(("ok", point))
+    except Exception as error:
+        conn.send(("error", f"{type(error).__name__}: {error}"))
+    finally:
+        conn.close()
+
+
+def _hard_kill(process: Any) -> None:
+    """Terminate a worker for real: SIGTERM, then SIGKILL if it lingers
+    (a wedged evaluation loop never sees SIGTERM's default handler run
+    if it is stuck in C-level code)."""
+    process.terminate()
+    process.join(1.0)
+    if process.is_alive():
+        process.kill()
+        process.join(1.0)
 
 
 def run_tasks(
@@ -69,37 +128,85 @@ def run_tasks(
     jobs: int,
     point_timeout: float | None = None,
 ) -> list[dict[str, Any]]:
-    """Run point tasks on a pool of ``jobs`` workers; returns one point
-    dict per task, in task order.  Failures and timeouts yield
-    :func:`repro.bench.runner.failed_point` entries in place."""
+    """Run point tasks, each in a fresh subprocess, at most ``jobs`` at
+    a time; returns one point dict per task, in task order.  Failures,
+    worker deaths, and timeouts yield
+    :func:`repro.bench.runner.failed_point` entries in place; a
+    timed-out worker is hard-killed, never abandoned."""
     from .runner import failed_point
 
     if not tasks:
         return []
-    results: list[dict[str, Any]] = []
-    context = _pool_context()
-    pool = context.Pool(processes=min(jobs, len(tasks)))
+    context = _mp_context()
+    grace_every_point = context.get_start_method() != "fork"
+    results: list[dict[str, Any] | None] = [None] * len(tasks)
+    pending = deque(enumerate(tasks))
+    #: receiving pipe end -> (task index, task, process, deadline).
+    running: dict[Any, tuple[int, PointTask, Any, float | None]] = {}
+    first_point = True
+
+    def launch() -> None:
+        nonlocal first_point
+        index, task = pending.popleft()
+        receiver, sender = context.Pipe(duplex=False)
+        process = context.Process(
+            target=_point_worker, args=(task, sender), daemon=True)
+        process.start()
+        sender.close()  # the worker holds the only sending end now
+        deadline = None
+        if point_timeout is not None:
+            grace = (_STARTUP_GRACE
+                     if first_point or grace_every_point else 0.0)
+            deadline = time.monotonic() + point_timeout + grace
+        first_point = False
+        running[receiver] = (index, task, process, deadline)
+
     try:
-        handles = [pool.apply_async(_execute_task, (task,)) for task in tasks]
-        grace = _STARTUP_GRACE
-        for task, handle in zip(tasks, handles):
-            _, n, strategy, _ = task
-            timeout = None if point_timeout is None else point_timeout + grace
-            grace = 0.0
-            try:
-                results.append(handle.get(timeout))
-            except multiprocessing.TimeoutError:
-                results.append(failed_point(
+        while pending or running:
+            while pending and len(running) < jobs:
+                launch()
+            deadlines = [entry[3] for entry in running.values()
+                         if entry[3] is not None]
+            wait_timeout = None
+            if deadlines:
+                wait_timeout = max(0.0, min(deadlines) - time.monotonic())
+            ready = connection_wait(list(running), timeout=wait_timeout)
+            for receiver in ready:
+                index, task, process, _ = running.pop(receiver)
+                _, n, strategy, _, _ = task
+                try:
+                    kind, payload = receiver.recv()
+                except EOFError:
+                    # The worker died without reporting (crash, kill -9).
+                    process.join()
+                    results[index] = failed_point(
+                        n, strategy,
+                        f"worker exited with code {process.exitcode} "
+                        f"before reporting a result")
+                else:
+                    process.join()
+                    if kind == "ok":
+                        results[index] = payload
+                    else:
+                        results[index] = failed_point(n, strategy, payload)
+                finally:
+                    receiver.close()
+            now = time.monotonic()
+            expired = [receiver for receiver, entry in running.items()
+                       if entry[3] is not None and entry[3] <= now]
+            for receiver in expired:
+                index, task, process, _ = running.pop(receiver)
+                _, n, strategy, _, _ = task
+                _hard_kill(process)
+                receiver.close()
+                results[index] = failed_point(
                     n, strategy,
-                    f"timed out after {point_timeout}s"))
-            except Exception as error:  # re-raised from the worker
-                results.append(failed_point(
-                    n, strategy, f"{type(error).__name__}: {error}"))
+                    f"timed out after {point_timeout}s (worker killed)")
     finally:
-        # A timed-out worker may be wedged; never reuse the pool.
-        pool.terminate()
-        pool.join()
-    return results
+        # Unwind on error paths: no worker outlives the scheduler.
+        for index, task, process, _ in running.values():
+            _hard_kill(process)
+    return [point for point in results if point is not None]
 
 
 def run_sharded(
@@ -108,10 +215,12 @@ def run_sharded(
     tracemalloc: bool,
     jobs: int,
     point_timeout: float | None,
+    memory: bool = False,
 ) -> dict[str, Any]:
     """The parallel back end of :func:`repro.bench.runner.run_suites`:
-    flatten the plan's point grids into one task list, run it on the
-    pool, and reassemble per-suite documents in declaration order."""
+    flatten the plan's point grids into one task list, run each task in
+    its own subprocess, and reassemble per-suite documents in
+    declaration order."""
     from .runner import build_suite_document, point_specs
 
     tasks: list[PointTask] = []
@@ -124,7 +233,7 @@ def run_sharded(
             strategies or suite.strategies,
             len(specs),
         ))
-        tasks.extend((suite.name, n, strategy, tracemalloc)
+        tasks.extend((suite.name, n, strategy, tracemalloc, memory)
                      for n, strategy in specs)
     points = run_tasks(tasks, jobs, point_timeout)
     documents: dict[str, Any] = {}
@@ -139,6 +248,10 @@ def run_sharded(
 
 #: Point fields that carry wall-clock measurements.
 _TIMING_POINT_FIELDS = ("seconds", "tracemalloc_peak_bytes")
+#: Counters measured from the worker process/allocator rather than the
+#: engine — machine- and isolation-dependent, so stripped alongside
+#: timing when comparing documents.
+_MACHINE_COUNTERS = ("space.rss_peak", "space.traced_peak")
 #: Gate fields measured from a timing series (identity fields stay).
 _TIMING_GATE_FIELDS = ("n", "slow_value", "fast_value", "ratio", "ok",
                       "slow_seconds", "fast_seconds", "reason")
@@ -148,14 +261,15 @@ _TIMING_EXPECTATION_FIELDS = ("fit", "doubling_ratios", "ok", "max_degree",
 
 
 def strip_timing(document: dict[str, Any]) -> dict[str, Any]:
-    """A deep copy of an observatory document with every wall-clock-
-    derived field removed: per-point ``seconds``/``tracemalloc`` bytes,
-    per-strategy ``fits``, and the measured parts of ``seconds``-based
-    gates and expectations.  Deterministic fields — counters,
-    histograms, checksums, agreement, counter-metric gates and
-    expectations — survive untouched, so two stripped documents of the
-    same workload compare equal byte-for-byte regardless of machine,
-    wall time, or ``--jobs``."""
+    """A deep copy of an observatory document with every wall-clock- or
+    machine-derived field removed: per-point ``seconds``/``tracemalloc``
+    bytes, the worker-resource counters (``space.rss_peak``,
+    ``space.traced_peak``), per-strategy ``fits``, and the measured
+    parts of ``seconds``-based gates and expectations.  Deterministic
+    fields — engine counters, histograms, checksums, agreement,
+    counter-metric gates and expectations — survive untouched, so two
+    stripped documents of the same workload compare equal byte-for-byte
+    regardless of machine, wall time, or ``--jobs``."""
     import copy
 
     stripped = copy.deepcopy(document)
@@ -163,6 +277,8 @@ def strip_timing(document: dict[str, Any]) -> dict[str, Any]:
         for point in suite_doc.get("points", ()):
             for field in _TIMING_POINT_FIELDS:
                 point.pop(field, None)
+            for counter in _MACHINE_COUNTERS:
+                point.get("counters", {}).pop(counter, None)
         suite_doc.pop("fits", None)
         for gate in suite_doc.get("gates", ()):
             if gate.get("metric", "seconds") == "seconds":

@@ -238,9 +238,12 @@ def _headline_n(docs: list[dict[str, Any] | None], strategy: str) -> int | None:
 
 
 def _row_metrics(suite_name: str,
-                 docs: list[dict[str, Any] | None]) -> list[str]:
+                 docs: list[dict[str, Any] | None],
+                 full: bool = False) -> list[str]:
     """The metrics worth a trajectory row: seconds and checksum always,
-    declared tolerance metrics, then headline counters any PR measured."""
+    declared tolerance metrics, then headline counters any PR measured.
+    ``full`` widens the last group to *every* counter seen in any input
+    (sorted), for the long-form report."""
     metrics = ["seconds", "checksum"]
     suite = SUITES.get(suite_name)
     if suite is not None:
@@ -253,7 +256,8 @@ def _row_metrics(suite_name: str,
             continue
         for point in doc.get("points", ()):
             seen_counters.update(point.get("counters", {}))
-    for name in TREND_COUNTERS:
+    pool = sorted(seen_counters) if full else TREND_COUNTERS
+    for name in pool:
         if name in seen_counters and name not in metrics:
             metrics.append(name)
     return metrics
@@ -273,8 +277,14 @@ def _tolerance_for(suite_name: str, metric: str) -> float | None:
     return None
 
 
-def build_trend(records: list[dict[str, Any]]) -> dict[str, Any]:
-    """Align loaded documents into one JSON-safe trend report."""
+def build_trend(records: list[dict[str, Any]],
+                full: bool = False) -> dict[str, Any]:
+    """Align loaded documents into one JSON-safe trend report.
+
+    ``full`` (CLI: ``--trend --full``) adds a trajectory row for every
+    counter any input measured — not just the curated
+    :data:`TREND_COUNTERS` — and marks the document so the renderer adds
+    sparkline columns."""
     labels = [record["label"] for record in records]
     suite_names: set[str] = set()
     for record in records:
@@ -292,7 +302,7 @@ def build_trend(records: list[dict[str, Any]]) -> dict[str, Any]:
                 if strategy not in strategies:
                     strategies.append(strategy)
         rows: list[dict[str, Any]] = []
-        for metric in _row_metrics(name, docs):
+        for metric in _row_metrics(name, docs, full=full):
             for strategy in strategies:
                 n = _headline_n(docs, strategy)
                 if n is None:
@@ -343,7 +353,7 @@ def build_trend(records: list[dict[str, Any]]) -> dict[str, Any]:
             "present": [doc is not None for doc in docs],
             "rows": rows,
         }
-    return {
+    trend: dict[str, Any] = {
         "schema": 1,
         "kind": "bench-trend",
         "prs": labels,
@@ -352,6 +362,11 @@ def build_trend(records: list[dict[str, Any]]) -> dict[str, Any]:
         "suites": suites,
         "regressions": regressions,
     }
+    if full:
+        # Only stamped when requested, so curated-mode documents keep
+        # their established shape byte-for-byte.
+        trend["full"] = True
+    return trend
 
 
 def _format_value(metric: str, value: float | None) -> str:
@@ -367,25 +382,39 @@ def _format_value(metric: str, value: float | None) -> str:
 
 
 def render_trend(trend: dict[str, Any]) -> str:
-    """The trend report as aligned text tables, one per suite."""
+    """The trend report as aligned text tables, one per suite.
+
+    A ``--full`` trend (``trend["full"]``) gains a sparkline column —
+    the trajectory's shape at a glance, holes rendered as ``·`` — next
+    to the per-PR value columns."""
+    from ..obs.render import sparkline
+
     labels = trend["prs"]
+    full = bool(trend.get("full"))
     lines: list[str] = []
     for name, suite in trend["suites"].items():
         presence = " ".join(
             label if present else f"({label}: absent)"
             for label, present in zip(labels, suite["present"]))
         lines.append(f"== {name}  [{presence}]")
-        rows: list[tuple[str, ...]] = [
-            ("metric", "strategy", "n", *labels, "Δ last", "")]
+        header: tuple[str, ...] = ("metric", "strategy", "n", *labels)
+        if full:
+            header += ("shape",)
+        rows: list[tuple[str, ...]] = [(*header, "Δ last", "")]
         for row in suite["rows"]:
             last_delta = next(
                 (delta for delta in reversed(row["deltas"])
                  if delta is not None), None)
             flag = "REGRESSED" if row.get("regressions") else ""
-            rows.append((
+            cells: tuple[str, ...] = (
                 row["metric"], row["strategy"], str(row["n"]),
                 *(_format_value(row["metric"], value)
                   for value in row["values"]),
+            )
+            if full:
+                cells += (sparkline(row["values"]),)
+            rows.append((
+                *cells,
                 "—" if last_delta is None else f"{last_delta:.2f}x",
                 flag,
             ))

@@ -60,11 +60,16 @@ from .core.typecheck import TypeCheckError, check_query
 from .lint import Severity, explain, lint_query, lint_source
 from .obs import (
     NULL_TRACER,
+    ExportError,
     Tracer,
+    chrome_trace,
+    collapsed_stacks,
+    memory_table,
     metrics_table,
     render_tree,
     summary_table,
     trace_to_json,
+    tracer_from_document,
     use_tracer,
 )
 from .objects.encoding import encode_instance
@@ -98,8 +103,10 @@ def _run_query(args: argparse.Namespace, tracer) -> tuple[frozenset, str]:
     a stderr note rather than swallowed, so users learn why the fast
     path was skipped.
     """
-    inst = _load_instance(args.instance)
-    query = parse_query(args.query)
+    with tracer.span("load_instance"):
+        inst = _load_instance(args.instance)
+    with tracer.span("parse_query"):
+        query = parse_query(args.query)
     strategy = getattr(args, "strategy", "seminaive")
     if args.mode == "active":
         return (evaluate(query, inst, max_domain_size=args.max_domain,
@@ -167,13 +174,73 @@ def _stats_document(tracer: Tracer) -> dict:
     }
 
 
+def _emit_trace(tracer: Tracer, fmt: str, args: argparse.Namespace) -> None:
+    """Write an already-closed trace in an export format (chrome-trace or
+    flame) to stdout."""
+    if fmt == "chrome-trace":
+        json.dump(chrome_trace(tracer), sys.stdout, indent=2)
+        print()
+    else:
+        flame = collapsed_stacks(tracer, metric=args.flame_metric)
+        if flame:
+            print(flame)
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
-    tracer = Tracer()
+    fmt = "json" if args.json else args.format
+    if args.from_file is not None:
+        # Re-export a saved `repro profile --json` document: no
+        # evaluation, just format conversion of the recorded span tree.
+        if args.instance is not None or args.query is not None:
+            print("error: --from re-exports a saved trace; instance and "
+                  "query arguments do not apply", file=sys.stderr)
+            return EXIT_ERROR
+        if args.memory:
+            print("error: --memory attributes a live run; it cannot be "
+                  "added to a saved trace (--from)", file=sys.stderr)
+            return EXIT_ERROR
+        with open(args.from_file, encoding="utf-8") as handle:
+            tracer = tracer_from_document(json.load(handle))
+        if fmt in ("chrome-trace", "flame"):
+            _emit_trace(tracer, fmt, args)
+        elif fmt == "json":
+            json.dump(trace_to_json(tracer), sys.stdout, indent=2)
+            print()
+        else:
+            print(render_tree(tracer, times=not args.no_times))
+        return EXIT_OK
+    if args.instance is None or args.query is None:
+        print("error: profile needs an instance file and a query "
+              "(or --from FILE to re-export a saved trace)",
+              file=sys.stderr)
+        return EXIT_ERROR
+    tracer = Tracer(memory=args.memory)
     start = time.perf_counter()
-    with use_tracer(tracer):
-        answer, mode_used = _run_query(args, tracer)
+    try:
+        with use_tracer(tracer):
+            answer, mode_used = _run_query(args, tracer)
+    except RangeComputationError as error:
+        # args.mode == "rr": a not-RR query is a finding, as for query.
+        print(f"range-restricted evaluation failed: {error}",
+              file=sys.stderr)
+        return EXIT_FINDINGS
+    except Exception:
+        # The query died mid-evaluation.  The partial trace is exactly
+        # what a profiler user wants at that point: close() flushes the
+        # still-open spans (marked aborted) and the tree goes to stderr
+        # before the traceback.
+        tracer.close()
+        if tracer.root.children:
+            print("-- query failed; partial trace (open spans aborted):",
+                  file=sys.stderr)
+            print(render_tree(tracer, times=not args.no_times),
+                  file=sys.stderr)
+        raise
     elapsed = time.perf_counter() - start
-    if args.json or args.format == "json":
+    if fmt in ("chrome-trace", "flame"):
+        _emit_trace(tracer, fmt, args)
+        return EXIT_OK
+    if fmt == "json":
         document = trace_to_json(tracer)
         document["mode"] = mode_used
         document["answer_rows"] = len(answer)
@@ -189,6 +256,9 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     print(summary_table(tracer))
     print("== metrics ==")
     print(metrics_table(tracer.metrics))
+    if args.memory:
+        print("== memory ==")
+        print(memory_table(tracer))
     if times:
         print(f"-- {len(answer)} tuple(s) in {elapsed * 1000:.1f} ms")
     else:
@@ -231,7 +301,7 @@ def _cmd_bench_trend(args: argparse.Namespace) -> int:
                 handle.write("\n")
             print(f"-- migrated {record['path']} -> {path}",
                   file=sys.stderr)
-    trend = build_trend(records)
+    trend = build_trend(records, full=args.full)
     if args.format == "json":
         print(json.dumps(trend, indent=2))
     else:
@@ -267,6 +337,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print("error: --migrate only applies to --trend inputs",
               file=sys.stderr)
         return EXIT_ERROR
+    if args.full:
+        print("error: --full only applies to --trend reports",
+              file=sys.stderr)
+        return EXIT_ERROR
     if args.jobs < 1:
         print(f"error: --jobs must be >= 1, got {args.jobs}",
               file=sys.stderr)
@@ -288,7 +362,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     try:
         document = run_suites(suites, sizes=sizes, strategy=args.strategy,
                               tracemalloc=args.tracemalloc, jobs=args.jobs,
-                              point_timeout=args.timeout)
+                              point_timeout=args.timeout,
+                              memory=args.memory)
     except BenchError as error:
         print(f"error: {error}", file=sys.stderr)
         return EXIT_ERROR
@@ -413,12 +488,9 @@ def _cmd_density(args: argparse.Namespace) -> int:
 
 
 def _cmd_example(args: argparse.Namespace) -> int:
-    from .objects import atom, cset, database_schema, instance
+    from .workloads import singleton_chain
 
-    schema = database_schema(G=["{U}", "{U}"])
-    a, b, c = cset(atom("a")), cset(atom("b")), cset(atom("c"))
-    sample = instance(schema, G=[(a, b), (b, c)])
-    json.dump(instance_to_json(sample), sys.stdout, indent=2)
+    json.dump(instance_to_json(singleton_chain("abc")), sys.stdout, indent=2)
     print()
     return EXIT_OK
 
@@ -458,8 +530,10 @@ def build_parser() -> argparse.ArgumentParser:
     profile_cmd = commands.add_parser(
         "profile",
         help="evaluate with tracing; print the EXPLAIN tree + counters")
-    profile_cmd.add_argument("instance", help="instance JSON file")
-    profile_cmd.add_argument("query", help="query in the textual syntax")
+    profile_cmd.add_argument("instance", nargs="?",
+                             help="instance JSON file")
+    profile_cmd.add_argument("query", nargs="?",
+                             help="query in the textual syntax")
     profile_cmd.add_argument(
         "--mode", choices=("auto", "rr", "active"), default="auto",
         help="evaluation mode (as for the query command)")
@@ -472,9 +546,24 @@ def build_parser() -> argparse.ArgumentParser:
                              help="emit the trace document as JSON on stdout "
                                   "(alias for --format json)")
     profile_cmd.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="output format: EXPLAIN tree + tables (default) or the "
-             "trace/metrics document as JSON")
+        "--format", choices=("text", "json", "chrome-trace", "flame"),
+        default="text",
+        help="output format: EXPLAIN tree + tables (default), the "
+             "trace/metrics document as JSON, Chrome Trace Event JSON "
+             "(load into Perfetto / chrome://tracing), or collapsed "
+             "flamegraph stacks")
+    profile_cmd.add_argument(
+        "--flame-metric", choices=("time", "alloc"), default="time",
+        help="what --format flame weighs frames by: self wall time "
+             "(default) or self-allocated bytes (needs --memory)")
+    profile_cmd.add_argument(
+        "--memory", action="store_true",
+        help="attribute allocated bytes to spans via tracemalloc "
+             "(~2x slower; adds the == memory == table / JSON fields)")
+    profile_cmd.add_argument(
+        "--from", dest="from_file", metavar="FILE",
+        help="re-export a saved `profile --json` document instead of "
+             "evaluating (schema-1 documents only)")
     profile_cmd.add_argument("--no-times", action="store_true",
                              help="omit wall times (deterministic output)")
     profile_cmd.set_defaults(func=_cmd_profile)
@@ -524,6 +613,14 @@ def build_parser() -> argparse.ArgumentParser:
     bench_cmd.add_argument("--tracemalloc", action="store_true",
                            help="also record peak allocated bytes per "
                                 "point (slower)")
+    bench_cmd.add_argument(
+        "--memory", action="store_true",
+        help="run each point under span-level memory attribution "
+             "(records space.traced_peak; ~2x slower)")
+    bench_cmd.add_argument(
+        "--full", action="store_true",
+        help="with --trend: include every counter seen in the inputs "
+             "(not just the curated set) and add sparkline columns")
     bench_cmd.set_defaults(func=_cmd_bench)
 
     analyze_cmd = commands.add_parser(
@@ -580,7 +677,7 @@ def main(argv: list[str] | None = None) -> int:
     try:
         return args.func(args)
     except (OSError, json.JSONDecodeError, ParseError, TypeCheckError,
-            SchemaError, ValueError) as error:
+            SchemaError, ExportError, ValueError) as error:
         # Load/usage failures, per the exit-code convention.
         print(f"error: {error}", file=sys.stderr)
         return EXIT_ERROR

@@ -22,6 +22,17 @@ or use ``repro profile`` / ``repro query --trace`` / ``repro bench``
 from the CLI.
 """
 
+from .export import (
+    ExportError,
+    chrome_trace,
+    collapsed_stacks,
+    tracer_from_document,
+)
+from .memory import (
+    MemoryAttributor,
+    attribution_report,
+    format_bytes,
+)
 from .metrics import (
     Counter,
     Gauge,
@@ -34,8 +45,10 @@ from .metrics import (
 )
 from .render import (
     align_table,
+    memory_table,
     metrics_table,
     render_tree,
+    sparkline,
     summary_table,
     trace_from_json,
     trace_to_json,
@@ -64,8 +77,17 @@ __all__ = [
     "render_tree",
     "summary_table",
     "metrics_table",
+    "memory_table",
+    "sparkline",
     "trace_to_json",
     "trace_from_json",
+    "ExportError",
+    "chrome_trace",
+    "collapsed_stacks",
+    "tracer_from_document",
+    "MemoryAttributor",
+    "attribution_report",
+    "format_bytes",
     "Counter",
     "Gauge",
     "Histogram",

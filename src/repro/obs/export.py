@@ -1,0 +1,157 @@
+"""Interchange exporters for span trees: Chrome Trace Event JSON and
+collapsed-stack flamegraphs.
+
+* :func:`chrome_trace` — the Trace Event Format consumed by Perfetto
+  (https://ui.perfetto.dev) and ``chrome://tracing``: each span becomes
+  a complete event (``"ph": "X"``) with microsecond ``ts``/``dur``
+  relative to the trace start, each trace event an instant event
+  (``"ph": "i"``).  Span attributes, status, self time, and — when the
+  tracer ran with ``memory=True`` — the per-span allocation figures ride
+  in ``args``, so the byte attribution is inspectable in the timeline UI.
+* :func:`collapsed_stacks` — Brendan Gregg's folded-stack text format
+  (``root;child;leaf value`` per line), directly consumable by
+  ``flamegraph.pl`` and speedscope.  The value is per-span *self* time
+  in microseconds, or self-allocated bytes with ``metric="alloc"``.
+* :func:`tracer_from_document` — rebuild a tracer from a saved
+  ``repro profile --json`` document for re-export.  Only ``schema: 1``
+  documents qualify: the retired unversioned form carries absolute
+  ``perf_counter`` timestamps with no span-tree guarantees, so exporting
+  it would produce garbage timelines — :class:`ExportError` says so
+  instead.
+
+Deterministic on purpose: ``pid``/``tid`` are fixed (one process, one
+logical thread — evaluation is single-threaded), and events follow
+preorder span traversal, so golden tests can pin everything except the
+timestamps themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .render import TRACE_SCHEMA, trace_from_json
+from .trace import Span, Tracer
+
+__all__ = [
+    "ExportError",
+    "chrome_trace",
+    "collapsed_stacks",
+    "tracer_from_document",
+]
+
+#: Fixed ids: the evaluator is one single-threaded process.
+_PID = 1
+_TID = 1
+
+
+class ExportError(Exception):
+    """A trace document that cannot be exported in the requested format."""
+
+
+def _span_args(span: Span) -> dict[str, Any]:
+    args: dict[str, Any] = dict(span.attrs)
+    if span.status != "ok":
+        args["status"] = span.status
+    args["self_us"] = round(span.self_seconds * 1e6, 3)
+    if span.alloc_bytes is not None:
+        args["alloc_bytes"] = span.alloc_bytes
+        args["self_alloc_bytes"] = span.self_alloc_bytes
+        args["peak_bytes"] = span.peak_bytes
+    return args
+
+
+def chrome_trace(tracer: Tracer) -> dict[str, Any]:
+    """The trace as a Chrome Trace Event JSON object (load the dumped
+    JSON straight into Perfetto or ``chrome://tracing``)."""
+    tracer.close()
+    origin = tracer.root.start
+
+    def us(at: float) -> float:
+        return round((at - origin) * 1e6, 3)
+
+    events: list[dict[str, Any]] = [
+        {"ph": "M", "name": "process_name", "pid": _PID, "tid": _TID,
+         "args": {"name": "repro"}},
+        {"ph": "M", "name": "thread_name", "pid": _PID, "tid": _TID,
+         "args": {"name": "evaluate"}},
+    ]
+    for span in tracer.root.walk():
+        end = span.end if span.end is not None else span.start
+        events.append({
+            "name": span.name,
+            "cat": "span",
+            "ph": "X",
+            "ts": us(span.start),
+            "dur": round((end - span.start) * 1e6, 3),
+            "pid": _PID,
+            "tid": _TID,
+            "args": _span_args(span),
+        })
+        for event in span.events:
+            events.append({
+                "name": event.name,
+                "cat": "event",
+                "ph": "i",
+                "ts": us(event.time),
+                "pid": _PID,
+                "tid": _TID,
+                "s": "t",
+                "args": dict(event.attrs),
+            })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "counters": dict(tracer.counters),
+            "dropped_events": tracer.dropped_events,
+        },
+    }
+
+
+def collapsed_stacks(tracer: Tracer, metric: str = "time") -> str:
+    """The trace as collapsed-stack flamegraph lines.
+
+    ``metric="time"`` weighs each frame by self wall time in integer
+    microseconds; ``metric="alloc"`` by ``self_alloc_bytes`` (requires a
+    memory-attributed trace).  Negative self values clamp to 0 — folded
+    stacks have no notion of released bytes.
+    """
+    if metric not in ("time", "alloc"):
+        raise ExportError(f"unknown flame metric {metric!r}; "
+                          "use 'time' or 'alloc'")
+    tracer.close()
+    if metric == "alloc" and tracer.root.alloc_bytes is None:
+        raise ExportError(
+            "trace carries no memory attribution to weigh the flamegraph "
+            "by; re-run with --memory")
+    lines: list[str] = []
+
+    def walk(span: Span, prefix: str) -> None:
+        path = f"{prefix};{span.name}" if prefix else span.name
+        if metric == "alloc":
+            value = span.self_alloc_bytes or 0
+        else:
+            value = int(round(span.self_seconds * 1e6))
+        lines.append(f"{path} {max(value, 0)}")
+        for child in span.children:
+            walk(child, path)
+
+    walk(tracer.root, "")
+    return "\n".join(lines)
+
+
+def tracer_from_document(document: Any) -> Tracer:
+    """Rebuild a tracer from a ``repro profile --json`` document so it
+    can be re-exported (chrome-trace, flame, or re-rendered as text)."""
+    if not isinstance(document, dict) or "trace" not in document:
+        raise ExportError(
+            "not a trace document: expected the JSON written by "
+            "`repro profile --json` (an object with a 'trace' span tree)")
+    if document.get("schema") != TRACE_SCHEMA:
+        raise ExportError(
+            "legacy unversioned trace documents cannot be exported: their "
+            "timestamps are absolute perf_counter readings with no span-"
+            "tree guarantees.  Regenerate the trace with a current "
+            "`repro profile --json` run (schema 1, run-relative times) "
+            "and export that instead")
+    return trace_from_json(document)

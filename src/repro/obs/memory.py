@@ -1,0 +1,170 @@
+"""Per-span memory attribution via tracemalloc boundary diffing.
+
+The paper's tractability results are *space* theorems as much as time
+theorems (Theorem 5.1's polynomial ranges, Theorem 4.1(3)'s
+no-timestamps working set), but until now the tracer could only carry
+space as engine counters at chokepoints.  :class:`MemoryAttributor`
+attributes allocated bytes to the span tree itself: it snapshots
+``tracemalloc.get_traced_memory()`` at every span open/close and diffs
+the snapshots into three per-span figures (see
+:class:`repro.obs.trace.Span`):
+
+* ``alloc_bytes`` — net traced bytes retained across the span,
+  children included (close-current minus open-current, may be
+  negative when the span released more than it kept);
+* ``self_alloc_bytes`` — ``alloc_bytes`` minus the children's
+  ``alloc_bytes``: the span's own retained share.  By construction the
+  ``self_alloc_bytes`` over any subtree sum exactly to the subtree
+  root's ``alloc_bytes``;
+* ``peak_bytes`` — the high-water mark above the span's opening level,
+  using ``tracemalloc.reset_peak()`` at each boundary and propagating
+  child peaks upward, so a parent's peak is never below a child's.
+
+Attribution is exact for retained bytes and a high-water envelope for
+transients.  The cost is tracemalloc's: roughly a 2x slowdown while
+tracing (measured in EXPERIMENTS.md E29), which is why the tracer only
+engages it behind ``Tracer(memory=True)`` / ``--memory``.
+
+Two tracers with memory attribution must not be live at once — they
+would fight over the process-global ``reset_peak`` — which the
+one-tracer-per-extent discipline of :func:`repro.obs.use_tracer`
+already gives.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .trace import Span, Tracer
+
+__all__ = ["MemoryAttributor", "attribution_report", "format_bytes"]
+
+
+class MemoryAttributor:
+    """Tracks one frame per open span: the traced-current level at open,
+    the running peak observed so far (own and propagated from closed
+    children), and the children's summed net allocation."""
+
+    __slots__ = ("_frames", "_started_here", "enabled")
+
+    def __init__(self) -> None:
+        #: One [open_current, running_peak, child_alloc] triple per open span.
+        self._frames: list[list[int]] = []
+        self._started_here = False
+        self.enabled = False
+
+    def start(self) -> None:
+        """Begin tracing allocations (idempotent w.r.t. an outer
+        tracemalloc session: only stops what it started)."""
+        if not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._started_here = True
+        self.enabled = True
+
+    def stop(self) -> None:
+        if self._started_here and tracemalloc.is_tracing():
+            tracemalloc.stop()
+        self._started_here = False
+        self.enabled = False
+
+    def on_open(self, span: Span) -> None:
+        if not self.enabled:
+            return
+        current, _peak = tracemalloc.get_traced_memory()
+        tracemalloc.reset_peak()
+        self._frames.append([current, current, 0])
+
+    def on_close(self, span: Span) -> None:
+        if not self.enabled or not self._frames:
+            return
+        current, peak = tracemalloc.get_traced_memory()
+        open_current, running_peak, child_alloc = self._frames.pop()
+        absolute_peak = max(peak, running_peak, current)
+        span.alloc_bytes = current - open_current
+        span.self_alloc_bytes = span.alloc_bytes - child_alloc
+        span.peak_bytes = max(absolute_peak - open_current, 0)
+        if self._frames:
+            parent = self._frames[-1]
+            parent[1] = max(parent[1], absolute_peak)
+            parent[2] += span.alloc_bytes
+        tracemalloc.reset_peak()
+
+
+def _explained_peak(span: Span) -> int:
+    """Largest share of ``span``'s subtree peak demonstrably inside its
+    (named) children at the moment the peak was hit.
+
+    A child's ``peak_bytes`` covers *everything* above the child's open
+    level — by definition all of it happened while the child span was
+    open, so all of it is attributed.  Below the child's open level sit
+    the net allocations its earlier siblings retained (attributed) plus
+    whatever ``span``'s own windows contributed (unknown, conservatively
+    counted as zero).  Taking the best child-path gives a lower bound on
+    the peak attributable to named spans.
+    """
+    best = 0
+    retained_before = 0
+    for child in span.children:
+        best = max(best, retained_before + (child.peak_bytes or 0))
+        retained_before += max(child.alloc_bytes or 0, 0)
+    return best
+
+
+def attribution_report(tracer: Tracer) -> dict[str, Any]:
+    """Summarise a memory-attributed trace: the traced peak, how much of
+    it the named spans account for, and the heaviest spans.
+
+    ``coverage`` is the fraction of the root's traced peak attributable
+    to named (non-root) spans — the acceptance figure for "where do the
+    bytes go".  It is the larger of two lower bounds: the sum of the
+    spans' positive net ``self_alloc_bytes`` (retained memory), and the
+    peak decomposition of :func:`_explained_peak` (which also credits
+    memory allocated *and freed* inside a named span, invisible to the
+    net figure).  The residue is allocation in the root span's own
+    windows — code that ran between named spans.
+    """
+    tracer.close()
+    root = tracer.root
+    if root.peak_bytes is None:
+        raise ValueError(
+            "trace carries no memory attribution; run the tracer with "
+            "memory=True (CLI: --memory)")
+    spans = list(root.walk())
+    attributed = sum(span.self_alloc_bytes or 0 for span in spans
+                     if span is not root and (span.self_alloc_bytes or 0) > 0)
+    peak = root.peak_bytes
+    explained = min(max(attributed, _explained_peak(root)), peak)
+    top = sorted(
+        (span for span in spans if span is not root),
+        key=lambda span: span.self_alloc_bytes or 0, reverse=True)
+    return {
+        "traced_peak_bytes": peak,
+        "root_alloc_bytes": root.alloc_bytes,
+        "attributed_self_bytes": attributed,
+        "explained_peak_bytes": explained,
+        "coverage": (explained / peak) if peak else 1.0,
+        "spans": [
+            {"name": span.name,
+             "self_alloc_bytes": span.self_alloc_bytes,
+             "alloc_bytes": span.alloc_bytes,
+             "peak_bytes": span.peak_bytes}
+            for span in top
+        ],
+    }
+
+
+def format_bytes(n: int | float | None) -> str:
+    """``12_345_678`` -> ``"11.8MiB"`` (signed; ``None`` -> ``"—"``)."""
+    if n is None:
+        return "—"
+    sign = "-" if n < 0 else ""
+    value = float(abs(n))
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024.0 or unit == "GiB":
+            if unit == "B":
+                return f"{sign}{int(value)}B"
+            return f"{sign}{value:.1f}{unit}"
+        value /= 1024.0
+    return f"{sign}{value:.1f}GiB"  # pragma: no cover - unreachable

@@ -34,6 +34,8 @@ __all__ = [
     "render_tree",
     "summary_table",
     "metrics_table",
+    "memory_table",
+    "sparkline",
     "trace_to_json",
     "trace_from_json",
 ]
@@ -47,13 +49,22 @@ def _format_attrs(attrs: dict[str, Any]) -> str:
 
 
 def _render_span(span: Span, depth: int, lines: list[str], times: bool) -> None:
+    from .memory import format_bytes
+
     indent = "  " * depth
     parts = [f"{indent}{span.name}"]
     attrs = _format_attrs(span.attrs)
     if attrs:
         parts.append(f" {attrs}")
+    if span.status != "ok":
+        parts.append(f" [{span.status}]")
     if times and span.end is not None:
-        parts.append(f"  [{span.duration * 1000:.2f} ms]")
+        parts.append(f"  [{span.duration * 1000:.2f} ms"
+                     f" | self {span.self_seconds * 1000:.2f} ms]")
+    if span.alloc_bytes is not None:
+        parts.append(f"  [self_alloc={format_bytes(span.self_alloc_bytes)}"
+                     f" alloc={format_bytes(span.alloc_bytes)}"
+                     f" peak={format_bytes(span.peak_bytes)}]")
     lines.append("".join(parts))
     # Children and events interleave chronologically; merge on timestamps.
     items: list[tuple[float, int, Span | Event]] = []
@@ -147,8 +158,62 @@ def metrics_table(metrics: MetricsRegistry) -> str:
     return "\n".join(align_table(rows))
 
 
+def memory_table(tracer: Tracer) -> str:
+    """Per-span allocation attribution as an aligned table (heaviest
+    self-allocators first), headed by the traced peak and the coverage
+    figure from :func:`repro.obs.memory.attribution_report`."""
+    from .memory import attribution_report, format_bytes
+
+    try:
+        report = attribution_report(tracer)
+    except ValueError as error:
+        return f"({error})"
+    rows: list[tuple[str, ...]] = [
+        ("span", "self_alloc", "alloc", "peak")]
+    for entry in report["spans"]:
+        rows.append((
+            entry["name"],
+            format_bytes(entry["self_alloc_bytes"]),
+            format_bytes(entry["alloc_bytes"]),
+            format_bytes(entry["peak_bytes"]),
+        ))
+    lines = align_table(rows)
+    lines.append(
+        f"traced peak {format_bytes(report['traced_peak_bytes'])}; "
+        f"{report['coverage']:.0%} attributed to named spans")
+    return "\n".join(lines)
+
+
+#: Eight-level bar alphabet used by :func:`sparkline`.
+SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: list[float | int | None]) -> str:
+    """A unicode sparkline of a series; ``None`` holes render as ``·``.
+
+    Scaling is min-max over the present values (a flat series renders
+    mid-height bars), which is what the bench trend tables want: shape
+    at a glance, numbers in the adjacent columns.
+    """
+    present = [float(v) for v in values if v is not None]
+    if not present:
+        return ""
+    lo, hi = min(present), max(present)
+    span = hi - lo
+    bars: list[str] = []
+    for value in values:
+        if value is None:
+            bars.append("·")
+        elif span == 0:
+            bars.append(SPARK_LEVELS[3])
+        else:
+            index = int((float(value) - lo) / span * (len(SPARK_LEVELS) - 1))
+            bars.append(SPARK_LEVELS[index])
+    return "".join(bars)
+
+
 def _span_to_dict(span: Span, origin: float) -> dict[str, Any]:
-    return {
+    doc: dict[str, Any] = {
         "name": span.name,
         "attrs": dict(span.attrs),
         "start": span.start - origin,
@@ -159,15 +224,28 @@ def _span_to_dict(span: Span, origin: float) -> dict[str, Any]:
         ],
         "children": [_span_to_dict(child, origin) for child in span.children],
     }
+    # New-in-this-schema-revision fields are emitted only when set, so
+    # documents of plain traces keep their original byte-for-byte shape.
+    if span.status != "ok":
+        doc["status"] = span.status
+    if span.alloc_bytes is not None:
+        doc["alloc_bytes"] = span.alloc_bytes
+        doc["self_alloc_bytes"] = span.self_alloc_bytes
+        doc["peak_bytes"] = span.peak_bytes
+    return doc
 
 
-def _span_from_dict(doc: dict[str, Any]) -> Span:
-    span = Span(doc["name"], dict(doc["attrs"]), doc["start"])
+def _span_from_dict(doc: dict[str, Any], parent: Span | None = None) -> Span:
+    span = Span(doc["name"], dict(doc["attrs"]), doc["start"], parent)
     span.end = doc["end"]
+    span.status = doc.get("status", "ok")
+    span.alloc_bytes = doc.get("alloc_bytes")
+    span.self_alloc_bytes = doc.get("self_alloc_bytes")
+    span.peak_bytes = doc.get("peak_bytes")
     span.events = [
         Event(e["name"], dict(e["attrs"]), e["time"]) for e in doc["events"]
     ]
-    span.children = [_span_from_dict(child) for child in doc["children"]]
+    span.children = [_span_from_dict(child, span) for child in doc["children"]]
     return span
 
 

@@ -60,17 +60,39 @@ class Event:
 
 
 class Span:
-    """A timed region of evaluation (a query, a fixpoint, an operator)."""
+    """A timed region of evaluation (a query, a fixpoint, an operator).
 
-    __slots__ = ("name", "attrs", "start", "end", "children", "events")
+    Beyond the timing fields, a span knows its ``parent`` (None only for
+    the root), carries a ``status`` (``"ok"``, or ``"aborted"`` when an
+    exception unwound through it), and — when the tracer runs with
+    ``memory=True`` — per-span allocation accounting from
+    :class:`repro.obs.memory.MemoryAttributor`:
 
-    def __init__(self, name: str, attrs: dict[str, Any], start: float):
+    * ``alloc_bytes`` — net bytes retained across the span (cumulative,
+      children included);
+    * ``self_alloc_bytes`` — ``alloc_bytes`` minus the children's, i.e.
+      what this span's own code retained;
+    * ``peak_bytes`` — the high-water mark of traced bytes above the
+      span's opening level (cumulative).
+    """
+
+    __slots__ = ("name", "attrs", "start", "end", "children", "events",
+                 "parent", "status", "alloc_bytes", "self_alloc_bytes",
+                 "peak_bytes")
+
+    def __init__(self, name: str, attrs: dict[str, Any], start: float,
+                 parent: Span | None = None):
         self.name = name
         self.attrs = attrs
         self.start = start
         self.end: float | None = None
         self.children: list[Span] = []
         self.events: list[Event] = []
+        self.parent = parent
+        self.status = "ok"
+        self.alloc_bytes: int | None = None
+        self.self_alloc_bytes: int | None = None
+        self.peak_bytes: int | None = None
 
     def set(self, **attrs: Any) -> None:
         """Attach attributes after the span has been opened (e.g. row
@@ -83,6 +105,19 @@ class Span:
         if self.end is None:
             return 0.0
         return self.end - self.start
+
+    @property
+    def self_seconds(self) -> float:
+        """Wall seconds spent in this span minus its closed children —
+        the span's own share of the cumulative time."""
+        own = self.duration - sum(child.duration for child in self.children)
+        return own if own > 0.0 else 0.0
+
+    def walk(self) -> Iterator[Span]:
+        """This span and every descendant, preorder."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Span({self.name!r}, {self.attrs!r}, children={len(self.children)})"
@@ -104,7 +139,8 @@ class Tracer:
 
     enabled = True
 
-    def __init__(self, max_events: int = DEFAULT_MAX_EVENTS):
+    def __init__(self, max_events: int = DEFAULT_MAX_EVENTS,
+                 memory: bool = False):
         self.root = Span("trace", {}, time.perf_counter())
         self.counters: dict[str, int | float] = {}
         self.metrics = MetricsRegistry()
@@ -112,19 +148,39 @@ class Tracer:
         self.dropped_events = 0
         self._stack: list[Span] = [self.root]
         self._n_events = 0
+        self.memory = None
+        if memory:
+            from .memory import MemoryAttributor
+
+            self.memory = MemoryAttributor()
+            self.memory.start()
+            self.memory.on_open(self.root)
 
     # -- span / event API ------------------------------------------------
 
     @contextmanager
     def span(self, name: str, /, **attrs: Any) -> Iterator[Span]:
-        """Open a child span for the dynamic extent of the ``with`` body."""
-        span = Span(name, attrs, time.perf_counter())
+        """Open a child span for the dynamic extent of the ``with`` body.
+
+        An exception unwinding through the body still closes the span
+        (timing and memory accounting stay consistent) but marks it
+        ``status="aborted"``, so a partial trace of a failed run shows
+        exactly how far evaluation got.
+        """
+        span = Span(name, attrs, time.perf_counter(), self._stack[-1])
         self._stack[-1].children.append(span)
         self._stack.append(span)
+        if self.memory is not None:
+            self.memory.on_open(span)
         try:
             yield span
+        except BaseException:
+            span.status = "aborted"
+            raise
         finally:
             span.end = time.perf_counter()
+            if self.memory is not None:
+                self.memory.on_close(span)
             self._stack.pop()
 
     def event(self, name: str, /, **attrs: Any) -> None:
@@ -165,9 +221,27 @@ class Tracer:
         self.metrics.histogram(name).record(value)
 
     def close(self) -> None:
-        """Close the root span (idempotent); exporters call this."""
-        if self.root.end is None:
-            self.root.end = time.perf_counter()
+        """Close the root span (idempotent); exporters call this.
+
+        Any span still open — possible when an exception unwinds past a
+        caller that holds the tracer, or a generator parks mid-span — is
+        flushed: marked ``aborted``, closed, and memory-accounted, so an
+        exported partial trace is always a complete tree.
+        """
+        if self.root.end is not None:
+            return
+        now = time.perf_counter()
+        while len(self._stack) > 1:
+            span = self._stack[-1]
+            span.status = "aborted"
+            span.end = now
+            if self.memory is not None:
+                self.memory.on_close(span)
+            self._stack.pop()
+        self.root.end = now
+        if self.memory is not None:
+            self.memory.on_close(self.root)
+            self.memory.stop()
 
 
 class _NullSpan:

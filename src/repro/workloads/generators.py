@@ -35,6 +35,9 @@ __all__ = [
     "all_subsets_instance",
     "dense_family",
     "schedule_instance",
+    "singleton_chain",
+    "keyed_pairs_instance",
+    "dense_subset_graph",
     "sparse_chain_family",
     "verso_instance",
     "verso_family",
@@ -109,6 +112,35 @@ def sparse_chain_family(n: int) -> Instance:
     nodes = [CSet((a,)) for a in atoms]
     schema = database_schema(G=["{U}", "{U}"])
     return Instance(schema, {"G": list(zip(nodes, nodes[1:]))})
+
+
+def singleton_chain(labels: str | Iterable[str] = "abc") -> Instance:
+    """``G[{U},{U}]`` chain over singleton sets with *named* atoms:
+    {a} -> {b} -> {c} by default.
+
+    The CLI example graph and the conftest ``set_graph_instance``
+    fixture, consolidated: where :func:`sparse_chain_family` generates
+    ``a00, a01, ...`` labels for scaling sweeps, this one takes the
+    labels verbatim for golden tests and documentation examples.
+    """
+    nodes = [CSet((Atom(label),)) for label in labels]
+    return Instance(set_graph_schema(), {"G": list(zip(nodes, nodes[1:]))})
+
+
+def keyed_pairs_instance(n_keys: int, values_per_key: int = 4) -> Instance:
+    """``P[U, U]`` — the full key × value grid (Examples 5.1/5.3).
+
+    The nest-operation workload: ``n_keys`` key atoms each paired with
+    the same ``values_per_key`` value atoms, so nesting on the first
+    column yields exactly ``n_keys`` rows, each carrying the full value
+    set.
+    """
+    atoms = atoms_universe(n_keys + values_per_key)
+    keys = atoms[:n_keys]
+    values = atoms[n_keys:]
+    schema = database_schema(P=["U", "U"])
+    rows = [(key, value) for key in keys for value in values]
+    return Instance(schema, {"P": rows})
 
 
 def verso_instance(n: int, values_per_key: int = 3,
@@ -233,6 +265,24 @@ def set_chain_graph(n_atoms: int, length: int | None = None) -> Instance:
         if length is not None and len(nodes) >= length:
             break
     return Instance(set_graph_schema(), {"G": list(zip(nodes, nodes[1:]))})
+
+
+def dense_subset_graph(n: int) -> Instance:
+    """Graph on ALL subsets of an ``n``-atom universe: S -> S ∪ {a}.
+
+    ``|I|`` ~ ``n * 2**(n-1)`` (subset, one-atom-extension) pairs: the
+    instance fills its node domain, hence dense w.r.t. ``<1,1>``-types —
+    Theorem 4.1(2)'s hypothesis for the dense-fixpoint sweeps.
+    """
+    atoms = atoms_universe(n)
+    subsets = materialize_domain(as_type("{U}"), atoms)
+    edges = []
+    for subset in subsets:
+        for a in atoms:
+            if a not in subset:  # type: ignore[operator]
+                bigger = CSet(set(subset.elements) | {a})  # type: ignore[union-attr]
+                edges.append((subset, bigger))
+    return Instance(set_graph_schema(), {"G": edges})
 
 
 def set_random_graph(n_atoms: int, n_nodes: int, p: float = 0.3,

@@ -199,10 +199,11 @@ def set_graph_schema():
 
 
 @pytest.fixture
-def set_graph_instance(set_graph_schema):
+def set_graph_instance():
     """A 3-node path over singleton-set nodes: {a} -> {b} -> {c}."""
-    a, b, c = (CSet((Atom(ch),)) for ch in "abc")
-    return instance(set_graph_schema, G=[(a, b), (b, c)])
+    from repro.workloads import singleton_chain
+
+    return singleton_chain("abc")
 
 
 @pytest.fixture

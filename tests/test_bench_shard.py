@@ -190,6 +190,48 @@ class TestRealRegistrySuite:
         assert point["counters"]["datalog.rows_derived"] > 0
 
 
+class TestResourceTelemetry:
+    """Subprocess isolation is what makes per-point RSS meaningful: each
+    point gets a fresh process, so ``getrusage`` peak RSS is *its* high
+    -water mark, not the accumulated maximum of everything run before."""
+
+    @needs_fork
+    def test_every_surviving_point_reports_rss_peak(self):
+        document = run_suites([SUITES["toy-linear"]], jobs=2)
+        points = document["suites"]["toy-linear"]["points"]
+        assert points and not any(p.get("failed") for p in points)
+        for point in points:
+            # A CPython worker occupies at least a few MB.
+            assert point["counters"]["space.rss_peak"] > 4 << 20
+
+    @needs_fork
+    def test_traced_peak_counter_mirrors_tracemalloc_field(self):
+        document = run_suites([SUITES["toy-linear"]], jobs=2,
+                              tracemalloc=True)
+        for point in document["suites"]["toy-linear"]["points"]:
+            assert point["counters"]["space.traced_peak"] == \
+                point["tracemalloc_peak_bytes"]
+            assert point["counters"]["space.traced_peak"] > 0
+
+    @needs_fork
+    def test_memory_attribution_rides_through_workers(self):
+        document = run_suites([SUITES["seminaive-smoke"]], sizes=(8,),
+                              jobs=2, memory=True)
+        points = document["suites"]["seminaive-smoke"]["points"]
+        assert points and not any(p.get("failed") for p in points)
+        for point in points:
+            assert point["counters"]["space.traced_peak"] > 0
+            assert point["counters"]["space.rss_peak"] > 4 << 20
+
+    @needs_fork
+    def test_serial_run_records_no_rss(self):
+        """RSS of a shared process would be cross-contaminated, so the
+        serial path deliberately omits it."""
+        document = run_suites([SUITES["toy-linear"]], jobs=1)
+        for point in document["suites"]["toy-linear"]["points"]:
+            assert "space.rss_peak" not in point["counters"]
+
+
 class TestPlumbing:
     def test_point_specs_enumerates_declaration_order(self):
         suite = TOY_SUITES["toy-square"]
@@ -225,6 +267,22 @@ class TestPlumbing:
         original = document["suites"]["toy-linear"]
         assert "fits" in original
         assert all("seconds" in p for p in original["points"])
+
+    def test_strip_timing_removes_machine_counters(self):
+        """``space.rss_peak``/``space.traced_peak`` are machine facts
+        like wall-clock: stripped so serial and sharded documents
+        compare byte-identical."""
+        document = {"suites": {"s": {"points": [{
+            "n": 2, "strategy": "seminaive", "seconds": 0.5,
+            "tracemalloc_peak_bytes": 999,
+            "counters": {"toy.rows": 4, "space.rss_peak": 16 << 20,
+                         "space.traced_peak": 999},
+            "histograms": {},
+        }]}}}
+        point = strip_timing(document)["suites"]["s"]["points"][0]
+        assert point["counters"] == {"toy.rows": 4}
+        assert "seconds" not in point
+        assert "tracemalloc_peak_bytes" not in point
 
     def test_strip_timing_keeps_counter_metric_gates(self):
         document = {"suites": {"s": {

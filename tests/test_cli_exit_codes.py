@@ -139,6 +139,46 @@ class TestBenchCommand:
         assert code == EXIT_ERROR
         assert "--migrate" in capsys.readouterr().err
 
+    def test_full_without_trend_is_an_error(self, capsys):
+        assert main(["bench", "--full"]) == EXIT_ERROR
+        assert "--trend" in capsys.readouterr().err
+
+
+class TestProfileCommand:
+    def test_missing_arguments_is_an_error(self, capsys):
+        assert main(["profile"]) == EXIT_ERROR
+        assert "--from" in capsys.readouterr().err
+
+    def test_from_with_instance_args_is_an_error(self, graph_file, capsys):
+        code = main(["profile", graph_file, SAFE, "--from", "saved.json"])
+        assert code == EXIT_ERROR
+        assert "--from" in capsys.readouterr().err
+
+    def test_memory_with_from_is_an_error(self, tmp_path, capsys):
+        code = main(["profile", "--from", str(tmp_path / "saved.json"),
+                     "--memory"])
+        assert code == EXIT_ERROR
+        assert "--memory" in capsys.readouterr().err
+
+    def test_legacy_unversioned_trace_is_an_error(self, tmp_path, capsys):
+        """Pre-PR6 trace documents carry absolute perf_counter
+        timestamps and no schema marker; re-export refuses them."""
+        legacy = {"counters": {}, "dropped_events": 0,
+                  "trace": {"name": "trace", "attrs": {}, "start": 1.0,
+                            "end": 2.0, "events": [], "children": []}}
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps(legacy))
+        assert main(["profile", "--from", str(path)]) == EXIT_ERROR
+        assert "legacy" in capsys.readouterr().err
+
+    def test_non_trace_json_is_an_error(self, graph_file, capsys):
+        # An instance file is valid JSON but not a trace document.
+        assert main(["profile", "--from", graph_file]) == EXIT_ERROR
+
+    def test_missing_from_file_is_an_error(self, tmp_path, capsys):
+        code = main(["profile", "--from", str(tmp_path / "absent.json")])
+        assert code == EXIT_ERROR
+
 
 class TestOtherCommands:
     def test_encode_ok(self, graph_file, capsys):

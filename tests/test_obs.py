@@ -22,7 +22,6 @@ from repro.obs import (
     trace_to_json,
     use_tracer,
 )
-from repro.objects import atom, cset, database_schema, instance
 from repro.workloads import transitive_closure_query
 
 TC_QUERY_TEXT = (
@@ -34,9 +33,9 @@ TC_QUERY_TEXT = (
 @pytest.fixture
 def chain_graph():
     """The CLI example graph: {a} -> {b} -> {c} over set-typed nodes."""
-    schema = database_schema(G=["{U}", "{U}"])
-    a, b, c = cset(atom("a")), cset(atom("b")), cset(atom("c"))
-    return instance(schema, G=[(a, b), (b, c)])
+    from repro.workloads import singleton_chain
+
+    return singleton_chain("abc")
 
 
 @pytest.fixture
@@ -227,6 +226,8 @@ GOLDEN_PROFILE = """\
 mode: active
 == trace ==
 trace
+  load_instance
+  parse_query
   query head=['x', 'y'] rows=3
     • domain type={U} cardinality=8
     • enumerate vars=['x', 'y'] sizes=[8, 8] product=64
@@ -262,6 +263,8 @@ GOLDEN_PROFILE_NAIVE = """\
 mode: active
 == trace ==
 trace
+  load_instance
+  parse_query
   query head=['x', 'y'] rows=3
     • domain type={U} cardinality=8
     • enumerate vars=['x', 'y'] sizes=[8, 8] product=64

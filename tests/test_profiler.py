@@ -1,0 +1,354 @@
+"""The span-tree profiler: memory attribution, exporters, aborted spans.
+
+Covers the PR 6 profiling subsystem end to end:
+
+* span-tree accounting — parent links, preorder ``walk``, self vs
+  cumulative wall time;
+* aborted spans — a raising query marks its open spans and
+  ``Tracer.close`` flushes them, so a crash still yields a usable trace;
+* :class:`repro.obs.MemoryAttributor` — per-span ``self_alloc_bytes``
+  sums exactly to the root's net allocation, and the named spans account
+  for >= 90% of the traced peak on the chain TC workload;
+* exporters — Chrome Trace Event JSON (structure golden: stable names,
+  phases, fixed pid/tid) and collapsed-stack flamegraphs;
+* the CLI surface: ``profile --memory --format chrome-trace``,
+  ``--format flame``, ``--from`` re-export, and the partial-trace flush
+  on mid-evaluation failure.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.evaluation import evaluate
+from repro.obs import (
+    ExportError,
+    Tracer,
+    attribution_report,
+    chrome_trace,
+    collapsed_stacks,
+    render_tree,
+    trace_from_json,
+    trace_to_json,
+    tracer_from_document,
+    use_tracer,
+)
+from repro.workloads import chain_graph, transitive_closure_query
+
+
+def _traced_tc(n=8, memory=False):
+    """Evaluate chain TC under a fresh tracer; returns (tracer, answer)."""
+    query = transitive_closure_query("U")
+    inst = chain_graph(n)
+    tracer = Tracer(memory=memory)
+    with use_tracer(tracer):
+        answer = evaluate(query, inst)
+    tracer.close()
+    return tracer, answer
+
+
+class TestSpanTree:
+    def test_parent_links_and_walk_order(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+            with tracer.span("c"):
+                with tracer.span("d"):
+                    pass
+        tracer.close()
+        names = [span.name for span in tracer.root.walk()]
+        assert names == ["trace", "a", "b", "c", "d"]
+        by_name = {span.name: span for span in tracer.root.walk()}
+        assert by_name["a"].parent is tracer.root
+        assert by_name["b"].parent is by_name["a"]
+        assert by_name["d"].parent is by_name["c"]
+        assert tracer.root.parent is None
+
+    def test_self_seconds_excludes_children(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        tracer.close()
+        outer = tracer.root.children[0]
+        inner = outer.children[0]
+        assert outer.self_seconds == pytest.approx(
+            outer.duration - inner.duration)
+        assert inner.self_seconds == pytest.approx(inner.duration)
+        assert tracer.root.self_seconds >= 0.0
+
+    def test_aborted_span_marked_and_rendered(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError("boom")
+        tracer.close()
+        outer = tracer.root.children[0]
+        assert outer.status == "aborted"
+        assert outer.children[0].status == "aborted"
+        assert outer.end is not None
+        rendered = render_tree(tracer, times=False)
+        assert "outer [aborted]" in rendered
+        assert "  inner [aborted]" in rendered
+
+    def test_close_flushes_still_open_spans(self):
+        tracer = Tracer()
+        tracer.span("left-open").__enter__()  # simulate a crash mid-span
+        tracer.close()
+        span = tracer.root.children[0]
+        assert span.status == "aborted"
+        assert span.end is not None
+        assert tracer.root.end is not None
+
+
+class TestMemoryAttribution:
+    def test_self_alloc_sums_exactly_to_root(self):
+        tracer, _ = _traced_tc(memory=True)
+        spans = list(tracer.root.walk())
+        assert all(span.alloc_bytes is not None for span in spans)
+        assert (sum(span.self_alloc_bytes for span in spans)
+                == tracer.root.alloc_bytes)
+
+    def test_parent_peak_never_below_child_peak(self):
+        tracer, _ = _traced_tc(memory=True)
+        for span in tracer.root.walk():
+            for child in span.children:
+                assert span.peak_bytes >= child.peak_bytes
+
+    def test_coverage_on_chain_tc(self):
+        """In-process sanity: most of the traced peak lands in named
+        spans.  (The >= 0.9 acceptance figure is checked cold-process in
+        :class:`TestCliProfiler` — a warmed evaluator retains less per
+        run, which lowers the net-allocation floor of the estimate.)"""
+        tracer, answer = _traced_tc(n=8, memory=True)
+        assert len(answer) == 8 * 7 // 2
+        report = attribution_report(tracer)
+        assert report["traced_peak_bytes"] > 0
+        assert report["coverage"] >= 0.8
+        # Which evaluation span retains most depends on how warm the
+        # evaluator's caches are; it is always one of the two.
+        assert report["spans"][0]["name"] in ("fixpoint", "query")
+
+    def test_plain_trace_has_no_attribution(self):
+        tracer, _ = _traced_tc(memory=False)
+        assert tracer.root.alloc_bytes is None
+        with pytest.raises(ValueError, match="no memory attribution"):
+            attribution_report(tracer)
+
+    def test_memory_fields_round_trip_through_json(self):
+        tracer, _ = _traced_tc(memory=True)
+        document = trace_to_json(tracer)
+        rebuilt = trace_from_json(document)
+        assert trace_to_json(rebuilt) == document
+        assert rebuilt.root.alloc_bytes == tracer.root.alloc_bytes
+        assert rebuilt.root.peak_bytes == tracer.root.peak_bytes
+
+    def test_plain_trace_json_unchanged(self):
+        """Memory fields are emitted only when set: a plain trace's
+        document carries none of them (schema-1 compatibility)."""
+        tracer, _ = _traced_tc(memory=False)
+
+        def walk(doc):
+            yield doc
+            for child in doc["children"]:
+                yield from walk(child)
+
+        for span_doc in walk(trace_to_json(tracer)["trace"]):
+            assert "alloc_bytes" not in span_doc
+            assert "status" not in span_doc
+
+
+class TestChromeTrace:
+    def test_structure_golden(self):
+        """Everything except the timestamps is pinned: names, phases,
+        categories, fixed pid/tid, metadata events."""
+        tracer, _ = _traced_tc(memory=True)
+        document = chrome_trace(tracer)
+        json.dumps(document)  # must be JSON-safe
+        events = document["traceEvents"]
+        metadata = [e for e in events if e["ph"] == "M"]
+        assert [(e["name"], e["args"]["name"]) for e in metadata] == [
+            ("process_name", "repro"), ("thread_name", "evaluate")]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert [e["name"] for e in complete] == ["trace", "query", "fixpoint"]
+        for event in complete:
+            assert event["cat"] == "span"
+            assert event["pid"] == 1 and event["tid"] == 1
+            assert event["ts"] >= 0.0 and event["dur"] >= 0.0
+            assert event["args"]["alloc_bytes"] is not None
+        instants = [e for e in events if e["ph"] == "i"]
+        assert instants, "trace events must export as instants"
+        assert all(e["s"] == "t" for e in instants)
+        assert document["otherData"]["counters"]["ifp.stages"] == 8
+
+    def test_nesting_encoded_in_timestamps(self):
+        tracer, _ = _traced_tc()
+        complete = [e for e in chrome_trace(tracer)["traceEvents"]
+                    if e["ph"] == "X"]
+        by_name = {e["name"]: e for e in complete}
+        trace, query = by_name["trace"], by_name["query"]
+        fixpoint = by_name["fixpoint"]
+        assert trace["ts"] == 0.0
+        assert trace["ts"] <= query["ts"]
+        assert query["ts"] + query["dur"] <= trace["ts"] + trace["dur"] + 1e-6
+        assert fixpoint["ts"] >= query["ts"]
+
+    def test_aborted_status_rides_in_args(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        events = chrome_trace(tracer)["traceEvents"]
+        doomed = next(e for e in events if e.get("name") == "doomed")
+        assert doomed["args"]["status"] == "aborted"
+
+
+class TestFlamegraph:
+    def test_time_stacks(self):
+        tracer, _ = _traced_tc()
+        lines = collapsed_stacks(tracer).splitlines()
+        paths = [line.rsplit(" ", 1)[0] for line in lines]
+        assert paths == ["trace", "trace;query", "trace;query;fixpoint"]
+        assert all(int(line.rsplit(" ", 1)[1]) >= 0 for line in lines)
+
+    def test_alloc_stacks_require_memory(self):
+        tracer, _ = _traced_tc(memory=False)
+        with pytest.raises(ExportError, match="no memory attribution"):
+            collapsed_stacks(tracer, metric="alloc")
+        traced, _ = _traced_tc(memory=True)
+        lines = collapsed_stacks(traced, metric="alloc").splitlines()
+        assert any(int(line.rsplit(" ", 1)[1]) > 0 for line in lines)
+
+    def test_unknown_metric_rejected(self):
+        tracer, _ = _traced_tc()
+        with pytest.raises(ExportError, match="unknown flame metric"):
+            collapsed_stacks(tracer, metric="cycles")
+
+
+class TestTracerFromDocument:
+    def test_schema1_round_trip(self):
+        tracer, _ = _traced_tc(memory=True)
+        document = trace_to_json(tracer)
+        rebuilt = tracer_from_document(document)
+        assert chrome_trace(rebuilt) == chrome_trace(tracer)
+
+    def test_legacy_document_rejected(self):
+        legacy = {"counters": {}, "dropped_events": 0,
+                  "trace": {"name": "trace", "attrs": {}, "start": 123.4,
+                            "end": 125.0, "events": [], "children": []}}
+        with pytest.raises(ExportError, match="legacy unversioned"):
+            tracer_from_document(legacy)
+
+    def test_non_trace_document_rejected(self):
+        with pytest.raises(ExportError, match="not a trace document"):
+            tracer_from_document({"schema": 1})
+        with pytest.raises(ExportError, match="not a trace document"):
+            tracer_from_document([1, 2, 3])
+
+
+TC_QUERY_TEXT = (
+    "{[x:{U}, y:{U}] | ifp[S(x:{U}, y:{U})](G(x,y) or "
+    "exists z:{U} (S(x,z) and G(z,y)))(x, y)}"
+)
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    from repro.objects.io import instance_to_json
+    from repro.workloads import singleton_chain
+
+    path = tmp_path / "graph.json"
+    path.write_text(json.dumps(instance_to_json(singleton_chain("abc"))))
+    return str(path)
+
+
+class TestCliProfiler:
+    def test_memory_chrome_trace_export(self, graph_file, capsys):
+        status = main(["profile", graph_file, TC_QUERY_TEXT,
+                       "--memory", "--format", "chrome-trace"])
+        assert status == 0
+        document = json.loads(capsys.readouterr().out)
+        complete = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        assert [e["name"] for e in complete] == [
+            "trace", "load_instance", "parse_query",
+            "range_restricted", "query", "fixpoint"]
+        assert all("self_alloc_bytes" in e["args"] for e in complete)
+
+    def test_memory_text_table(self, graph_file, capsys):
+        status = main(["profile", graph_file, TC_QUERY_TEXT,
+                       "--memory", "--no-times"])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "== memory ==" in out
+        assert "traced peak" in out
+        assert "% attributed to named spans" in out
+
+    def test_flame_export(self, graph_file, capsys):
+        status = main(["profile", graph_file, TC_QUERY_TEXT,
+                       "--format", "flame"])
+        assert status == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0].startswith("trace ")
+        assert any(line.startswith("trace;range_restricted;query;fixpoint ")
+                   for line in lines)
+
+    def test_from_reexports_saved_trace(self, graph_file, tmp_path, capsys):
+        status = main(["profile", graph_file, TC_QUERY_TEXT, "--json"])
+        assert status == 0
+        saved = tmp_path / "trace.json"
+        saved.write_text(capsys.readouterr().out)
+        status = main(["profile", "--from", str(saved),
+                       "--format", "chrome-trace"])
+        assert status == 0
+        document = json.loads(capsys.readouterr().out)
+        assert any(e["ph"] == "X" for e in document["traceEvents"])
+
+    def test_partial_trace_on_midquery_failure(self, graph_file, capsys):
+        """Satellite 2: a query that dies mid-evaluation still yields
+        the partial trace (open spans flushed as aborted) on stderr."""
+        with pytest.raises(Exception, match="cap 2"):
+            main(["profile", graph_file, TC_QUERY_TEXT,
+                  "--mode", "active", "--max-domain", "2", "--no-times"])
+        err = capsys.readouterr().err
+        assert "partial trace" in err
+        assert "query" in err and "[aborted]" in err
+
+    def test_cold_process_coverage_acceptance(self, tmp_path):
+        """The ISSUE 6 acceptance figure, measured the way users hit it:
+        a fresh interpreter running ``repro profile --memory`` on a
+        chain_graph fixpoint query attributes >= 90% of the tracemalloc
+        peak to named spans."""
+        import os
+        import subprocess
+        import sys
+
+        import repro
+        from repro.objects.io import instance_to_json
+        from repro.workloads import chain_graph
+
+        graph = tmp_path / "chain8.json"
+        graph.write_text(json.dumps(instance_to_json(chain_graph(8))))
+        flat_tc = ("{[x:U, y:U] | ifp[S(x:U, y:U)](G(x,y) or "
+                   "exists z:U (S(x,z) and G(z,y)))(x, y)}")
+        src = os.path.dirname(os.path.dirname(repro.__file__))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "profile", str(graph),
+             flat_tc, "--memory", "--json"],
+            capture_output=True, text=True, env=env, timeout=120)
+        assert proc.returncode == 0, proc.stderr
+        tracer = tracer_from_document(json.loads(proc.stdout))
+        report = attribution_report(tracer)
+        assert report["coverage"] >= 0.9
+
+    def test_memory_json_carries_attribution(self, graph_file, capsys):
+        status = main(["profile", graph_file, TC_QUERY_TEXT,
+                       "--memory", "--json"])
+        assert status == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["trace"]["alloc_bytes"] is not None
+        assert document["trace"]["peak_bytes"] > 0
