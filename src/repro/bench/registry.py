@@ -481,6 +481,171 @@ def _run_nest_routes(n: int, strategy: str) -> dict[str, Any]:
 # The registry
 # ---------------------------------------------------------------------------
 
+def _wide_analysis_program(n: int):
+    """n independent nonrecursive predicates feeding one collector Q."""
+    from ..datalog import Literal, Program, Rule
+
+    rules = []
+    idb_types: dict[str, list[str]] = {"Q": ["U", "U"]}
+    for i in range(1, n + 1):
+        name = f"P{i}"
+        idb_types[name] = ["U", "U"]
+        rules.append(Rule(Literal(name, ["x", "y"]),
+                          [Literal("G", ["x", "y"])]))
+        rules.append(Rule(Literal("Q", ["x", "y"]),
+                          [Literal(name, ["x", "y"])]))
+    return Program(rules, idb_types)
+
+
+def _deep_analysis_program(n: int):
+    """One n-predicate linearly recursive SCC (a dependency cycle
+    P1 <- P2 <- ... <- Pn <- P1)."""
+    from ..datalog import Literal, Program, Rule
+
+    idb_types = {f"P{i}": ["U", "U"] for i in range(1, n + 1)}
+    rules = [
+        Rule(Literal("P1", ["x", "y"]), [Literal("G", ["x", "y"])]),
+        Rule(Literal("P1", ["x", "y"]), [Literal(f"P{n}", ["x", "y"])]),
+    ]
+    for i in range(2, n + 1):
+        rules.append(Rule(
+            Literal(f"P{i}", ["x", "y"]),
+            [Literal(f"P{i - 1}", ["x", "z"]), Literal("G", ["z", "y"])],
+        ))
+    return Program(rules, idb_types)
+
+
+def _run_lint_program(n: int, strategy: str) -> dict[str, Any]:
+    """Program-analysis cost on generated programs: ``wide`` fans n
+    nonrecursive predicates into a collector, ``deep`` closes one
+    n-predicate linearly recursive SCC.  Both have Theta(n) edges, so
+    ``lint.program.edges`` is the linearity pin; the in-run asserts are
+    the routing pass's theorem-shaped claims."""
+    from ..lint import analyze_program
+    from ..objects import database_schema
+
+    schema = database_schema(G=["U", "U"])
+    if strategy == "wide":
+        program = _wide_analysis_program(n)
+        analysis = analyze_program(program, schema, query="Q")
+        if any(v.recursion != "none" for v in analysis.routing):
+            raise AssertionError("wide program misclassified as recursive")
+    else:
+        program = _deep_analysis_program(n)
+        analysis = analyze_program(program, schema, query=f"P{n}")
+        big = [v for v in analysis.routing if len(v.scc) == n]
+        if len(big) != 1 or big[0].recursion != "linear":
+            raise AssertionError(
+                f"deep program should form one linear {n}-SCC: "
+                f"{analysis.routing}")
+    if not analysis.stratified or analysis.dead_rules:
+        raise AssertionError("generated programs are stratified and live")
+    return {"checksum": len(analysis.edges) * 1000 + len(analysis.sccs)}
+
+
+def _run_domain_cardinality(n: int, strategy: str) -> dict[str, Any]:
+    """Section 2's hyper(i,k) table (ex ``bench_domain_cardinality.py``):
+    exact big-int domain cardinalities, checked against the
+    ``|dom(T, D)| <= hyper(i, k)(n)`` bound over every normalised
+    <i,k>-type, with the definition's spot values pinned."""
+    from ..objects.domains import (
+        all_ik_types,
+        dom_ik_cardinality,
+        domain_cardinality,
+        hyper,
+    )
+    from ..obs import get_tracer
+
+    if hyper(0, 2, 3) != 9 or hyper(1, 2, 3) != 2 ** 18 \
+            or hyper(2, 1, 2) != 2 ** 4:
+        raise AssertionError("hyper(i,k) spot values moved")
+    for i, k in ((0, 2), (1, 1), (1, 2)):
+        bound = hyper(i, k, n)
+        for typ in all_ik_types(i, k):
+            cardinality = domain_cardinality(typ, n)
+            if cardinality > bound:
+                raise AssertionError(
+                    f"|dom({typ!r}, {n})| = {cardinality} exceeds "
+                    f"hyper({i},{k})({n}) = {bound}")
+    value = dom_ik_cardinality(1, 2, n)
+    tracer = get_tracer()
+    tracer.count("domain.dom12_cardinality", value)
+    tracer.count("domain.dom12_bits", value.bit_length())
+    return {"checksum": value.bit_length()}
+
+
+def _run_induced_order(n: int, strategy: str) -> dict[str, Any]:
+    """Lemma 4.3 (ex ``bench_induced_order.py``): the induced order on
+    ``dom({U}, n atoms)`` via four routes — native comparator, sort
+    keys, arithmetic ranks, and the formula-defined ``<`` of the lemma.
+    Every route must count the same ``C(|D|, 2)`` less-than pairs; the
+    formula route exists to witness definability and pays for it
+    (pinned by the speedup gate)."""
+    import itertools
+
+    from ..objects import (
+        AtomOrder,
+        Instance,
+        compare,
+        database_schema,
+        materialize_domain,
+        parse_type,
+        rank,
+        sorted_values,
+        unrank,
+    )
+    from ..obs import get_tracer
+
+    typ = parse_type("{U}")
+    labels = "abcdefghijklmnop"[:n]
+    order = AtomOrder.from_labels(labels)
+    domain = materialize_domain(typ, order.atoms)
+    expected = len(domain) * (len(domain) - 1) // 2
+
+    if strategy == "comparator":
+        count = sum(
+            1 for left, right in itertools.product(domain, repeat=2)
+            if compare(left, right, order) < 0)
+    elif strategy == "sortkeys":
+        ordered = sorted_values(domain, order)
+        for left, right in zip(ordered, ordered[1:]):
+            if compare(left, right, order) >= 0:
+                raise AssertionError("sort keys disagree with comparator")
+        count = len(ordered) * (len(ordered) - 1) // 2
+    elif strategy == "ranks":
+        ranks = {value: rank(value, typ, order) for value in domain}
+        for value, r in ranks.items():
+            if unrank(r, typ, order) != value:
+                raise AssertionError("rank/unrank roundtrip broken")
+        count = sum(
+            1 for left, right in itertools.product(domain, repeat=2)
+            if ranks[left] < ranks[right])
+    else:  # formula
+        from ..core.evaluation import Evaluator
+        from ..core.order_formulas import (
+            less_than_formula,
+            with_order_relation,
+        )
+        from ..core.syntax import Var
+
+        base = database_schema(Seed=["U"])
+        inst = with_order_relation(
+            Instance(base, {"Seed": [(a,) for a in order.atoms]}), order)
+        phi = less_than_formula(typ)(Var("x", typ), Var("y", typ))
+        evaluator = Evaluator(inst.schema, max_domain_size=10 ** 6)
+        count = sum(
+            1 for left, right in itertools.product(domain, repeat=2)
+            if evaluator.evaluate_formula(
+                phi, inst, {"x": left, "y": right},
+                free_variable_types={"x": typ, "y": typ}))
+    if count != expected:
+        raise AssertionError(
+            f"{strategy} counted {count} less-than pairs on "
+            f"|dom| = {len(domain)}, expected {expected}")
+    get_tracer().count("order.lt_pairs", count)
+    return {"checksum": count}
+
+
 SUITES: dict[str, Suite] = {}
 
 
@@ -767,16 +932,80 @@ _register(Suite(
 ))
 
 
+_register(Suite(
+    name="lint-program",
+    title="Program analysis cost: wide fan-in vs one deep recursive SCC",
+    sizes=(8, 16, 32, 64),
+    strategies=("wide", "deep"),
+    run=_run_lint_program,
+    expectations=(
+        Expectation(metric="lint.program.edges", kind="bound",
+                    strategy="wide", bound_degree=1, bound_coefficient=3.0,
+                    note="the dependency graph stays linear in the rules"),
+        Expectation(metric="lint.program.edges", kind="bound",
+                    strategy="deep", bound_degree=1, bound_coefficient=3.0),
+    ),
+    tolerances=(
+        Tolerance(metric="lint.program.edges", max_ratio=0.0),
+        Tolerance(metric="lint.program.sccs", max_ratio=0.0),
+        Tolerance(metric="lint.program.adornments", max_ratio=0.0),
+    ),
+    agree=False,  # wide and deep are different programs by design
+))
+
+_register(Suite(
+    name="domain-cardinality",
+    title="Section 2: |dom(T,D)| <= hyper(i,k)(n), exact big-int table",
+    sizes=(2, 3, 4, 5, 6),
+    strategies=("exact",),
+    run=_run_domain_cardinality,
+    expectations=(
+        Expectation(metric="domain.dom12_cardinality", kind="superpoly",
+                    strategy="exact",
+                    note="|dom(1,2,n)| is exponential in n**2"),
+        Expectation(metric="domain.dom12_bits", kind="poly",
+                    strategy="exact", max_degree=2.5,
+                    note="...so its bit length is ~quadratic: exactly "
+                         "one exponential level (Section 2)"),
+    ),
+    tolerances=(
+        Tolerance(metric="domain.dom12_cardinality", max_ratio=0.0),
+        Tolerance(metric="domain.dom12_bits", max_ratio=0.0),
+    ),
+    agree=False,
+))
+
+_register(Suite(
+    name="induced-order",
+    title="Lemma 4.3: induced order — native routes vs the defining "
+          "formula",
+    sizes=(2, 3, 4),
+    strategies=("comparator", "sortkeys", "ranks", "formula"),
+    run=_run_induced_order,
+    expectations=(
+        Expectation(metric="order.lt_pairs", kind="superpoly",
+                    strategy="comparator",
+                    note="C(2**n, 2) comparable pairs over dom({U}, n)"),
+    ),
+    gates=(
+        SpeedupGate(slow="formula", fast="comparator", min_ratio=5.0),
+    ),
+    tolerances=(Tolerance(metric="order.lt_pairs", max_ratio=0.0),),
+    agree=True,  # all four routes count the same less-than pairs
+))
+
+
 #: Named groups accepted by ``repro bench --suite``.  ``tc``/``space``/
-#: ``theorems`` partition the registry for CI's job matrix; ``smoke``
-#: keeps its PR 4 meaning (the original six suites).
+#: ``theorems``/``analysis`` partition the registry for CI's job matrix;
+#: ``smoke`` keeps its PR 4 meaning (the original six suites).
 GROUPS: dict[str, tuple[str, ...]] = {
     "tc": ("seminaive-smoke", "tc-seminaive-dense", "calc-ifp-dense",
            "algebra-loop", "tc-engines", "datalog-translation"),
     "space": ("hyper-domain", "rr-space-chain"),
     "theorems": ("quantifier-tower", "sparse-collapse", "density-measures",
                  "pfp-vs-ifp", "flat-kernel", "dense-fixpoint",
-                 "nest-routes"),
+                 "nest-routes", "domain-cardinality", "induced-order"),
+    "analysis": ("lint-program",),
     "smoke": ("seminaive-smoke", "tc-seminaive-dense", "hyper-domain",
               "rr-space-chain", "calc-ifp-dense", "algebra-loop"),
     "all": tuple(SUITES),

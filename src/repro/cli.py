@@ -57,7 +57,20 @@ from .core.range_restriction import RangeComputationError, analyze_query
 from .core.safety import evaluate_range_restricted
 from .core.evaluation import evaluate
 from .core.typecheck import TypeCheckError, check_query
-from .lint import Severity, explain, lint_query, lint_source
+from .datalog.parser import (
+    DatalogParseError,
+    looks_like_program,
+    parse_program,
+)
+from .lint import (
+    Diagnostic,
+    LintReport,
+    Severity,
+    explain,
+    lint_program,
+    lint_query,
+    lint_source,
+)
 from .obs import (
     NULL_TRACER,
     ExportError,
@@ -68,6 +81,7 @@ from .obs import (
     metrics_table,
     render_tree,
     summary_table,
+    titled_table,
     trace_to_json,
     tracer_from_document,
     use_tracer,
@@ -428,8 +442,56 @@ def _read_query_arg(argument: str) -> tuple[str, str]:
     return "<arg>", argument
 
 
+def _lint_argument(source: str, text: str, schema, exempt) -> LintReport:
+    """Lint one CLI argument: a Datalog program (``.dl`` file or text
+    that reads as one) through the program pipeline, anything else as a
+    CALC/IFP/PFP query."""
+    if source.endswith(".dl") or looks_like_program(text):
+        try:
+            program, query = parse_program(text)
+        except DatalogParseError as exc:
+            report = LintReport()
+            report.add(Diagnostic("DLG003", Severity.ERROR, str(exc)))
+            return report
+        return lint_program(program, schema, exempt_types=exempt,
+                            query=query)
+    return lint_source(text, schema, exempt_types=exempt)
+
+
+def _analysis_tables(analysis) -> str:
+    """The ``--explain`` rendering of a program analysis: dependency
+    edges, per-SCC routing (with strata), and the adorned program."""
+    edge_rows = [("source", "target", "polarity")]
+    for edge in sorted(analysis.edges):
+        edge_rows.append((edge.source, edge.target,
+                          "+" if edge.positive else "-"))
+    scc_rows = [("scc", "recursion", "stratum", "route")]
+    for verdict in analysis.routing:
+        scc_rows.append((
+            "{" + ", ".join(verdict.scc) + "}",
+            verdict.recursion,
+            "-" if verdict.stratum is None else str(verdict.stratum),
+            verdict.route,
+        ))
+    adorn_rows = [("predicate", "adornments")]
+    for predicate, adornments in sorted(analysis.adornment.table.items()):
+        adorn_rows.append((predicate, ", ".join(adornments)))
+    sections = [
+        titled_table("dependency graph", edge_rows),
+        titled_table("routing (per SCC, bottom-up)", scc_rows),
+        titled_table(
+            f"adorned program (query {analysis.query!r})", adorn_rows),
+    ]
+    return "\n".join(sections)
+
+
+#: Sentinel for a bare ``--explain`` (no CODE): render analysis tables.
+_EXPLAIN_TABLES = "@tables"
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
-    if args.explain is not None:
+    explain_tables = args.explain == _EXPLAIN_TABLES
+    if args.explain is not None and not explain_tables:
         try:
             print(explain(args.explain))
         except KeyError:
@@ -448,15 +510,19 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     failed = False
     for argument in args.queries:
         source, text = _read_query_arg(argument)
-        report = lint_source(text, inst.schema, exempt_types=exempt)
+        report = _lint_argument(source, text, inst.schema, exempt)
         failed = failed or report.fails(fail_on)
         if args.json:
-            documents.append(
-                {"source": source, "query": text,
-                 "diagnostics": report.to_dicts()})
+            document = {"source": source, "query": text,
+                        "diagnostics": report.to_dicts()}
+            if report.analysis is not None:
+                document["program"] = report.analysis.to_dict()
+            documents.append(document)
         else:
             print(f"== {source}: {text}")
             print(report.render())
+            if explain_tables and report.analysis is not None:
+                print(_analysis_tables(report.analysis))
     if args.json:
         json.dump(documents, sys.stdout, indent=2)
         print()
@@ -636,11 +702,15 @@ def build_parser() -> argparse.ArgumentParser:
     lint_cmd.add_argument("instance", nargs="?",
                           help="instance JSON file (schema source)")
     lint_cmd.add_argument("queries", nargs="*", metavar="query",
-                          help="query text, or a file containing one query")
+                          help="query text, a Datalog program (.dl file "
+                               "or rule text), or a file containing one")
     lint_cmd.add_argument("--json", action="store_true",
                           help="emit diagnostics as a JSON document")
-    lint_cmd.add_argument("--explain", metavar="CODE",
-                          help="explain a diagnostic code and exit")
+    lint_cmd.add_argument("--explain", metavar="CODE", nargs="?",
+                          const=_EXPLAIN_TABLES,
+                          help="explain a diagnostic code and exit; bare "
+                               "--explain with a program argument renders "
+                               "the dependency/strata/adornment tables")
     lint_cmd.add_argument("--fail-on", choices=("error", "warning"),
                           default="error",
                           help="severity that makes the exit code 1 "

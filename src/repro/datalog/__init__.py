@@ -4,6 +4,7 @@ from .syntax import (
     BuiltinLiteral,
     DatalogError,
     DConst,
+    DepEdge,
     DTerm,
     DVar,
     Literal,
@@ -16,11 +17,13 @@ from .engine import (
     evaluate_partial,
     inflationary_stages,
 )
+from .parser import DatalogParseError, parse_program
 from .translation import program_to_query
 
 __all__ = [
-    "BuiltinLiteral", "DatalogError", "DConst", "DTerm", "DVar", "Literal",
+    "BuiltinLiteral", "DatalogError", "DatalogParseError", "DConst",
+    "DepEdge", "DTerm", "DVar", "Literal",
     "Program", "Rule", "STRATEGIES",
     "evaluate_inflationary", "evaluate_partial", "inflationary_stages",
-    "program_to_query",
+    "parse_program", "program_to_query",
 ]

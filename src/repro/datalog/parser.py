@@ -1,0 +1,344 @@
+"""A textual format for inf-Datalog programs.
+
+Programs as text, so the CLI and ``examples/`` can carry them the way
+``.repro`` files carry CALC queries::
+
+    # transitive closure over G[{U}, {U}]
+    idb T({U}, {U}).
+
+    T(x, y) :- G(x, y).
+    T(x, y) :- T(x, z), G(z, y).
+
+    ?- T(x, y).
+
+Grammar (whitespace and ``#``-to-end-of-line comments ignored):
+
+* ``idb NAME(TYPE, ...).`` — one declaration per IDB predicate; TYPE is
+  the paper's type notation (``U``, ``{T}``, ``[T1,...,Tn]``).
+* ``HEAD :- LIT, ..., LIT.`` or ``HEAD.`` — a rule.  Body literals are
+  ``P(t, ...)``, ``not P(t, ...)``, or built-ins ``t = t``, ``t != t``,
+  ``t in t``, ``t not in t``, ``t sub t``, ``t not sub t``.
+* ``?- P(t, ...).`` — at most one query literal; its constants seed the
+  adornment analysis.
+* Terms: a lowercase-initial bare name is a variable; constants are
+  quoted atoms ``'a'``, numbers, sets ``{'a', 'b'}`` and tuples
+  ``['a', {'b'}]`` (nested freely).
+
+:func:`parse_program` returns ``(Program, query | None)``; errors raise
+:class:`DatalogParseError` with 1-based line/column.
+"""
+
+from __future__ import annotations
+
+from .syntax import (
+    BuiltinLiteral,
+    DConst,
+    DVar,
+    DatalogError,
+    Literal,
+    Program,
+    Rule,
+)
+
+__all__ = ["DatalogParseError", "parse_program"]
+
+
+class DatalogParseError(DatalogError):
+    """A syntax error in a textual Datalog program."""
+
+    def __init__(self, message: str, line: int, column: int):
+        super().__init__(f"{line}:{column}: {message}")
+        self.line = line
+        self.column = column
+
+
+_PUNCT = ("?-", ":-", "!=", "(", ")", "{", "}", "[", "]", ",", ".", "=")
+
+
+class _Lexer:
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.tokens: list[tuple[str, str, int, int]] = []
+        self._lex()
+        self.index = 0
+
+    def _position(self, pos: int) -> tuple[int, int]:
+        line = self.text.count("\n", 0, pos) + 1
+        column = pos - (self.text.rfind("\n", 0, pos) + 1) + 1
+        return line, column
+
+    def _error(self, message: str, pos: int) -> DatalogParseError:
+        line, column = self._position(pos)
+        return DatalogParseError(message, line, column)
+
+    def _lex(self) -> None:
+        text, n = self.text, len(self.text)
+        while self.pos < n:
+            ch = text[self.pos]
+            if ch.isspace():
+                self.pos += 1
+                continue
+            if ch == "#":
+                end = text.find("\n", self.pos)
+                self.pos = n if end < 0 else end + 1
+                continue
+            start = self.pos
+            if ch == "'":
+                end = text.find("'", start + 1)
+                if end < 0:
+                    raise self._error("unterminated atom quote", start)
+                self.tokens.append(("atom", text[start + 1:end],
+                                    *self._position(start)))
+                self.pos = end + 1
+                continue
+            two = text[start:start + 2]
+            if two in _PUNCT:
+                self.tokens.append(("punct", two, *self._position(start)))
+                self.pos += 2
+                continue
+            if ch in _PUNCT:
+                self.tokens.append(("punct", ch, *self._position(start)))
+                self.pos += 1
+                continue
+            if ch.isdigit() or (ch == "-" and text[start + 1:start + 2].isdigit()):
+                end = start + 1
+                while end < n and text[end].isdigit():
+                    end += 1
+                self.tokens.append(("number", text[start:end],
+                                    *self._position(start)))
+                self.pos = end
+                continue
+            if ch.isalpha() or ch == "_":
+                end = start
+                while end < n and (text[end].isalnum() or text[end] == "_"):
+                    end += 1
+                self.tokens.append(("name", text[start:end],
+                                    *self._position(start)))
+                self.pos = end
+                continue
+            raise self._error(f"unexpected character {ch!r}", start)
+
+    # -- token cursor ---------------------------------------------------
+    def peek(self) -> tuple[str, str, int, int] | None:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def next(self) -> tuple[str, str, int, int]:
+        token = self.peek()
+        if token is None:
+            line, column = self._position(len(self.text))
+            raise DatalogParseError("unexpected end of program",
+                                    line, column)
+        self.index += 1
+        return token
+
+    def expect(self, value: str) -> tuple[str, str, int, int]:
+        token = self.next()
+        if token[1] != value:
+            raise DatalogParseError(
+                f"expected {value!r}, found {token[1]!r}",
+                token[2], token[3])
+        return token
+
+    def accept(self, value: str) -> bool:
+        token = self.peek()
+        if token is not None and token[1] == value:
+            self.index += 1
+            return True
+        return False
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.lexer = _Lexer(text)
+
+    def _fail(self, message: str,
+              token: tuple[str, str, int, int]) -> DatalogParseError:
+        return DatalogParseError(message, token[2], token[3])
+
+    # -- types ----------------------------------------------------------
+    def _type_text(self) -> str:
+        """Consume one type expression, returning it as text for
+        :func:`repro.objects.types.parse_type` (via Program's coercion)."""
+        token = self.lexer.next()
+        if token[1] == "U":
+            return "U"
+        if token[1] == "{":
+            inner = self._type_text()
+            self.lexer.expect("}")
+            return "{" + inner + "}"
+        if token[1] == "[":
+            parts = [self._type_text()]
+            while self.lexer.accept(","):
+                parts.append(self._type_text())
+            self.lexer.expect("]")
+            return "[" + ",".join(parts) + "]"
+        raise self._fail(f"expected a type, found {token[1]!r}", token)
+
+    # -- terms ----------------------------------------------------------
+    def _const_value(self) -> object:
+        token = self.lexer.next()
+        kind, value = token[0], token[1]
+        if kind == "atom":
+            return value
+        if kind == "number":
+            return int(value)
+        if value == "{":
+            elements = []
+            if not self.lexer.accept("}"):
+                elements.append(self._const_value())
+                while self.lexer.accept(","):
+                    elements.append(self._const_value())
+                self.lexer.expect("}")
+            return frozenset(elements)
+        if value == "[":
+            items = [self._const_value()]
+            while self.lexer.accept(","):
+                items.append(self._const_value())
+            self.lexer.expect("]")
+            return tuple(items)
+        raise self._fail(f"expected a constant, found {value!r}", token)
+
+    def _term(self) -> DVar | DConst:
+        token = self.lexer.peek()
+        if token is None:
+            return DConst(self._const_value())  # raises end-of-program
+        if token[0] == "name" and token[1][:1].islower():
+            self.lexer.next()
+            return DVar(token[1])
+        if token[0] == "name":
+            raise self._fail(
+                f"{token[1]!r} reads as a predicate here; variables are "
+                "lowercase-initial and atoms are quoted ('a')", token)
+        return DConst(self._const_value())
+
+    # -- literals -------------------------------------------------------
+    def _relation_literal(self, positive: bool) -> Literal:
+        token = self.lexer.next()
+        if token[0] != "name":
+            raise self._fail(
+                f"expected a predicate name, found {token[1]!r}", token)
+        predicate = token[1]
+        self.lexer.expect("(")
+        terms = [self._term()]
+        while self.lexer.accept(","):
+            terms.append(self._term())
+        self.lexer.expect(")")
+        try:
+            return Literal(predicate, terms, positive)
+        except DatalogError as exc:
+            raise self._fail(str(exc), token)
+
+    def _body_literal(self) -> Literal | BuiltinLiteral:
+        token = self.lexer.peek()
+        assert token is not None
+        negated = False
+        if token[0] == "name" and token[1] == "not":
+            after = (self.lexer.tokens[self.lexer.index + 1]
+                     if self.lexer.index + 1 < len(self.lexer.tokens)
+                     else None)
+            # ``not P(...)`` — but ``not in``/``not sub`` belongs to a
+            # builtin and is handled after the left term below.
+            if (after is not None and after[0] == "name"
+                    and after[1] not in ("in", "sub")
+                    and not after[1][:1].islower()):
+                self.lexer.next()
+                negated = True
+                token = self.lexer.peek()
+                assert token is not None
+        if (not negated and token[0] == "name"
+                and not token[1][:1].islower()):
+            after = (self.lexer.tokens[self.lexer.index + 1]
+                     if self.lexer.index + 1 < len(self.lexer.tokens)
+                     else None)
+            if after is not None and after[1] == "(":
+                return self._relation_literal(True)
+        if negated:
+            return self._relation_literal(False)
+        # Builtin: TERM [not] (= | != | in | sub) TERM
+        left = self._term()
+        op_token = self.lexer.next()
+        positive = True
+        op = op_token[1]
+        if op == "not":
+            positive = False
+            op_token = self.lexer.next()
+            op = op_token[1]
+        if op == "!=":
+            op, positive = "=", not positive
+        if op not in ("=", "in", "sub"):
+            raise self._fail(
+                f"expected a builtin operator, found {op!r}", op_token)
+        right = self._term()
+        return BuiltinLiteral(op, left, right, positive)
+
+    # -- statements -----------------------------------------------------
+    def parse(self) -> tuple[Program, Literal | None]:
+        idb_types: dict[str, list[str]] = {}
+        rules: list[Rule] = []
+        query: Literal | None = None
+        while True:
+            token = self.lexer.peek()
+            if token is None:
+                break
+            if token[0] == "name" and token[1] == "idb":
+                self.lexer.next()
+                name_token = self.lexer.next()
+                if name_token[0] != "name":
+                    raise self._fail(
+                        "expected a predicate name after 'idb'", name_token)
+                if name_token[1] in idb_types:
+                    raise self._fail(
+                        f"duplicate idb declaration for {name_token[1]!r}",
+                        name_token)
+                self.lexer.expect("(")
+                types = [self._type_text()]
+                while self.lexer.accept(","):
+                    types.append(self._type_text())
+                self.lexer.expect(")")
+                self.lexer.expect(".")
+                idb_types[name_token[1]] = types
+                continue
+            if token[1] == "?-":
+                self.lexer.next()
+                if query is not None:
+                    raise self._fail("only one ?- query is allowed", token)
+                query = self._relation_literal(True)
+                self.lexer.expect(".")
+                continue
+            head = self._relation_literal(True)
+            body: list[Literal | BuiltinLiteral] = []
+            if self.lexer.accept(":-"):
+                body.append(self._body_literal())
+                while self.lexer.accept(","):
+                    body.append(self._body_literal())
+            self.lexer.expect(".")
+            try:
+                rules.append(Rule(head, body))
+            except DatalogError as exc:
+                raise self._fail(str(exc), token)
+        try:
+            program = Program(rules, {name: tuple(types)
+                                      for name, types in idb_types.items()})
+        except DatalogError as exc:
+            raise DatalogParseError(str(exc), 1, 1)
+        return program, query
+
+
+def parse_program(text: str) -> tuple[Program, Literal | None]:
+    """Parse a textual Datalog program; see the module docstring.
+
+    Returns ``(program, query)`` where ``query`` is the optional ``?-``
+    literal (None when the text declares none).
+    """
+    return _Parser(text).parse()
+
+
+def looks_like_program(text: str) -> bool:
+    """Heuristic: does ``text`` read as a Datalog program rather than a
+    CALC query?  Used by the CLI to route bare query arguments."""
+    stripped = text.lstrip()
+    return (":-" in text or stripped.startswith("idb ")
+            or stripped.startswith("?-"))

@@ -20,13 +20,14 @@ is the deductive cousin of Section 5's range restriction.
 
 from __future__ import annotations
 
-from typing import Iterable, Union
+from typing import Iterable, NamedTuple, Union
 
 from ..objects.types import TypeLike, as_type
 from ..objects.values import make_value
 
 __all__ = [
     "DatalogError",
+    "DepEdge",
     "DVar",
     "DConst",
     "DTerm",
@@ -35,6 +36,17 @@ __all__ = [
     "Rule",
     "Program",
 ]
+
+
+class DepEdge(NamedTuple):
+    """One edge of the predicate dependency graph: the rule head
+    ``source`` depends on the body predicate ``target``; ``positive``
+    records the polarity of the body occurrence.  Both polarities can
+    coexist for the same (source, target) pair."""
+
+    source: str
+    target: str
+    positive: bool
 
 
 class DatalogError(Exception):
@@ -259,6 +271,33 @@ class Program:
                         and literal.predicate not in self.idb_types):
                     result.add(literal.predicate)
         return frozenset(result)
+
+    def predicates(self) -> frozenset[str]:
+        """Every predicate name the program mentions (IDB and EDB)."""
+        return self.idb_predicates | self.edb_predicates() | frozenset(
+            rule.head.predicate for rule in self.rules
+        )
+
+    def rules_for(self, predicate: str) -> tuple[Rule, ...]:
+        """The rules whose head is ``predicate`` (program order)."""
+        return tuple(rule for rule in self.rules
+                     if rule.head.predicate == predicate)
+
+    def dependency_edges(self) -> frozenset[DepEdge]:
+        """The labelled predicate dependency graph.
+
+        ``DepEdge(P, Q, positive)`` is present when some rule with head
+        ``P`` has a (possibly negated) body literal over ``Q``.
+        Built-in literals contribute no edges: they relate values, not
+        predicates.
+        """
+        edges: set[DepEdge] = set()
+        for rule in self.rules:
+            for literal in rule.body:
+                if isinstance(literal, Literal):
+                    edges.add(DepEdge(rule.head.predicate,
+                                      literal.predicate, literal.positive))
+        return frozenset(edges)
 
     def level(self) -> tuple[int, int]:
         """Max set height / tuple width among declared IDB column types

@@ -9,6 +9,7 @@ citations, exact big-int cost estimates and fix suggestions.  See
 :mod:`repro.lint.diagnostics` for the code registry.
 """
 
+from .adornment import AdornmentResult, Blocker, adorn_program
 from .datalog import lint_program
 from .diagnostics import (
     CODES,
@@ -19,16 +20,29 @@ from .diagnostics import (
     explain,
 )
 from .engine import REFERENCE_ATOMS, lint_query, lint_source
+from .program import (
+    ProgramAnalysis,
+    RoutingVerdict,
+    analyze_program,
+    run_program_passes,
+)
 
 __all__ = [
+    "AdornmentResult",
+    "Blocker",
     "CODES",
     "CodeInfo",
     "Diagnostic",
     "LintReport",
+    "ProgramAnalysis",
     "REFERENCE_ATOMS",
+    "RoutingVerdict",
     "Severity",
+    "adorn_program",
+    "analyze_program",
     "explain",
     "lint_program",
     "lint_query",
     "lint_source",
+    "run_program_passes",
 ]

@@ -1,0 +1,211 @@
+"""Binding-pattern (adornment) propagation for inf-Datalog programs.
+
+The magic-sets / demand-driven rewrite (ROADMAP item 1) only pays off
+when the query's constants can be *pushed* through rule bodies: an
+adornment like ``T^bf`` says "T is demanded with its first argument
+bound and its second free".  This module computes the set of demanded
+adornments by left-to-right sideways information passing (SIP): within
+a rule body, a variable is bound once a previous positive literal (or
+the bound head arguments, or an ``=`` built-in against a constant or an
+already-bound variable) has produced it.
+
+The result is the ``ADN001`` adorned-program table and the
+``ADN002``/``ADN003`` feasibility verdict.  Feasibility here is the
+soundness envelope under which the rewrite preserves inflationary
+semantics — negation is the hazard: magic-sets over *stratified*
+negation is sound when every negated literal is fully bound at its
+body position, while negated recursion (an unstratified program) is
+outside the envelope entirely (cf. the Bourhis–Krötzsch–Rudolph
+containment fragments in PAPERS.md).
+
+A query with no constants demands the all-free adornment everywhere,
+which the rewrite maps to the identity — trivially feasible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..datalog.syntax import (
+    BuiltinLiteral,
+    DConst,
+    DVar,
+    Literal,
+    Program,
+    Rule,
+)
+
+__all__ = ["AdornedRule", "AdornmentResult", "Blocker", "adorn_program"]
+
+
+@dataclass(frozen=True)
+class Blocker:
+    """One reason the magic-sets rewrite is unsound/unprofitable here."""
+
+    rule_index: int
+    literal: str  # repr of the blocking body literal
+    kind: str  # "unbound-negation" | "negated-recursive" | "builtin"
+    reason: str
+    suggestion: str | None = None
+
+    def to_dict(self) -> dict:
+        return {"rule_index": self.rule_index, "literal": self.literal,
+                "kind": self.kind, "reason": self.reason,
+                "suggestion": self.suggestion}
+
+
+@dataclass(frozen=True)
+class AdornedRule:
+    """One rule specialized to one head adornment."""
+
+    rule_index: int
+    head_adornment: str
+    body_adornments: tuple[str, ...]  # aligned with rule.body; "" = builtin
+
+
+@dataclass
+class AdornmentResult:
+    """The adorned program: demanded adornments per IDB predicate."""
+
+    query_adornment: str
+    table: dict[str, tuple[str, ...]]  # predicate -> sorted adornments
+    adorned_rules: tuple[AdornedRule, ...]
+    blockers: tuple[Blocker, ...] = field(default_factory=tuple)
+
+    @property
+    def feasible(self) -> bool:
+        return not self.blockers
+
+
+def _adorn(literal: Literal, bound: set[str]) -> str:
+    """The b/f string of ``literal`` given the bound-variable set."""
+    out = []
+    for term in literal.terms:
+        if isinstance(term, DConst):
+            out.append("b")
+        else:
+            out.append("b" if term.name in bound else "f")
+    return "".join(out)
+
+
+def adorn_program(
+    program: Program,
+    query: Literal,
+    scc_of: Mapping[str, int] | None = None,
+    stratified: bool = True,
+) -> AdornmentResult:
+    """Propagate the query's binding pattern through the program.
+
+    ``scc_of`` (predicate -> SCC index) lets the analysis flag negated
+    literals over predicates in a *recursive* SCC containing the rule
+    head — magic sets under negated recursion is unsound.  When
+    ``stratified`` is False every negated IDB literal is already
+    covered by ``DEP002``, so only binding-level blockers are reported
+    here.
+    """
+    idb = program.idb_predicates
+    query_adornment = _adorn(query, set())
+    # Worklist of (predicate, adornment) demands not yet expanded.
+    demanded: dict[str, set[str]] = {}
+    worklist: list[tuple[str, str]] = []
+
+    def demand(predicate: str, adornment: str) -> None:
+        if predicate not in idb:
+            return
+        seen = demanded.setdefault(predicate, set())
+        if adornment not in seen:
+            seen.add(adornment)
+            worklist.append((predicate, adornment))
+
+    demand(query.predicate, query_adornment)
+    adorned_rules: list[AdornedRule] = []
+    blockers: list[Blocker] = []
+    blocker_keys: set[tuple] = set()
+
+    def block(blocker: Blocker) -> None:
+        key = (blocker.rule_index, blocker.literal, blocker.kind)
+        if key not in blocker_keys:
+            blocker_keys.add(key)
+            blockers.append(blocker)
+
+    while worklist:
+        predicate, adornment = worklist.pop()
+        for rule_index, rule in enumerate(program.rules):
+            if rule.head.predicate != predicate:
+                continue
+            bound: set[str] = set()
+            for term, mark in zip(rule.head.terms, adornment):
+                if mark == "b" and isinstance(term, DVar):
+                    bound.add(term.name)
+            body_adornments: list[str] = []
+            for literal in rule.body:
+                if isinstance(literal, BuiltinLiteral):
+                    body_adornments.append("")
+                    # ``x = c`` and ``x = y`` can *generate* bindings
+                    # left-to-right; ``in``/``sub`` only test.
+                    if literal.op == "=" and literal.positive:
+                        left, right = literal.left, literal.right
+                        left_ok = (isinstance(left, DConst)
+                                   or left.name in bound)
+                        right_ok = (isinstance(right, DConst)
+                                    or right.name in bound)
+                        if left_ok and isinstance(right, DVar):
+                            bound.add(right.name)
+                        if right_ok and isinstance(left, DVar):
+                            bound.add(left.name)
+                    continue
+                literal_adornment = _adorn(literal, bound)
+                body_adornments.append(literal_adornment)
+                if literal.positive:
+                    demand(literal.predicate, literal_adornment)
+                    # A positive relation literal generates all its
+                    # variables sideways.
+                    bound |= literal.variables()
+                    continue
+                # Negated literal: sound only when fully bound at this
+                # body position (set-difference semantics).
+                unbound = sorted(literal.variables() - bound)
+                if unbound:
+                    block(Blocker(
+                        rule_index, repr(literal), "unbound-negation",
+                        f"rule {rule_index}: negated literal "
+                        f"{literal!r} is reached with unbound variable(s) "
+                        f"{', '.join(unbound)} under adornment "
+                        f"{predicate}^{adornment}; the demand rewrite "
+                        "cannot restrict a negated literal it cannot "
+                        "fully bind",
+                        suggestion="reorder the body so positive "
+                        "literals bind "
+                        f"{', '.join(unbound)} before the negation",
+                    ))
+                elif (stratified and scc_of is not None
+                      and literal.predicate in idb
+                      and scc_of.get(literal.predicate)
+                      == scc_of.get(predicate)):
+                    # Fully bound, but negating a predicate in the same
+                    # recursive component as the head: magic sets would
+                    # have to filter a stratum it is itself defining.
+                    block(Blocker(
+                        rule_index, repr(literal), "negated-recursive",
+                        f"rule {rule_index}: {literal!r} negates a "
+                        "predicate in the head's own recursive "
+                        "component; the demand rewrite is unsound "
+                        "across this negation",
+                        suggestion="stratify: define "
+                        f"{literal.predicate!r} independently of "
+                        f"{predicate!r}",
+                    ))
+                elif literal.predicate in idb:
+                    demand(literal.predicate, literal_adornment)
+            adorned_rules.append(AdornedRule(
+                rule_index, adornment, tuple(body_adornments)))
+
+    table = {predicate: tuple(sorted(adornments))
+             for predicate, adornments in demanded.items()}
+    return AdornmentResult(
+        query_adornment=query_adornment,
+        table=table,
+        adorned_rules=tuple(adorned_rules),
+        blockers=tuple(blockers),
+    )

@@ -1,22 +1,38 @@
 """Lint pass for Datalog(not-eq) programs.
 
-A program is linted through its CALC+IFP translation
-(:func:`repro.datalog.translation.program_to_query`): translation
-failures become ``DLG001`` errors, and a successful translation is
-linted with the full query pipeline, prefixed by a ``DLG002`` note so
-readers know the remaining diagnostics are about the translated query
-(whose fresh variables are named ``_c*``/``_r*``).
+Two halves, program passes first:
+
+1. **Program-level analysis** (:mod:`repro.lint.program`): dependency /
+   stratification (``DEP*``), dead code (``DED*``), adornment
+   (``ADN*``) — native passes over the :class:`Program` itself.  The
+   resulting :class:`~repro.lint.program.ProgramAnalysis` artifact is
+   stashed on the report as ``report.analysis`` so callers (the CLI's
+   ``--json`` ``program`` section, the backend router) consume it
+   without re-running the analysis.
+2. **Translation-based lint**: the CALC+IFP translation
+   (:func:`repro.datalog.translation.program_to_query`) is linted with
+   the full query pipeline, prefixed by a ``DLG002`` note so readers
+   know the remaining diagnostics are about the translated query (whose
+   fresh variables are named ``_c*``/``_r*``).  Translation failures
+   become ``DLG001`` errors — except the structural single-IDB
+   limitation, which is ``DLG004`` INFO now that the program passes
+   analyze multi-IDB programs natively.
+
+A defensive catch-all turns analyzer bugs into ``LNT001`` errors
+instead of exceptions: lint must never crash on any program (pinned by
+the fuzz harness in ``tests/test_program_differential.py``).
 """
 
 from __future__ import annotations
 
-from ..datalog.syntax import DatalogError, Program
+from ..datalog.syntax import DatalogError, Literal, Program
 from ..datalog.translation import program_to_query
-from ..objects.schema import DatabaseSchema
+from ..objects.schema import DatabaseSchema, SchemaError
 from ..objects.types import Type
 from ..obs import get_tracer
 from .diagnostics import Diagnostic, LintReport, Severity
 from .engine import lint_query
+from .program import run_program_passes
 
 __all__ = ["lint_program"]
 
@@ -25,16 +41,50 @@ def lint_program(
     program: Program,
     schema: DatabaseSchema,
     exempt_types: frozenset[Type] | set[Type] = frozenset(),
+    query: Literal | str | None = None,
 ) -> LintReport:
-    """Lint a Datalog program via its CALC+IFP translation."""
+    """Lint a Datalog program: native program passes, then translation.
+
+    ``query`` optionally names the demanded predicate (or gives a
+    query literal whose constants seed the adornment pass); see
+    :func:`repro.lint.program.analyze_program`.
+    """
     report = LintReport()
     tracer = get_tracer()
     with tracer.span("lint.datalog", rules=len(program.rules)):
         try:
-            query = program_to_query(program, schema)
-        except DatalogError as exc:
+            report.analysis = run_program_passes(
+                report, program, schema, query)
+        except ValueError as exc:
+            # Bad query argument (unknown predicate): a real finding.
             report.add(Diagnostic("DLG001", Severity.ERROR, str(exc)))
-            tracer.count("lint.diagnostics", 1)
+            tracer.count("lint.diagnostics", len(report.diagnostics))
+            return report
+        except Exception as exc:  # pragma: no cover - analyzer bugs
+            report.add(Diagnostic(
+                "LNT001", Severity.ERROR,
+                f"program analysis crashed: {type(exc).__name__}: {exc}",
+            ))
+
+        try:
+            translated = program_to_query(program, schema)
+        except DatalogError as exc:
+            if "single-IDB" in str(exc):
+                report.add(Diagnostic(
+                    "DLG004", Severity.INFO,
+                    f"{exc}; the program-level passes above are the "
+                    "complete analysis for this program",
+                ))
+            else:
+                report.add(Diagnostic("DLG001", Severity.ERROR, str(exc)))
+            tracer.count("lint.diagnostics", len(report.diagnostics))
+            return report
+        except SchemaError as exc:
+            report.add(Diagnostic(
+                "DLG001", Severity.ERROR,
+                f"translation failed against the schema: {exc}",
+            ))
+            tracer.count("lint.diagnostics", len(report.diagnostics))
             return report
         idb = ", ".join(sorted(program.idb_types))
         report.add(Diagnostic(
@@ -43,5 +93,6 @@ def lint_program(
             "to a CALC+IFP query; diagnostics below are for the "
             "translation",
         ))
-        lint_query(query, schema, exempt_types=exempt_types, _report=report)
+        lint_query(translated, schema, exempt_types=exempt_types,
+                   _report=report)
     return report

@@ -204,6 +204,89 @@ CODES: dict[str, CodeInfo] = {
         "remaining diagnostics are for that translation.",
         "Section 6 (Datalog and the fixpoint calculus)",
     ),
+    "DLG003": CodeInfo(
+        "Datalog parse error",
+        "The program text does not conform to the textual Datalog "
+        "grammar (idb declarations, rules, an optional ?- query).",
+        "Section 3 (inf-Datalog programs as rule sets)",
+    ),
+    "DLG004": CodeInfo(
+        "translation skipped",
+        "The CALC+IFP translation covers single-IDB programs only; the "
+        "program-level passes above are the complete analysis for this "
+        "program, and no translated-query diagnostics follow.",
+        "Section 6 (single simultaneous fixpoint per translation)",
+    ),
+    "DEP001": CodeInfo(
+        "dependency and strata report",
+        "The predicate dependency graph: SCC condensation, recursion "
+        "classification (linear when every rule has at most one "
+        "positive recursive body literal), and — when no negative edge "
+        "closes a cycle — the stratum of each predicate.",
+        "Section 3 (inf-Datalog with negation); stratified Datalog "
+        "(Apt-Blair-Walker)",
+    ),
+    "DEP002": CodeInfo(
+        "negation inside a recursive component",
+        "A negative dependency edge lies inside an SCC, so the program "
+        "is not stratifiable: under inflationary evaluation its answer "
+        "depends on the stage at which rules fire, and no "
+        "stage-independent (stratified) meaning exists.",
+        "Section 3 (inflationary semantics fixes an order); "
+        "Kolaitis-Papadimitriou on inflationary vs. stratified negation",
+    ),
+    "DED001": CodeInfo(
+        "rule unreachable from the query",
+        "No dependency path leads from the query predicate to this "
+        "rule's head, so deleting the rule cannot change the query "
+        "answer.",
+        "Section 3 (only predicates the query depends on matter)",
+    ),
+    "DED002": CodeInfo(
+        "rule can never fire",
+        "A positive body literal names a predicate with no rules and no "
+        "possible EDB facts under the schema, so the body is "
+        "unsatisfiable on every instance.",
+        "Section 2 (instances populate schema relations only)",
+    ),
+    "DED003": CodeInfo(
+        "duplicate rule",
+        "The rule is literal-for-literal identical to an earlier rule; "
+        "the duplicate contributes no derivations.",
+        "Section 3 (programs are rule sets)",
+    ),
+    "ADN001": CodeInfo(
+        "adorned program",
+        "The bound/free binding patterns each IDB predicate is demanded "
+        "with, propagated from the query's constants by left-to-right "
+        "sideways information passing.",
+        "Magic sets (Bancilhon-Maier-Sagiv-Ullman); ROADMAP item 1",
+    ),
+    "ADN002": CodeInfo(
+        "magic-sets rewrite feasible",
+        "Every demanded adornment is evaluable left-to-right: negated "
+        "literals are reached fully bound and outside their head's "
+        "recursive component, so the demand-driven rewrite preserves "
+        "the inflationary answer.",
+        "Magic sets; soundness fragments of Bourhis-Krötzsch-Rudolph "
+        "(PAPERS.md)",
+    ),
+    "ADN003": CodeInfo(
+        "magic-sets rewrite blocked",
+        "Some body literal defeats demand propagation — a negated "
+        "literal reached with unbound variables, or negation into the "
+        "head's own recursive component; the blocking literal is "
+        "pinpointed in the message.",
+        "Magic sets; soundness fragments of Bourhis-Krötzsch-Rudolph "
+        "(PAPERS.md)",
+    ),
+    "LNT001": CodeInfo(
+        "internal analyzer error",
+        "A lint pass raised an unexpected exception; the report is "
+        "incomplete.  This is a bug in the analyzer, not in the "
+        "program being linted.",
+        "(not a paper property)",
+    ),
 }
 
 
@@ -289,9 +372,16 @@ class Diagnostic:
 
 @dataclass
 class LintReport:
-    """All diagnostics of one lint run, in emission order."""
+    """All diagnostics of one lint run, in emission order.
+
+    ``analysis`` carries the :class:`repro.lint.program.ProgramAnalysis`
+    artifact when the run linted a Datalog program (None otherwise), so
+    downstream consumers — the CLI's ``--json`` ``program`` section,
+    the backend router — reuse it instead of re-analyzing.
+    """
 
     diagnostics: list[Diagnostic] = field(default_factory=list)
+    analysis: object | None = None
 
     def add(self, diagnostic: Diagnostic) -> Diagnostic:
         self.diagnostics.append(diagnostic)

@@ -1,0 +1,615 @@
+"""Program-level static analysis of inf-Datalog programs.
+
+The translation-based pipeline (:mod:`repro.lint.datalog`) sees a
+Datalog program only *through* its CALC+IFP image; this module analyzes
+the program's own structure, in four passes (each a ``repro.obs`` span):
+
+1. **dependency** — the labelled predicate dependency graph
+   (:meth:`repro.datalog.syntax.Program.dependency_edges`), its Tarjan
+   SCC condensation, the stratification check (``DEP001`` strata
+   report, ``DEP002`` negation-in-a-cycle error) and a linear vs.
+   non-linear recursion classification per SCC;
+2. **dead code** — rules unreachable from the query predicate
+   (``DED001``), rules that can never fire because a positive body
+   predicate has no rules and no possible EDB facts (``DED002``), and
+   exact duplicate rules (``DED003``);
+3. **adornment** — bound/free binding-pattern propagation from the
+   query's constants (:mod:`repro.lint.adornment`): the adorned-program
+   table (``ADN001``) and the magic-sets feasibility verdict
+   (``ADN002``/``ADN003``);
+4. **routing** — one :class:`RoutingVerdict` per SCC (nonrecursive /
+   linear-recursive / stratified-recursive / unstratified), the typed
+   artifact the complexity-routed backend planner (ROADMAP item 2)
+   consumes instead of re-deriving recursion structure.
+
+The verdicts matter because they are exactly what decides *where* a
+predicate can execute: non-recursive SCCs compile to plain SQL, linear
+recursion to recursive CTEs, stratified non-linear recursion to the
+semi-naive engine, and unstratified negation only to the inflationary
+engine (cf. Grohe–Schwandtner's Datalog complexity analysis and the
+Bourhis–Krötzsch–Rudolph containment fragments in PAPERS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from ..datalog.syntax import DConst, DepEdge, Literal, Program, Rule
+from ..objects.schema import DatabaseSchema
+from ..obs import get_tracer
+from .adornment import AdornmentResult, adorn_program
+from .diagnostics import Diagnostic, LintReport, Severity
+
+__all__ = [
+    "ProgramAnalysis",
+    "RoutingVerdict",
+    "analyze_program",
+    "run_program_passes",
+]
+
+#: Version of the ``--json`` ``program`` section layout.
+PROGRAM_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class RoutingVerdict:
+    """Per-SCC execution-routing verdict for the backend planner.
+
+    Attributes:
+        scc: the member predicates, sorted.
+        recursion: ``"none"`` / ``"linear"`` / ``"nonlinear"``.
+        stratum: the SCC's stratum index, or ``None`` when the program
+            is unstratified (strata are then undefined globally).
+        negated_in_cycle: True when a negative dependency edge runs
+            inside this SCC (the local stratification violation).
+        route: ``"nonrecursive"`` | ``"linear-recursive"`` |
+            ``"stratified-recursive"`` | ``"unstratified"``.
+    """
+
+    scc: tuple[str, ...]
+    recursion: str
+    stratum: int | None
+    negated_in_cycle: bool
+    route: str
+
+    def to_dict(self) -> dict:
+        return {
+            "scc": list(self.scc),
+            "recursion": self.recursion,
+            "stratum": self.stratum,
+            "negated_in_cycle": self.negated_in_cycle,
+            "route": self.route,
+        }
+
+
+@dataclass(frozen=True)
+class DeadRule:
+    """One rule the dead-code pass condemns, and why (a ``DED*`` code)."""
+
+    index: int  # position in program.rules
+    rule: Rule
+    code: str  # "DED001" | "DED002" | "DED003"
+    reason: str
+
+    def to_dict(self) -> dict:
+        return {"index": self.index, "rule": repr(self.rule),
+                "code": self.code, "reason": self.reason}
+
+
+@dataclass
+class ProgramAnalysis:
+    """Everything the program-level passes derive, as one typed artifact."""
+
+    program: Program
+    query: Literal
+    edges: tuple[DepEdge, ...]
+    sccs: tuple[tuple[str, ...], ...]  # bottom-up topological order
+    scc_of: dict[str, int]
+    recursion: dict[int, str]  # scc index -> none | linear | nonlinear
+    strata: dict[str, int] | None  # None iff unstratified
+    negative_cycle_edges: tuple[DepEdge, ...]
+    reachable: frozenset[str]
+    dead_rules: tuple[DeadRule, ...]
+    adornment: AdornmentResult
+    routing: tuple[RoutingVerdict, ...]
+
+    @property
+    def stratified(self) -> bool:
+        return self.strata is not None
+
+    def live_program(self) -> Program:
+        """The program with every dead rule removed (same IDB types).
+
+        Deleting ``DED001``/``DED002``/``DED003`` rules is
+        semantics-preserving for the query predicate — the differential
+        harness in ``tests/test_program_differential.py`` holds this
+        module to that claim.
+        """
+        dead = {entry.index for entry in self.dead_rules}
+        return Program(
+            [rule for index, rule in enumerate(self.program.rules)
+             if index not in dead],
+            {name: types for name, types in self.program.idb_types.items()},
+        )
+
+    def to_dict(self) -> dict:
+        """The schema-versioned ``program`` section of ``lint --json``."""
+        return {
+            "schema": PROGRAM_SCHEMA_VERSION,
+            "query": repr(self.query),
+            "edges": [{"source": e.source, "target": e.target,
+                       "positive": e.positive}
+                      for e in sorted(self.edges)],
+            "sccs": [list(scc) for scc in self.sccs],
+            "stratified": self.stratified,
+            "strata": (dict(sorted(self.strata.items()))
+                       if self.strata is not None else None),
+            "reachable": sorted(self.reachable),
+            "dead_rules": [entry.to_dict() for entry in self.dead_rules],
+            "adornments": {
+                predicate: list(adornments)
+                for predicate, adornments
+                in sorted(self.adornment.table.items())
+            },
+            "magic_feasible": self.adornment.feasible,
+            "blockers": [blocker.to_dict()
+                         for blocker in self.adornment.blockers],
+            "routing": [verdict.to_dict() for verdict in self.routing],
+        }
+
+
+# ---------------------------------------------------------------------------
+# Graph machinery
+# ---------------------------------------------------------------------------
+
+def _tarjan_sccs(nodes: Iterable[str],
+                 successors: Mapping[str, set[str]]) -> list[tuple[str, ...]]:
+    """Tarjan's algorithm, iterative (programs can be deep chains).
+
+    Returns SCCs in reverse topological order of the condensation —
+    i.e. every SCC appears *after* the SCCs it depends on (bottom-up).
+    """
+    index_of: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    sccs: list[tuple[str, ...]] = []
+    counter = [0]
+
+    for root in sorted(nodes):
+        if root in index_of:
+            continue
+        # Each frame: (node, iterator over its successors).
+        work = [(root, iter(sorted(successors.get(root, ()))))]
+        index_of[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, children = work[-1]
+            advanced = False
+            for child in children:
+                if child not in index_of:
+                    index_of[child] = lowlink[child] = counter[0]
+                    counter[0] += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append(
+                        (child, iter(sorted(successors.get(child, ())))))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index_of[node]:
+                component: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                sccs.append(tuple(sorted(component)))
+    return sccs
+
+
+def _successor_map(nodes: Iterable[str],
+                   edges: Iterable[DepEdge]) -> dict[str, set[str]]:
+    result: dict[str, set[str]] = {node: set() for node in nodes}
+    for edge in edges:
+        result.setdefault(edge.source, set()).add(edge.target)
+        result.setdefault(edge.target, set())
+    return result
+
+
+def _classify_recursion(program: Program, scc: tuple[str, ...],
+                        edges: Iterable[DepEdge]) -> str:
+    """``none`` / ``linear`` / ``nonlinear`` for one SCC.
+
+    An SCC is recursive when some dependency edge stays inside it; the
+    recursion is *linear* when every rule headed in the SCC has at most
+    one positive body literal over an SCC member (the recursive-CTE
+    compilable shape), *non-linear* otherwise.
+    """
+    members = set(scc)
+    internal = any(e.source in members and e.target in members
+                   for e in edges)
+    if not internal:
+        return "none"
+    for rule in program.rules:
+        if rule.head.predicate not in members:
+            continue
+        recursive_literals = sum(
+            1 for literal in rule.body
+            if isinstance(literal, Literal) and literal.positive
+            and literal.predicate in members
+        )
+        if recursive_literals > 1:
+            return "nonlinear"
+    return "linear"
+
+
+def _compute_strata(sccs: list[tuple[str, ...]],
+                    scc_of: dict[str, int],
+                    edges: Iterable[DepEdge]) -> dict[str, int] | None:
+    """Stratum per predicate, or ``None`` if a negative edge closes a
+    cycle.  ``sccs`` must be bottom-up (dependencies first), which
+    Tarjan's emission order guarantees.
+    """
+    negative_internal = [
+        e for e in edges
+        if not e.positive and scc_of[e.source] == scc_of[e.target]
+    ]
+    if negative_internal:
+        return None
+    stratum = [0] * len(sccs)
+    for edge in sorted(edges):
+        source_scc, target_scc = scc_of[edge.source], scc_of[edge.target]
+        if source_scc == target_scc:
+            continue
+        required = stratum[target_scc] + (0 if edge.positive else 1)
+        if stratum[source_scc] < required:
+            stratum[source_scc] = required
+    # One relaxation pass suffices: bottom-up SCC order means every
+    # cross-edge goes from a later SCC to an earlier one, but replay
+    # until fixpoint to stay independent of that invariant.
+    changed = True
+    while changed:
+        changed = False
+        for edge in edges:
+            source_scc, target_scc = scc_of[edge.source], scc_of[edge.target]
+            if source_scc == target_scc:
+                continue
+            required = stratum[target_scc] + (0 if edge.positive else 1)
+            if stratum[source_scc] < required:
+                stratum[source_scc] = required
+                changed = True
+    return {predicate: stratum[index]
+            for predicate, index in scc_of.items()}
+
+
+def _reachable_from(roots: Iterable[str],
+                    successors: Mapping[str, set[str]]) -> frozenset[str]:
+    seen: set[str] = set()
+    frontier = [root for root in roots]
+    while frontier:
+        node = frontier.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        frontier.extend(successors.get(node, ()))
+    return frozenset(seen)
+
+
+def _possibly_nonempty(program: Program,
+                       schema: DatabaseSchema | None) -> frozenset[str]:
+    """Least fixpoint of "this predicate can hold at least one row".
+
+    EDB predicates are possibly nonempty when the schema declares them
+    (or when no schema is given); an IDB predicate is possibly nonempty
+    when some rule for it has every *positive* relation literal over a
+    possibly-nonempty predicate (negated literals and built-ins never
+    block a rule from firing on some instance).
+    """
+    idb = program.idb_predicates
+    nonempty: set[str] = set()
+    for predicate in program.predicates():
+        if predicate in idb:
+            continue
+        if schema is None or predicate in schema:
+            nonempty.add(predicate)
+    changed = True
+    while changed:
+        changed = False
+        for rule in program.rules:
+            if rule.head.predicate in nonempty:
+                continue
+            if all(literal.predicate in nonempty
+                   for literal in rule.body
+                   if isinstance(literal, Literal) and literal.positive):
+                nonempty.add(rule.head.predicate)
+                changed = True
+    return frozenset(nonempty)
+
+
+# ---------------------------------------------------------------------------
+# The analysis driver
+# ---------------------------------------------------------------------------
+
+def default_query(program: Program) -> Literal:
+    """The query literal assumed when none is given.
+
+    The *output* predicates — IDB predicates no rule body references —
+    are the natural roots; with several (or none), every head predicate
+    of the program counts as queried, which makes the all-free analysis
+    conservative rather than wrong.  A single root becomes the query
+    literal with fresh free variables.
+    """
+    referenced = {literal.predicate
+                  for rule in program.rules
+                  for literal in rule.body
+                  if isinstance(literal, Literal)}
+    roots = sorted(p for p in program.idb_types if p not in referenced)
+    if len(roots) != 1:
+        # Ambiguous: fall back to the first declared IDB predicate but
+        # keep every head reachable (handled by the caller passing
+        # all-heads roots to the reachability computation).
+        roots = sorted(program.idb_types)
+    name = roots[0]
+    arity = len(program.idb_types[name])
+    return Literal(name, [f"q{i}" for i in range(1, arity + 1)])
+
+
+def analyze_program(
+    program: Program,
+    schema: DatabaseSchema | None = None,
+    query: Literal | str | None = None,
+) -> ProgramAnalysis:
+    """Run the four program-level passes; returns the typed artifact.
+
+    ``query`` selects the demand entry point: a :class:`Literal`
+    (constants become bound positions for the adornment pass), a bare
+    predicate name (all positions free), or ``None`` for
+    :func:`default_query`'s root inference.  Reachability (``DED001``)
+    is judged from the query predicate when one is given or inferable;
+    with an ambiguous default every IDB predicate is treated as live.
+    """
+    explicit = query is not None
+    if isinstance(query, str):
+        if query not in program.idb_types:
+            raise ValueError(
+                f"query predicate {query!r} is not an IDB predicate "
+                f"of the program ({sorted(program.idb_types)})"
+            )
+        arity = len(program.idb_types[query])
+        query = Literal(query, [f"q{i}" for i in range(1, arity + 1)])
+    if query is None:
+        query = default_query(program)
+        referenced = {literal.predicate
+                      for rule in program.rules
+                      for literal in rule.body
+                      if isinstance(literal, Literal)}
+        roots = sorted(p for p in program.idb_types if p not in referenced)
+        explicit = len(roots) == 1  # unambiguous root: trust DED001
+    tracer = get_tracer()
+    with tracer.span("lint.program", rules=len(program.rules),
+                     query=query.predicate):
+        with tracer.span("lint.program.dependency"):
+            nodes = sorted(program.predicates() | {query.predicate})
+            edges = tuple(sorted(program.dependency_edges()))
+            successors = _successor_map(nodes, edges)
+            sccs = _tarjan_sccs(nodes, successors)
+            scc_of = {predicate: index
+                      for index, scc in enumerate(sccs)
+                      for predicate in scc}
+            recursion = {index: _classify_recursion(program, scc, edges)
+                         for index, scc in enumerate(sccs)}
+            strata = _compute_strata(sccs, scc_of, edges)
+            negative_cycle = tuple(sorted(
+                e for e in edges
+                if not e.positive and scc_of[e.source] == scc_of[e.target]
+            ))
+            tracer.count("lint.program.predicates", len(nodes))
+            tracer.count("lint.program.edges", len(edges))
+            tracer.count("lint.program.sccs", len(sccs))
+
+        with tracer.span("lint.program.deadcode"):
+            if explicit:
+                roots_for_reach = [query.predicate]
+            else:
+                roots_for_reach = sorted(program.idb_types)
+            reachable = _reachable_from(roots_for_reach, successors)
+            nonempty = _possibly_nonempty(program, schema)
+            dead: list[DeadRule] = []
+            seen_rules: dict[Rule, int] = {}
+            for index, rule in enumerate(program.rules):
+                blocking = next(
+                    (literal for literal in rule.body
+                     if isinstance(literal, Literal) and literal.positive
+                     and literal.predicate not in nonempty),
+                    None,
+                )
+                if blocking is not None:
+                    dead.append(DeadRule(
+                        index, rule, "DED002",
+                        f"body literal {blocking!r} can never hold: "
+                        f"{blocking.predicate!r} has no rules and no "
+                        "possible EDB facts under the schema",
+                    ))
+                elif rule.head.predicate not in reachable:
+                    dead.append(DeadRule(
+                        index, rule, "DED001",
+                        f"head predicate {rule.head.predicate!r} is "
+                        f"unreachable from the query predicate "
+                        f"{query.predicate!r}",
+                    ))
+                elif rule in seen_rules:
+                    dead.append(DeadRule(
+                        index, rule, "DED003",
+                        f"exact duplicate of rule {seen_rules[rule]}",
+                    ))
+                else:
+                    seen_rules[rule] = index
+            tracer.count("lint.program.dead_rules", len(dead))
+
+        with tracer.span("lint.program.adornment"):
+            adornment = adorn_program(program, query, scc_of=scc_of,
+                                      stratified=strata is not None)
+            tracer.count(
+                "lint.program.adornments",
+                sum(len(adornments)
+                    for adornments in adornment.table.values()),
+            )
+
+        with tracer.span("lint.program.routing"):
+            routing = []
+            for index, scc in enumerate(sccs):
+                negated = any(
+                    not e.positive
+                    and scc_of[e.source] == index == scc_of[e.target]
+                    for e in edges
+                )
+                kind = recursion[index]
+                if negated:
+                    route = "unstratified"
+                elif kind == "none":
+                    route = "nonrecursive"
+                elif kind == "linear":
+                    route = "linear-recursive"
+                else:
+                    route = "stratified-recursive"
+                routing.append(RoutingVerdict(
+                    scc=scc,
+                    recursion=kind,
+                    stratum=(strata[scc[0]] if strata is not None else None),
+                    negated_in_cycle=negated,
+                    route=route,
+                ))
+    return ProgramAnalysis(
+        program=program,
+        query=query,
+        edges=edges,
+        sccs=tuple(sccs),
+        scc_of=scc_of,
+        recursion=recursion,
+        strata=strata,
+        negative_cycle_edges=negative_cycle,
+        reachable=reachable,
+        dead_rules=tuple(dead),
+        adornment=adornment,
+        routing=tuple(routing),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Diagnostic emission
+# ---------------------------------------------------------------------------
+
+def _strata_text(analysis: ProgramAnalysis) -> str:
+    assert analysis.strata is not None
+    by_stratum: dict[int, list[str]] = {}
+    for predicate, stratum in analysis.strata.items():
+        by_stratum.setdefault(stratum, []).append(predicate)
+    return "; ".join(
+        f"stratum {stratum}: {', '.join(sorted(members))}"
+        for stratum, members in sorted(by_stratum.items())
+    )
+
+
+def run_program_passes(
+    report: LintReport,
+    program: Program,
+    schema: DatabaseSchema | None = None,
+    query: Literal | str | None = None,
+) -> ProgramAnalysis:
+    """Run :func:`analyze_program` and turn the artifact into
+    diagnostics on ``report`` (the native half of ``lint_program``)."""
+    analysis = analyze_program(program, schema, query)
+
+    # Pass 1: dependency / stratification.
+    recursive_sccs = [v for v in analysis.routing if v.recursion != "none"]
+    summary = (
+        f"dependency graph: {len(analysis.scc_of)} predicates, "
+        f"{len(analysis.edges)} edges, {len(analysis.sccs)} SCCs "
+        f"({len(recursive_sccs)} recursive: "
+        + (", ".join(
+            f"{{{', '.join(v.scc)}}} {v.recursion}"
+            for v in recursive_sccs) or "none")
+        + ")"
+    )
+    if analysis.stratified:
+        report.add(Diagnostic(
+            "DEP001", Severity.INFO,
+            summary + "; stratified — " + _strata_text(analysis),
+        ))
+    else:
+        report.add(Diagnostic("DEP001", Severity.INFO, summary))
+        for edge in analysis.negative_cycle_edges:
+            scc = analysis.sccs[analysis.scc_of[edge.source]]
+            report.add(Diagnostic(
+                "DEP002", Severity.ERROR,
+                f"negation of {edge.target!r} inside the recursive "
+                f"component {{{', '.join(scc)}}}: the program is not "
+                "stratifiable, so its meaning depends on the stage at "
+                "which each rule fires",
+                suggestion="break the cycle: move the negated literal "
+                           "out of the recursion, or split "
+                           f"{edge.target!r} into a lower stratum",
+            ))
+
+    # Pass 2: dead code.
+    for entry in analysis.dead_rules:
+        suggestion = None
+        if entry.code == "DED001":
+            suggestion = (f"delete rule {entry.index}, or query a "
+                          "predicate that depends on "
+                          f"{entry.rule.head.predicate!r}")
+        elif entry.code == "DED002":
+            suggestion = (f"delete rule {entry.index}, or add rules/"
+                          "schema facts for the empty predicate")
+        elif entry.code == "DED003":
+            suggestion = f"delete rule {entry.index}"
+        report.add(Diagnostic(
+            entry.code, Severity.WARNING,
+            f"rule {entry.index} ({entry.rule!r}) is dead: {entry.reason}",
+            suggestion=suggestion,
+        ))
+
+    # Pass 3: adornment.
+    adornment = analysis.adornment
+    table_text = "; ".join(
+        f"{predicate}^{{{', '.join(adornments)}}}"
+        for predicate, adornments in sorted(adornment.table.items())
+    )
+    report.add(Diagnostic(
+        "ADN001", Severity.INFO,
+        f"adorned program from query {analysis.query!r}: "
+        + (table_text or "no IDB predicate is demanded"),
+    ))
+    if adornment.feasible:
+        bound = sum(1 for ch in adornment.query_adornment if ch == "b")
+        note = ("" if bound else
+                " (trivially: the query binds no argument, so the "
+                "rewrite is the identity)")
+        report.add(Diagnostic(
+            "ADN002", Severity.INFO,
+            "magic-sets rewrite is feasible: every demanded adornment "
+            "is evaluable under left-to-right sideways information "
+            "passing" + note,
+        ))
+    else:
+        first = adornment.blockers[0]
+        report.add(Diagnostic(
+            "ADN003", Severity.WARNING,
+            "magic-sets rewrite is blocked: " + first.reason
+            + (f" (and {len(adornment.blockers) - 1} more blocker(s))"
+               if len(adornment.blockers) > 1 else ""),
+            suggestion=first.suggestion,
+        ))
+    return analysis

@@ -50,6 +50,7 @@ from .render import (
     render_tree,
     sparkline,
     summary_table,
+    titled_table,
     trace_from_json,
     trace_to_json,
 )
@@ -79,6 +80,7 @@ __all__ = [
     "metrics_table",
     "memory_table",
     "sparkline",
+    "titled_table",
     "trace_to_json",
     "trace_from_json",
     "ExportError",

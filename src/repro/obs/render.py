@@ -36,6 +36,7 @@ __all__ = [
     "metrics_table",
     "memory_table",
     "sparkline",
+    "titled_table",
     "trace_to_json",
     "trace_from_json",
 ]
@@ -114,6 +115,19 @@ def align_table(rows: list[tuple[str, ...]]) -> list[str]:
                   for i, cell in enumerate(row)).rstrip()
         for row in rows
     ]
+
+
+def titled_table(title: str, rows: list[tuple[str, ...]]) -> str:
+    """A ``-- title --`` header over an :func:`align_table` body.
+
+    The rendering behind the lint CLI's analysis tables (dependency
+    graph, strata, adorned program, routing); an empty body renders as
+    ``title: (empty)`` so callers need no special case.
+    """
+    body = align_table(rows)
+    if not body:
+        return f"-- {title} -- (empty)"
+    return "\n".join([f"-- {title} --", *body])
 
 
 def summary_table(tracer: Tracer) -> str:

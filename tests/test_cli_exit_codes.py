@@ -114,6 +114,93 @@ class TestLintCommand:
         assert "PAR001" in capsys.readouterr().out
 
 
+#: Unstratified: T and S negate each other (DEP002, ERROR).
+UNSTRATIFIED_DL = """\
+idb T({U}, {U}).
+idb S({U}, {U}).
+T(x, y) :- G(x, y), not S(x, y).
+S(x, y) :- G(x, y), not T(x, y).
+"""
+
+#: Stratified TC with a duplicated rule (DED003, WARNING).
+DEAD_RULE_DL = """\
+idb T({U}, {U}).
+T(x, y) :- G(x, y).
+T(x, y) :- G(x, y).
+T(x, y) :- T(x, z), G(z, y).
+?- T(x, y).
+"""
+
+#: Clean TC: only INFO-level findings (DEP001, ADN001/ADN002, DLG002...).
+CLEAN_DL = """\
+idb T({U}, {U}).
+T(x, y) :- G(x, y).
+T(x, y) :- T(x, z), G(z, y).
+?- T(x, y).
+"""
+
+
+class TestLintProgramCommand:
+    """Program-level diagnostics obey the same exit-code convention as
+    the query-level ones: ERROR fails by default, WARNING only under
+    ``--fail-on warning``, INFO never."""
+
+    @pytest.fixture
+    def dl_file(self, tmp_path):
+        def write(text):
+            path = tmp_path / "program.dl"
+            path.write_text(text)
+            return str(path)
+        return write
+
+    def test_program_error_is_a_finding(self, graph_file, dl_file, capsys):
+        code = main(["lint", graph_file, dl_file(UNSTRATIFIED_DL)])
+        assert code == EXIT_FINDINGS
+        assert "DEP002" in capsys.readouterr().out
+
+    def test_program_warning_respects_fail_on(self, graph_file, dl_file,
+                                              capsys):
+        path = dl_file(DEAD_RULE_DL)
+        assert main(["lint", graph_file, path]) == EXIT_OK
+        assert "DED003" in capsys.readouterr().out
+        code = main(["lint", graph_file, path, "--fail-on", "warning"])
+        assert code == EXIT_FINDINGS
+
+    def test_clean_program_ok_even_on_warning_threshold(self, graph_file,
+                                                        dl_file, capsys):
+        code = main(["lint", graph_file, dl_file(CLEAN_DL),
+                     "--fail-on", "warning"])
+        assert code == EXIT_OK
+        out = capsys.readouterr().out
+        assert "DEP001" in out and "ADN002" in out
+
+    def test_program_parse_failure_is_a_finding(self, graph_file, dl_file,
+                                                capsys):
+        code = main(["lint", graph_file, dl_file("idb T(U). T(x :- G.")])
+        assert code == EXIT_FINDINGS
+        assert "DLG003" in capsys.readouterr().out
+
+    def test_json_carries_program_section(self, graph_file, dl_file,
+                                          capsys):
+        code = main(["lint", graph_file, dl_file(CLEAN_DL), "--json"])
+        assert code == EXIT_OK
+        payload = json.loads(capsys.readouterr().out)
+        section = payload[0]["program"]
+        assert section["schema"] == 1
+        t_verdict = next(v for v in section["routing"]
+                         if "T" in v["scc"])
+        assert t_verdict["route"] == "linear-recursive"
+
+    def test_explain_renders_analysis_tables(self, graph_file, dl_file,
+                                             capsys):
+        code = main(["lint", graph_file, dl_file(CLEAN_DL), "--explain"])
+        assert code == EXIT_OK
+        out = capsys.readouterr().out
+        assert "-- dependency graph --" in out
+        assert "-- routing (per SCC, bottom-up) --" in out
+        assert "-- adorned program (query T(x, y)) --" in out
+
+
 class TestBenchCommand:
     def test_unknown_suite_exits_2_and_lists_available_suites(self, capsys):
         assert main(["bench", "--suite", "nope"]) == EXIT_ERROR

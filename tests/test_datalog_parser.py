@@ -1,0 +1,130 @@
+"""The textual Datalog format (:mod:`repro.datalog.parser`).
+
+Round-trips the grammar's constructs into the syntax objects and pins
+the error positions (1-based line:column) of :class:`DatalogParseError`.
+"""
+
+import pytest
+
+from repro.datalog import (
+    BuiltinLiteral,
+    DatalogParseError,
+    DConst,
+    DVar,
+    Literal,
+    parse_program,
+)
+from repro.datalog.parser import looks_like_program
+
+
+class TestGrammar:
+    def test_declarations_rules_and_query(self):
+        program, query = parse_program("""
+            # transitive closure
+            idb T({U}, {U}).
+            T(x, y) :- G(x, y).
+            T(x, y) :- T(x, z), G(z, y).
+            ?- T(x, y).
+        """)
+        assert sorted(program.idb_types) == ["T"]
+        assert len(program.rules) == 2
+        assert query == Literal("T", ["x", "y"])
+        assert program.level() == (1, 0)
+
+    def test_fact_rule_without_body(self):
+        program, _ = parse_program("idb T(U). T('a').")
+        assert program.rules[0].body == ()
+        assert program.rules[0].head.terms == (DConst("a"),)
+
+    def test_negated_literal_and_builtins(self):
+        program, _ = parse_program("""
+            idb T(U, U).
+            T(x, y) :- G(x, y), not G(y, x), x != y.
+        """)
+        body = program.rules[0].body
+        assert body[1] == Literal("G", ["y", "x"], positive=False)
+        assert body[2] == BuiltinLiteral("=", "x", "y", positive=False)
+
+    def test_in_sub_and_their_negations(self):
+        program, _ = parse_program("""
+            idb T(U, {U}).
+            T(x, s) :- G(x, s), x in s, x not in s, s sub s, s not sub s.
+        """)
+        ops = [(lit.op, lit.positive) for lit in program.rules[0].body[1:]]
+        assert ops == [("in", True), ("in", False),
+                       ("sub", True), ("sub", False)]
+
+    def test_nested_constants(self):
+        program, query = parse_program("""
+            idb T([U, {U}]).
+            T(['a', {'b', 'c'}]).
+            ?- T(['a', {'b', 'c'}]).
+        """)
+        constant = program.rules[0].head.terms[0]
+        assert isinstance(constant, DConst)
+        assert query.terms[0] == constant
+
+    def test_numbers_are_atom_constants(self):
+        program, _ = parse_program("idb T(U). T(42).")
+        assert program.rules[0].head.terms == (DConst(42),)
+
+    def test_variables_are_lowercase_initial(self):
+        program, _ = parse_program("idb T(U, U). T(x, y) :- G(x, y).")
+        assert all(isinstance(t, DVar)
+                   for t in program.rules[0].head.terms)
+
+    def test_query_constant_seeds_adornment_binding(self):
+        _, query = parse_program("""
+            idb T(U, U).
+            T(x, y) :- G(x, y).
+            ?- T('a', y).
+        """)
+        assert query.terms[0] == DConst("a")
+        assert query.terms[1] == DVar("y")
+
+
+class TestErrors:
+    def test_error_carries_line_and_column(self):
+        with pytest.raises(DatalogParseError) as excinfo:
+            parse_program("idb T(U).\nT(x) :- G(x,\n")
+        assert excinfo.value.line >= 2
+
+    def test_unterminated_atom(self):
+        with pytest.raises(DatalogParseError, match="unterminated"):
+            parse_program("idb T(U). T('a.")
+
+    def test_missing_dot(self):
+        with pytest.raises(DatalogParseError):
+            parse_program("idb T(U) T(x) :- G(x, x).")
+
+    def test_undeclared_idb_head(self):
+        with pytest.raises(DatalogParseError, match="undeclared"):
+            parse_program("T(x, y) :- G(x, y).")
+
+    def test_duplicate_declaration(self):
+        with pytest.raises(DatalogParseError, match="duplicate"):
+            parse_program("idb T(U). idb T(U).")
+
+    def test_two_queries_rejected(self):
+        with pytest.raises(DatalogParseError, match="one"):
+            parse_program("idb T(U). T('a'). ?- T(x). ?- T(y).")
+
+    def test_head_arity_mismatch(self):
+        with pytest.raises(DatalogParseError, match="arity"):
+            parse_program("idb T(U, U). T(x) :- G(x, x).")
+
+    def test_unexpected_character(self):
+        with pytest.raises(DatalogParseError, match="unexpected"):
+            parse_program("idb T(U). T(x) :- G(x, x) & G(x, x).")
+
+
+class TestSniffer:
+    def test_programs_are_detected(self):
+        assert looks_like_program("idb T(U). T('a').")
+        assert looks_like_program("T(x, y) :- G(x, y).")
+        assert looks_like_program("?- T(x).")
+
+    def test_calc_queries_are_not(self):
+        assert not looks_like_program("{[x:{U}] | not G(x, x)}")
+        assert not looks_like_program(
+            "{[x:{U}, y:{U}] | ifp[S(x:{U}, y:{U})](G(x,y))(x, y)}")

@@ -201,11 +201,16 @@ class TestDatalogPass:
             idb_types={"T": ["{U}", "{U}"]},
         )
         report = lint_program(program, set_graph_schema())
-        assert codes(report)[0] == "DLG002"
+        # Program-level passes come first; the translation note and the
+        # translated-query pipeline follow.
+        assert codes(report)[0] == "DEP001"
+        assert codes(report).index("DEP001") < codes(report).index("DLG002")
         assert find(report, "RR005")
         assert "PTIME" in find(report, "CPX001")[0].message
+        assert report.analysis is not None
+        assert report.analysis.stratified
 
-    def test_untranslatable_program_is_a_finding(self):
+    def test_multi_idb_program_skips_translation(self):
         program = Program(
             rules=[
                 Rule(Literal("A", ["x"]), [Literal("G", ["x", "y"])]),
@@ -214,7 +219,23 @@ class TestDatalogPass:
             idb_types={"A": ["{U}"], "B": ["{U}"]},
         )
         report = lint_program(program, set_graph_schema())
-        assert codes(report) == ["DLG001"]
+        # The single-IDB translation limit is informational now that the
+        # program passes analyze multi-IDB programs natively.
+        assert find(report, "DLG004")
+        assert not find(report, "DLG001")
+        assert find(report, "DEP001")
+        assert not report.fails()
+        assert report.analysis is not None
+
+    def test_bad_program_is_still_a_dlg001_error(self):
+        # An unknown EDB predicate defeats the translation for real
+        # (not just structurally): that stays an ERROR.
+        program = Program(
+            rules=[Rule(Literal("A", ["x"]), [Literal("Nope", ["x"])])],
+            idb_types={"A": ["{U}"]},
+        )
+        report = lint_program(program, set_graph_schema())
+        assert find(report, "DLG001")
         assert report.fails()
 
 
