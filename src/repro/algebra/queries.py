@@ -103,6 +103,7 @@ def tc_via_powerset(inst: Instance, relation: str = "G",
     pairs reachable-node x reachable-node, the best case for the
     powerset formulation; it is still ``2**(n^2)``-ish.
     """
+    tracer = get_tracer()
     edges = _edges(inst, relation)
     nodes = sorted({v for pair in edges for v in pair}, key=repr)
     candidates = [
@@ -113,9 +114,11 @@ def tc_via_powerset(inst: Instance, relation: str = "G",
         raise AlgebraError(
             f"powerset TC needs 2**{len(extra)} subsets (cap {max_subsets})"
         )
+    examined = 0
     best: frozenset | None = None
     for size in range(len(extra) + 1):
         for combo in itertools.combinations(extra, size):
+            examined += 1
             subset = edges | frozenset(combo)
             if is_transitive(subset):
                 if best is None or len(subset) < len(best):
@@ -124,5 +127,7 @@ def tc_via_powerset(inst: Instance, relation: str = "G",
             # Subsets are enumerated by increasing size, so the first
             # transitive superset found at the smallest size is minimal.
             break
+    if tracer.enabled:
+        tracer.count("algebra.powerset_subsets", examined)
     assert best is not None  # the full candidate space is transitive
     return frozenset(best)

@@ -477,6 +477,123 @@ def _run_nest_routes(n: int, strategy: str) -> dict[str, Any]:
     return {"checksum": _decoded_checksum(canonical)}
 
 
+def _run_intern_kernel(n: int, strategy: str) -> dict[str, Any]:
+    """PR 8's tentpole gate: Datalog TC on chains through three engines —
+    the naive object engine (the differential oracle), the object
+    semi-naive engine, and the interned columnar kernel (``interned`` =
+    semi-naive over dense ids with hash-index joins).  All three derive
+    the same closure; the interned run additionally reports
+    ``eval.index_builds``/``eval.index_probes`` (exactly one probe per
+    derived closure row on a chain) and ``space.interned_values`` (the
+    store holds the n atoms and nothing else)."""
+    from ..datalog import evaluate_inflationary
+    from ..workloads import chain_graph
+
+    result = evaluate_inflationary(
+        _tc_program(), chain_graph(n),
+        strategy="seminaive" if strategy == "interned" else strategy,
+        intern=strategy == "interned")
+    rows = len(result["T"])
+    if rows != _chain_closure_rows(n):
+        raise AssertionError(
+            f"{strategy} TC on chain({n}) produced {rows} rows, "
+            f"expected {_chain_closure_rows(n)}")
+    return {"checksum": _decoded_checksum(result["T"])}
+
+
+def _run_algebra_fixpoint(n: int, strategy: str) -> dict[str, Any]:
+    """E20 (ex ``bench_algebra_vs_fixpoint.py``): the conclusion's first
+    bullet — fixpoints are tractable recursion, the powerset operator is
+    not.  TC on a chain via powerset enumeration (``powerset``),
+    range-restricted CALC+IFP (``rr``), and the native loop (``loop``).
+    ``algebra.powerset_subsets`` counts the subsets the powerset route
+    examines (superpolynomial in the non-edge count); at the smallest
+    size the run also asserts the script's wall: chain(6) under a
+    ``10**6``-subset cap must raise ``AlgebraError`` while the fixpoint
+    route sails through."""
+    from ..algebra import AlgebraError, tc_via_loop, tc_via_powerset
+    from ..workloads import chain_graph, transitive_closure_query
+
+    inst = chain_graph(n)
+    if strategy == "powerset":
+        pairs = tc_via_powerset(inst)
+        if n == 3:  # the powerset wall, once per sweep
+            try:
+                tc_via_powerset(chain_graph(6), max_subsets=10 ** 6)
+            except AlgebraError:
+                pass
+            else:
+                raise AssertionError(
+                    "powerset TC on chain(6) should exceed a 10**6 cap")
+    elif strategy == "rr":
+        from ..core.safety import evaluate_range_restricted
+
+        report = evaluate_range_restricted(
+            transitive_closure_query("U"), inst)
+        pairs = frozenset((row.component(1), row.component(2))
+                          for row in report.answer)
+    elif strategy == "loop":
+        pairs = tc_via_loop(inst)
+    else:
+        raise AssertionError(f"unknown algebra-fixpoint route {strategy!r}")
+    if len(pairs) != _chain_closure_rows(n):
+        raise AssertionError(
+            f"{strategy} TC on chain({n}) produced {len(pairs)} pairs")
+    return {"checksum": _decoded_checksum(pairs)}
+
+
+def _run_code_relations(n: int, strategy: str) -> dict[str, Any]:
+    """Lemma 4.4 (ex ``bench_code_relations.py``): CODE_T dictionary
+    construction over ``n`` atoms — the successor-rule CODE_U table
+    (``u-table``) and the CODE_{U} set-type relation (``set-type``).
+    Every word the dictionary spells must equal the standard encoding,
+    and ``code.rows`` must equal the total encoded symbol count
+    (``domain_encoding_size``): polynomial for U, superpolynomial for
+    the set type.  The smallest size also spot-checks a nested
+    ``{[U,{U}]}`` dictionary."""
+    from ..machines.code_relations import code_relation, code_u_table
+    from ..objects import (
+        AtomOrder,
+        encode_value,
+        materialize_domain,
+        parse_type,
+    )
+    from ..objects.encoding import domain_encoding_size
+    from ..obs import get_tracer
+
+    order = AtomOrder.from_labels("abcdefghijklmnop"[:n])
+    if strategy == "u-table":
+        rows = code_u_table(order)
+        expected = sum(len(format(i, "b")) for i in range(n))
+        if len(rows) != expected:
+            raise AssertionError(
+                f"CODE_U over {n} atoms has {len(rows)} rows, "
+                f"expected {expected}")
+        count = len(rows)
+    elif strategy == "set-type":
+        typ = parse_type("{U}")
+        relation = code_relation(typ, order)
+        for value in materialize_domain(typ, order.atoms):
+            if relation.word_of(value) != encode_value(value, order):
+                raise AssertionError(
+                    f"CODE_{{U}} misspells {value!r} over {n} atoms")
+        if len(relation.rows) != domain_encoding_size(typ, n):
+            raise AssertionError(
+                f"CODE_{{U}} row count {len(relation.rows)} != total "
+                f"encoded symbols {domain_encoding_size(typ, n)}")
+        if n == 2:  # nested dictionary spot-check, once per sweep
+            nested_type = parse_type("{[U,{U}]}")
+            nested = code_relation(nested_type, order)
+            domain = materialize_domain(nested_type, order.atoms)
+            if nested.word_of(domain[-1]) != encode_value(domain[-1], order):
+                raise AssertionError("CODE_{[U,{U}]} misspells a word")
+        count = len(relation.rows)
+    else:
+        raise AssertionError(f"unknown code-relations route {strategy!r}")
+    get_tracer().count("code.rows", count)
+    return {"checksum": count}
+
+
 # ---------------------------------------------------------------------------
 # The registry
 # ---------------------------------------------------------------------------
@@ -995,16 +1112,97 @@ _register(Suite(
 ))
 
 
+_register(Suite(
+    name="intern-kernel",
+    title="PR 8: interned columnar kernel vs the object engines "
+          "(Datalog TC)",
+    sizes=(16, 32, 64),
+    strategies=("naive", "seminaive", "interned"),
+    run=_run_intern_kernel,
+    expectations=(
+        Expectation(metric="eval.index_probes", kind="poly",
+                    strategy="interned", max_degree=2.5,
+                    note="one probe per derived closure row: Theta(n^2) "
+                         "on a chain, never the n^3-ish scan product"),
+        Expectation(metric="space.interned_values", kind="bound",
+                    strategy="interned", bound_degree=1,
+                    bound_coefficient=2.0,
+                    note="the store holds the n atoms and nothing else"),
+    ),
+    gates=(
+        SpeedupGate(slow="naive", fast="interned", min_ratio=5.0),
+        SpeedupGate(slow="naive", fast="seminaive", min_ratio=2.0),
+    ),
+    tolerances=(
+        Tolerance(metric="datalog.rows_derived", max_ratio=0.0),
+        Tolerance(metric="ifp.stages", max_ratio=0.0),
+        Tolerance(metric="eval.index_probes", max_ratio=0.0),
+        Tolerance(metric="space.interned_values", max_ratio=0.0),
+    ),
+    agree=True,  # all three engines must return the same closure
+))
+
+_register(Suite(
+    name="algebra-fixpoint",
+    title="E20: TC via powerset algebra vs IFP vs native loop",
+    sizes=(3, 4, 5),
+    strategies=("powerset", "rr", "loop"),
+    run=_run_algebra_fixpoint,
+    expectations=(
+        Expectation(metric="algebra.powerset_subsets", kind="superpoly",
+                    strategy="powerset",
+                    note="subsets examined blow up with the non-edge "
+                         "count: the conclusion's intractable recursion"),
+    ),
+    gates=(
+        SpeedupGate(slow="powerset", fast="loop", min_ratio=5.0),
+    ),
+    tolerances=(
+        Tolerance(metric="algebra.powerset_subsets", max_ratio=0.0),
+        Tolerance(metric="ifp.stages", max_ratio=0.0),
+    ),
+    agree=True,  # all three routes must return the same closure
+))
+
+_register(Suite(
+    name="code-relations",
+    title="Lemma 4.4: CODE_T dictionaries spell the standard encodings",
+    sizes=(2, 3, 4, 5),
+    strategies=("u-table", "set-type"),
+    run=_run_code_relations,
+    expectations=(
+        Expectation(metric="code.rows", kind="bound",
+                    strategy="u-table", bound_degree=2,
+                    bound_coefficient=1.0,
+                    note="CODE_U: sum of binary lengths of 0..n-1 <= n^2"),
+        Expectation(metric="code.rows", kind="bound",
+                    strategy="set-type", bound_degree=1,
+                    bound_coefficient=2.5, bound_base=2.0,
+                    note="CODE_{U}: one row per positioned symbol of "
+                         "all 2**n set encodings — inside the "
+                         "one-exponential envelope 2.5 * n * 2**n"),
+    ),
+    gates=(
+        SpeedupGate(slow="set-type", fast="u-table",
+                    metric="code.rows", min_ratio=20.0),
+    ),
+    tolerances=(Tolerance(metric="code.rows", max_ratio=0.0),),
+    agree=False,  # the two dictionaries encode different types
+))
+
+
 #: Named groups accepted by ``repro bench --suite``.  ``tc``/``space``/
 #: ``theorems``/``analysis`` partition the registry for CI's job matrix;
 #: ``smoke`` keeps its PR 4 meaning (the original six suites).
 GROUPS: dict[str, tuple[str, ...]] = {
     "tc": ("seminaive-smoke", "tc-seminaive-dense", "calc-ifp-dense",
-           "algebra-loop", "tc-engines", "datalog-translation"),
+           "algebra-loop", "tc-engines", "datalog-translation",
+           "algebra-fixpoint"),
     "space": ("hyper-domain", "rr-space-chain"),
     "theorems": ("quantifier-tower", "sparse-collapse", "density-measures",
                  "pfp-vs-ifp", "flat-kernel", "dense-fixpoint",
-                 "nest-routes", "domain-cardinality", "induced-order"),
+                 "nest-routes", "domain-cardinality", "induced-order",
+                 "code-relations"),
     "analysis": ("lint-program",),
     "smoke": ("seminaive-smoke", "tc-seminaive-dense", "hyper-domain",
               "rr-space-chain", "calc-ifp-dense", "algebra-loop"),

@@ -122,12 +122,13 @@ def _run_query(args: argparse.Namespace, tracer) -> tuple[frozenset, str]:
     with tracer.span("parse_query"):
         query = parse_query(args.query)
     strategy = getattr(args, "strategy", "seminaive")
+    intern = getattr(args, "intern", False)
     if args.mode == "active":
         return (evaluate(query, inst, max_domain_size=args.max_domain,
-                         strategy=strategy), "active")
+                         strategy=strategy, intern=intern), "active")
     try:
-        return (evaluate_range_restricted(query, inst,
-                                          strategy=strategy).answer, "rr")
+        return (evaluate_range_restricted(query, inst, strategy=strategy,
+                                          intern=intern).answer, "rr")
     except RangeComputationError as error:
         # Only the RR-analysis rejection triggers the fallback; genuine
         # engine failures propagate instead of masquerading as "not RR".
@@ -138,7 +139,7 @@ def _run_query(args: argparse.Namespace, tracer) -> tuple[frozenset, str]:
               f"({error}); falling back to active-domain semantics",
               file=sys.stderr)
         return (evaluate(query, inst, max_domain_size=args.max_domain,
-                         strategy=strategy), "active")
+                         strategy=strategy, intern=intern), "active")
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
@@ -582,6 +583,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--strategy", choices=("naive", "seminaive"), default="seminaive",
         help="fixpoint evaluation strategy: seminaive (delta-driven, "
              "default) or naive (re-derive everything each stage)")
+    query_cmd.add_argument(
+        "--intern", action=argparse.BooleanOptionalAction, default=False,
+        help="evaluate over the interned columnar kernel (dense value "
+             "ids + indexed joins); --no-intern (default) keeps the "
+             "object engines")
     query_cmd.add_argument("--trace", action="store_true",
                            help="print the trace tree to stderr")
     query_cmd.add_argument("--stats", action="store_true",
@@ -608,6 +614,10 @@ def build_parser() -> argparse.ArgumentParser:
     profile_cmd.add_argument(
         "--strategy", choices=("naive", "seminaive"), default="seminaive",
         help="fixpoint evaluation strategy (as for the query command)")
+    profile_cmd.add_argument(
+        "--intern", action=argparse.BooleanOptionalAction, default=False,
+        help="evaluate over the interned columnar kernel "
+             "(as for the query command)")
     profile_cmd.add_argument("--json", action="store_true",
                              help="emit the trace document as JSON on stdout "
                                   "(alias for --format json)")

@@ -67,6 +67,7 @@ from .evaluation import (
 )
 from .fixpoint import (
     FixpointError,
+    IndexPool,
     PFPDivergenceError,
     ifp_stages,
     iterate_ifp,
@@ -117,8 +118,8 @@ __all__ = [
     # evaluation
     "EvalError", "Evaluator", "active_atoms", "evaluate", "evaluate_formula",
     # fixpoint
-    "FixpointError", "PFPDivergenceError", "ifp_stages", "iterate_ifp",
-    "iterate_pfp", "pfp_stages",
+    "FixpointError", "IndexPool", "PFPDivergenceError", "ifp_stages",
+    "iterate_ifp", "iterate_pfp", "pfp_stages",
     # range restriction
     "RangeComputationError", "RRResult", "analyze", "analyze_query",
     "compute_ranges", "is_range_restricted", "negate", "nnf",

@@ -37,7 +37,7 @@ bounds the number of *stage-function applications*: with
 
 from __future__ import annotations
 
-from typing import Callable, FrozenSet, Iterator, Tuple
+from typing import Callable, FrozenSet, Iterable, Iterator, Sequence, Tuple
 
 from ..obs import NullTracer, Tracer, get_tracer
 
@@ -187,6 +187,62 @@ def iterate_pfp(
             raise FixpointError(
                 f"PFP did not converge within {max_stages} stages"
             )
+
+
+class IndexPool:
+    """Lazy hash indexes over row sets, keyed on bound positions.
+
+    ``probe(source_key, rows, positions, key)`` returns the rows whose
+    projection onto ``positions`` equals ``key``, building the index
+    ``{projection: [rows]}`` for ``(source_key, positions)`` on first
+    use.  The interned engines keep one *persistent* pool for the
+    immutable EDB tables and a *fresh* pool per delta stage for the
+    mutating IDB/delta views — constructing a new pool is how an index
+    over a changed row set is invalidated, so a pool must never outlive
+    the row sets its ``source_key``s name.
+
+    Every build bumps the ``eval.index_builds`` counter and every lookup
+    ``eval.index_probes``, making the scan-vs-probe tradeoff visible to
+    the bench observatory.
+    """
+
+    __slots__ = ("_indexes", "_tracer")
+
+    _EMPTY: Tuple = ()
+
+    def __init__(self, tracer: Tracer | NullTracer | None = None):
+        self._indexes: dict[tuple, dict] = {}
+        self._tracer = get_tracer() if tracer is None else tracer
+
+    def probe(
+        self,
+        source_key: str,
+        rows: Iterable[Row],
+        positions: Tuple[int, ...],
+        key: Tuple,
+    ) -> Sequence[Row]:
+        """Rows of ``rows`` matching ``key`` on ``positions``.
+
+        ``rows`` must be the same collection on every probe for a given
+        ``source_key`` (the index is built from the first one seen).
+        """
+        index_key = (source_key, positions)
+        index = self._indexes.get(index_key)
+        if index is None:
+            index = {}
+            for row in rows:
+                projection = tuple(row[p] for p in positions)
+                bucket = index.get(projection)
+                if bucket is None:
+                    index[projection] = [row]
+                else:
+                    bucket.append(row)
+            self._indexes[index_key] = index
+            if self._tracer.enabled:
+                self._tracer.count("eval.index_builds")
+        if self._tracer.enabled:
+            self._tracer.count("eval.index_probes")
+        return index.get(key, self._EMPTY)
 
 
 def ifp_stages(stage: StageFn) -> Iterator[Rows]:

@@ -33,6 +33,20 @@ Inflationary evaluation supports two strategies:
   the delta versions after stage 1 is exact — including for programs
   with negation.
 
+Orthogonally to the strategy, ``intern=True`` runs the same plans over
+the **interned columnar kernel**: the instance is interned once into a
+:class:`repro.objects.intern.ValueStore` (rows become tuples of dense
+ids, EDB relations ``array('q')``-backed column tables), and positive
+literals probe :class:`repro.core.fixpoint.IndexPool` hash indexes keyed
+on their bound positions instead of scanning.  EDB indexes persist for
+the whole evaluation; IDB/delta views get a fresh pool per stage (their
+rows change).  Because interning is a bijection on the values in play,
+the packed states the generic fixpoint engines see are element-wise
+renamed but structurally identical — stage counts, derivation counters
+and PFP divergence (period, stage) all coincide with the object engines,
+which therefore remain the differential oracle.  Results are uninterned
+at the API boundary.
+
 Partial (PFP) semantics replaces the IDB wholesale each stage, so no
 derivation can be carried over; ``strategy`` is accepted for interface
 symmetry but both values evaluate identically.
@@ -40,11 +54,17 @@ symmetry but both values evaluate identically.
 
 from __future__ import annotations
 
-from typing import Iterator, Mapping
+from typing import Callable, Iterator, Mapping
 
-from ..core.fixpoint import iterate_ifp, iterate_ifp_delta, iterate_pfp
+from ..core.fixpoint import (
+    IndexPool,
+    iterate_ifp,
+    iterate_ifp_delta,
+    iterate_pfp,
+)
 from ..obs import get_tracer
 from ..objects.instance import Instance
+from ..objects.intern import ValueStore, intern_instance
 from ..objects.values import CSet, Value
 from .syntax import (
     BuiltinLiteral,
@@ -75,11 +95,13 @@ _DELTA = "Δ::"
 
 
 class _Database:
-    """Uniform view of EDB relations and the current IDB state.
+    """Uniform view of EDB relations and the current IDB state, over
+    plain nested values (the differential oracle).
 
     ``delta`` (when given) holds the per-predicate rows derived at the
     previous stage; rewritten rules address it through predicates named
-    ``Δ::P``.
+    ``Δ::P``.  The matching/builtin methods shared with
+    :class:`_InternedDatabase` form the protocol the planner drives.
     """
 
     def __init__(self, inst: Instance, idb: Mapping[str, frozenset[Row]],
@@ -99,99 +121,248 @@ class _Database:
         relation = self.inst.relation(predicate)
         return frozenset(tuple(row.items) for row in relation.tuples)
 
+    def term_value(self, term, env: Env):
+        if isinstance(term, DConst):
+            return term.value
+        assert isinstance(term, DVar)
+        return env.get(term.name)
 
-def _term_value(term, env: Env) -> Value | None:
-    if isinstance(term, DConst):
-        return term.value
-    assert isinstance(term, DVar)
-    return env.get(term.name)
+    def match_positive(self, literal: Literal, env: Env) -> Iterator[Env]:
+        """Join a positive relation literal against the database."""
+        for row in self.rows(literal.predicate):
+            if len(row) != len(literal.terms):
+                raise DatalogError(
+                    f"arity mismatch matching {literal!r} against a "
+                    f"{len(row)}-tuple"
+                )
+            extended = dict(env)
+            ok = True
+            for term, value in zip(literal.terms, row):
+                if isinstance(term, DConst):
+                    if term.value != value:
+                        ok = False
+                        break
+                else:
+                    bound = extended.get(term.name)
+                    if bound is None:
+                        extended[term.name] = value
+                    elif bound != value:
+                        ok = False
+                        break
+            if ok:
+                yield extended
+
+    def check_builtin(self, literal: BuiltinLiteral, env: Env) -> bool:
+        left = self.term_value(literal.left, env)
+        right = self.term_value(literal.right, env)
+        assert left is not None and right is not None
+        if literal.op == "=":
+            result = left == right
+        elif literal.op == "in":
+            if not isinstance(right, CSet):
+                raise DatalogError(f"'in' against non-set value {right!r}")
+            result = left in right
+        else:  # sub
+            if not isinstance(left, CSet) or not isinstance(right, CSet):
+                raise DatalogError("'sub' needs set values")
+            result = left.issubset(right)
+        return result == literal.positive
+
+    def generate_builtin(self, literal: BuiltinLiteral,
+                         env: Env) -> Iterator[Env] | None:
+        """Use a positive builtin as a generator if it can bind a variable.
+
+        ``x = t`` with t bound binds x; ``x in s`` with s bound
+        enumerates x.  Returns None if not applicable.
+        """
+        if not literal.positive:
+            return None
+        left_val = self.term_value(literal.left, env)
+        right_val = self.term_value(literal.right, env)
+        if literal.op == "=":
+            if left_val is None and right_val is not None \
+                    and isinstance(literal.left, DVar):
+                name = literal.left.name
+                return iter([{**env, name: right_val}])
+            if right_val is None and left_val is not None \
+                    and isinstance(literal.right, DVar):
+                name = literal.right.name
+                return iter([{**env, name: left_val}])
+            return None
+        if literal.op == "in":
+            if left_val is None and right_val is not None \
+                    and isinstance(literal.left, DVar):
+                members = self._set_members(right_val)
+                if members is None:
+                    raise DatalogError(
+                        f"'in' against non-set value "
+                        f"{self._display(right_val)!r}")
+                name = literal.left.name
+                return iter([{**env, name: element} for element in members])
+            return None
+        return None
+
+    def _set_members(self, value):
+        return value.elements if isinstance(value, CSet) else None
+
+    def _display(self, value):
+        return value
 
 
-def _is_bound(literal, env: Env) -> bool:
+class _InternedEngine:
+    """Per-evaluation interned state: the :class:`ValueStore`, the
+    columnar EDB, and the persistent EDB index pool."""
+
+    def __init__(self, program: Program, inst: Instance, tracer):
+        self.program = program
+        self.inst = inst
+        self.tracer = tracer
+        self.store, tables = intern_instance(inst)
+        self.edb_rows = {name: table.to_frozenset()
+                         for name, table in tables.items()}
+        self.edb_pool = IndexPool(tracer)
+
+    def database(self, idb: Mapping[str, frozenset[Row]],
+                 delta: Mapping[str, frozenset[Row]] | None = None
+                 ) -> "_InternedDatabase":
+        return _InternedDatabase(self, idb, delta)
+
+    def unintern_result(
+        self, result: Mapping[str, frozenset[Row]]
+    ) -> dict[str, frozenset[Row]]:
+        return {
+            name: frozenset(self.store.unintern_row(row) for row in rows)
+            for name, rows in result.items()
+        }
+
+
+class _InternedDatabase:
+    """The interned twin of :class:`_Database`: rows are tuples of dense
+    ids and positive literals probe hash indexes on bound positions.
+
+    Each stage builds a fresh instance, and with it a fresh index pool
+    for the IDB/delta views — that is the per-delta-stage invalidation;
+    the immutable EDB keeps its indexes in the engine's persistent pool.
+    """
+
+    def __init__(self, engine: _InternedEngine,
+                 idb: Mapping[str, frozenset[Row]],
+                 delta: Mapping[str, frozenset[Row]] | None = None):
+        self.engine = engine
+        self.store: ValueStore = engine.store
+        self.program = engine.program
+        self.idb = idb
+        self.delta = delta
+        self.stage_pool = IndexPool(engine.tracer)
+
+    def _source(self, predicate: str):
+        """``(index source key, rows, owning pool)`` for a predicate."""
+        if predicate.startswith(_DELTA):
+            assert self.delta is not None
+            rows = self.delta.get(predicate[len(_DELTA):], frozenset())
+            return predicate, rows, self.stage_pool
+        if predicate in self.program.idb_types:
+            return predicate, self.idb.get(predicate, frozenset()), \
+                self.stage_pool
+        rows = self.engine.edb_rows.get(predicate)
+        if rows is None:
+            self.engine.inst.relation(predicate)  # raises the usual error
+            raise AssertionError("unreachable")
+        return predicate, rows, self.engine.edb_pool
+
+    def rows(self, predicate: str) -> frozenset[Row]:
+        _, rows, _ = self._source(predicate)
+        return rows
+
+    def term_value(self, term, env: Env):
+        if isinstance(term, DConst):
+            return self.store.intern(term.value)
+        assert isinstance(term, DVar)
+        return env.get(term.name)
+
+    def match_positive(self, literal: Literal, env: Env) -> Iterator[Env]:
+        """Join a positive literal by probing the index on its bound
+        positions (constants and env-bound variables); a literal with
+        no bound position scans, exactly like the object engine."""
+        bound_positions: list[int] = []
+        bound_key: list[int] = []
+        out_positions: list[tuple[str, int]] = []
+        eq_checks: list[tuple[int, int]] = []
+        first_seen: dict[str, int] = {}
+        for position, term in enumerate(literal.terms):
+            value = self.term_value(term, env)
+            if value is not None:
+                bound_positions.append(position)
+                bound_key.append(value)
+            elif term.name in first_seen:
+                eq_checks.append((position, first_seen[term.name]))
+            else:
+                first_seen[term.name] = position
+                out_positions.append((term.name, position))
+        source_key, rows, pool = self._source(literal.predicate)
+        for row in rows:
+            if len(row) != len(literal.terms):
+                raise DatalogError(
+                    f"arity mismatch matching {literal!r} against a "
+                    f"{len(row)}-tuple"
+                )
+            break
+        if bound_positions:
+            candidates = pool.probe(source_key, rows,
+                                    tuple(bound_positions),
+                                    tuple(bound_key))
+        else:
+            candidates = rows
+        for row in candidates:
+            if any(row[p] != row[q] for p, q in eq_checks):
+                continue
+            extended = dict(env)
+            for name, position in out_positions:
+                extended[name] = row[position]
+            yield extended
+
+    def check_builtin(self, literal: BuiltinLiteral, env: Env) -> bool:
+        left = self.term_value(literal.left, env)
+        right = self.term_value(literal.right, env)
+        assert left is not None and right is not None
+        if literal.op == "=":
+            result = left == right
+        elif literal.op == "in":
+            members = self.store.set_members(right)
+            if members is None:
+                raise DatalogError(
+                    f"'in' against non-set value {self.store.value(right)!r}")
+            result = left in members
+        else:  # sub
+            left_members = self.store.set_members(left)
+            right_members = self.store.set_members(right)
+            if left_members is None or right_members is None:
+                raise DatalogError("'sub' needs set values")
+            result = left_members <= right_members
+        return result == literal.positive
+
+    generate_builtin = _Database.generate_builtin
+
+    def _set_members(self, value):
+        return self.store.set_members(value)
+
+    def _display(self, value):
+        return self.store.value(value)
+
+
+def _is_bound(literal, env: Env, db) -> bool:
     return all(
-        _term_value(t, env) is not None
+        db.term_value(t, env) is not None
         for t in (literal.terms if isinstance(literal, Literal)
                   else (literal.left, literal.right))
     )
 
 
-def _match_positive(literal: Literal, env: Env,
-                    db: _Database) -> Iterator[Env]:
-    """Join a positive relation literal against the database."""
-    for row in db.rows(literal.predicate):
-        if len(row) != len(literal.terms):
-            raise DatalogError(
-                f"arity mismatch matching {literal!r} against a "
-                f"{len(row)}-tuple"
-            )
-        extended = dict(env)
-        ok = True
-        for term, value in zip(literal.terms, row):
-            if isinstance(term, DConst):
-                if term.value != value:
-                    ok = False
-                    break
-            else:
-                bound = extended.get(term.name)
-                if bound is None:
-                    extended[term.name] = value
-                elif bound != value:
-                    ok = False
-                    break
-        if ok:
-            yield extended
+def _rule_bindings(rule: Rule, db) -> Iterator[Env]:
+    """All satisfying bindings of a rule body, via the greedy planner.
 
-
-def _check_builtin(literal: BuiltinLiteral, env: Env) -> bool:
-    left = _term_value(literal.left, env)
-    right = _term_value(literal.right, env)
-    assert left is not None and right is not None
-    if literal.op == "=":
-        result = left == right
-    elif literal.op == "in":
-        if not isinstance(right, CSet):
-            raise DatalogError(f"'in' against non-set value {right!r}")
-        result = left in right
-    else:  # sub
-        if not isinstance(left, CSet) or not isinstance(right, CSet):
-            raise DatalogError("'sub' needs set values")
-        result = left.issubset(right)
-    return result == literal.positive
-
-
-def _generate_builtin(literal: BuiltinLiteral, env: Env) -> Iterator[Env] | None:
-    """Use a positive builtin as a generator if it can bind a variable.
-
-    ``x = t`` with t bound binds x; ``x in s`` with s bound enumerates x.
-    Returns None if not applicable.
-    """
-    if not literal.positive:
-        return None
-    left_val = _term_value(literal.left, env)
-    right_val = _term_value(literal.right, env)
-    if literal.op == "=":
-        if left_val is None and right_val is not None \
-                and isinstance(literal.left, DVar):
-            name = literal.left.name
-            return iter([{**env, name: right_val}])
-        if right_val is None and left_val is not None \
-                and isinstance(literal.right, DVar):
-            name = literal.right.name
-            return iter([{**env, name: left_val}])
-        return None
-    if literal.op == "in":
-        if left_val is None and right_val is not None \
-                and isinstance(literal.left, DVar):
-            if not isinstance(right_val, CSet):
-                raise DatalogError(f"'in' against non-set value {right_val!r}")
-            name = literal.left.name
-            return iter([{**env, name: element} for element in right_val])
-        return None
-    return None
-
-
-def _rule_bindings(rule: Rule, db: _Database) -> Iterator[Env]:
-    """All satisfying bindings of a rule body, via the greedy planner."""
+    ``db`` is either database flavour; the planner only speaks the
+    shared matching protocol."""
 
     def extend(env: Env, remaining: list) -> Iterator[Env]:
         if not remaining:
@@ -201,21 +372,21 @@ def _rule_bindings(rule: Rule, db: _Database) -> Iterator[Env]:
         for position, literal in enumerate(remaining):
             rest = remaining[:position] + remaining[position + 1:]
             if isinstance(literal, Literal) and literal.positive:
-                for extended in _match_positive(literal, env, db):
+                for extended in db.match_positive(literal, env):
                     yield from extend(extended, rest)
                 return
-            if _is_bound(literal, env):
+            if _is_bound(literal, env, db):
                 if isinstance(literal, Literal):
-                    row = tuple(_term_value(t, env) for t in literal.terms)
+                    row = tuple(db.term_value(t, env) for t in literal.terms)
                     holds = row in db.rows(literal.predicate)
                     if holds == literal.positive:
                         yield from extend(env, rest)
                 else:
-                    if _check_builtin(literal, env):
+                    if db.check_builtin(literal, env):
                         yield from extend(env, rest)
                 return
             if isinstance(literal, BuiltinLiteral):
-                generated = _generate_builtin(literal, env)
+                generated = db.generate_builtin(literal, env)
                 if generated is not None:
                     for extended in generated:
                         yield from extend(extended, rest)
@@ -228,7 +399,7 @@ def _rule_bindings(rule: Rule, db: _Database) -> Iterator[Env]:
     yield from extend({}, list(rule.body))
 
 
-def _derive(rules, db: _Database,
+def _derive(rules, db,
             idb: Mapping[str, frozenset[Row]]) -> dict[str, frozenset[Row]]:
     """Fire the given rules once against ``db``; collect head rows.
 
@@ -243,7 +414,7 @@ def _derive(rules, db: _Database,
         for env in _rule_bindings(rule, db):
             row = []
             for term in rule.head.terms:
-                value = _term_value(term, env)
+                value = db.term_value(term, env)
                 if value is None:
                     raise DatalogError(
                         f"head variable unbound by body in {rule!r}"
@@ -260,10 +431,9 @@ def _derive(rules, db: _Database,
     return {name: frozenset(rows) for name, rows in derived.items()}
 
 
-def _fire_rules(program: Program, inst: Instance,
-                idb: Mapping[str, frozenset[Row]]) -> dict[str, frozenset[Row]]:
-    """One simultaneous naive application of all rules against the IDB."""
-    return _derive(program.rules, _Database(inst, idb, program), idb)
+#: A database factory: ``make_db(idb, delta=None)`` builds the per-stage
+#: database view (object-valued or interned).
+_DbFactory = Callable[..., object]
 
 
 def _delta_rules(program: Program) -> tuple[Rule, ...]:
@@ -294,7 +464,17 @@ def _check_strategy(strategy: str) -> None:
         )
 
 
-def _seminaive_stage(program: Program, inst: Instance,
+def _naive_stage(program: Program, make_db: _DbFactory):
+    """Build a naive stage function: all rules against the full IDB."""
+
+    def stage(packed: frozenset) -> frozenset:
+        idb = _unpack(packed, program)
+        return _pack(_derive(program.rules, make_db(idb), idb))
+
+    return stage
+
+
+def _seminaive_stage(program: Program, make_db: _DbFactory,
                      delta_rules: tuple[Rule, ...]):
     """Build a delta-protocol stage function for the packed IDB state.
 
@@ -310,11 +490,10 @@ def _seminaive_stage(program: Program, inst: Instance,
     def stage(packed: frozenset, packed_delta: frozenset) -> frozenset:
         idb = _unpack(packed, program)
         if not packed and not packed_delta:
-            derived = _fire_rules(program, inst, idb)
+            derived = _derive(program.rules, make_db(idb), idb)
         else:
             delta = _unpack(packed_delta, program)
-            db = _Database(inst, idb, program, delta=delta)
-            derived = _derive(delta_rules, db, idb)
+            derived = _derive(delta_rules, make_db(idb, delta), idb)
         packed_derived = _pack(derived)
         if tracer.enabled:
             tracer.count("datalog.delta_rows",
@@ -341,10 +520,23 @@ def _unpack(packed: frozenset, program: Program) -> dict[str, frozenset[Row]]:
     return {name: frozenset(rows) for name, rows in result.items()}
 
 
+def _factory(program: Program, inst: Instance, intern: bool,
+             tracer) -> tuple[_DbFactory, _InternedEngine | None]:
+    """The per-stage database factory for the chosen kernel."""
+    if not intern:
+        def make_db(idb, delta=None):
+            return _Database(inst, idb, program, delta)
+
+        return make_db, None
+    engine = _InternedEngine(program, inst, tracer)
+    return engine.database, engine
+
+
 def evaluate_inflationary(
     program: Program, inst: Instance,
     max_stages: int | None = 100_000,
     strategy: str = "seminaive",
+    intern: bool = False,
 ) -> dict[str, frozenset[Row]]:
     """Inflationary semantics: ``J_i = T(J_{i-1}) ∪ J_{i-1}``.
 
@@ -352,24 +544,29 @@ def evaluate_inflationary(
     the first stage; ``strategy="naive"`` re-fires every rule against
     the full IDB each stage.  Both produce identical results and stage
     counts (see the module docstring for why the rewriting is exact).
+    ``intern=True`` runs the chosen strategy over the interned columnar
+    kernel with indexed joins; the answer (and every counter except the
+    index telemetry) is identical.
     """
     _check_strategy(strategy)
     tracer = get_tracer()
     with tracer.span("datalog.inflationary",
                      idb=sorted(program.idb_types),
-                     strategy=strategy) as span:
+                     strategy=strategy, intern=intern) as span:
+        make_db, engine = _factory(program, inst, intern, tracer)
         if strategy == "seminaive":
             final = iterate_ifp_delta(
-                _seminaive_stage(program, inst, _delta_rules(program)),
+                _seminaive_stage(program, make_db, _delta_rules(program)),
                 max_stages, tracer)
         else:
-            def stage(packed: frozenset) -> frozenset:
-                idb = _unpack(packed, program)
-                return _pack(_fire_rules(program, inst, idb))
-
-            final = iterate_ifp(stage, max_stages, tracer)
+            final = iterate_ifp(_naive_stage(program, make_db),
+                                max_stages, tracer)
         span.set(rows=len(final))
         result = _unpack(final, program)
+        if engine is not None:
+            result = engine.unintern_result(result)
+            if tracer.enabled:
+                tracer.gauge("space.interned_values", len(engine.store))
         if tracer.enabled:
             for name in sorted(result):
                 tracer.gauge(f"space.idb[{name}]", len(result[name]))
@@ -380,27 +577,32 @@ def evaluate_partial(
     program: Program, inst: Instance,
     max_stages: int | None = 100_000,
     strategy: str = "seminaive",
+    intern: bool = False,
 ) -> dict[str, frozenset[Row]]:
     """Partial (non-inflationary) semantics: ``J_i = T(J_{i-1})``.
 
     Raises :class:`repro.core.fixpoint.PFPDivergenceError` on cycles.
     ``strategy`` is validated for interface symmetry, but the stage
     *replaces* the IDB, so there is no delta to exploit: both strategies
-    evaluate identically.
+    evaluate identically.  ``intern=True`` selects the interned kernel;
+    interning is a bijection on the values in play, so the state
+    sequence — and hence any divergence period and stage — coincides
+    with the object engine's.
     """
     _check_strategy(strategy)
-
-    def stage(packed: frozenset) -> frozenset:
-        idb = _unpack(packed, program)
-        return _pack(_fire_rules(program, inst, idb))
-
     tracer = get_tracer()
     with tracer.span("datalog.partial",
                      idb=sorted(program.idb_types),
-                     strategy=strategy) as span:
-        final = iterate_pfp(stage, max_stages, tracer)
+                     strategy=strategy, intern=intern) as span:
+        make_db, engine = _factory(program, inst, intern, tracer)
+        final = iterate_pfp(_naive_stage(program, make_db),
+                            max_stages, tracer)
         span.set(rows=len(final))
         result = _unpack(final, program)
+        if engine is not None:
+            result = engine.unintern_result(result)
+            if tracer.enabled:
+                tracer.gauge("space.interned_values", len(engine.store))
         if tracer.enabled:
             for name in sorted(result):
                 tracer.gauge(f"space.idb[{name}]", len(result[name]))
@@ -410,23 +612,22 @@ def evaluate_partial(
 def inflationary_stages(
     program: Program, inst: Instance,
     strategy: str = "seminaive",
+    intern: bool = False,
 ) -> Iterator[dict[str, frozenset[Row]]]:
     """Yield the successive inflationary stages (for tests/inspection).
 
-    The stage sequence is strategy-independent; exposing the parameter
-    lets the differential tests assert exactly that.
+    The stage sequence is strategy- and kernel-independent; exposing the
+    parameters lets the differential tests assert exactly that.
     """
     from ..core.fixpoint import ifp_delta_stages, ifp_stages
 
     _check_strategy(strategy)
+    make_db, engine = _factory(program, inst, intern, get_tracer())
     if strategy == "seminaive":
         packed_stages = ifp_delta_stages(
-            _seminaive_stage(program, inst, _delta_rules(program)))
+            _seminaive_stage(program, make_db, _delta_rules(program)))
     else:
-        def stage(packed: frozenset) -> frozenset:
-            idb = _unpack(packed, program)
-            return _pack(_fire_rules(program, inst, idb))
-
-        packed_stages = ifp_stages(stage)
+        packed_stages = ifp_stages(_naive_stage(program, make_db))
     for packed in packed_stages:
-        yield _unpack(packed, program)
+        stage = _unpack(packed, program)
+        yield engine.unintern_result(stage) if engine is not None else stage

@@ -78,6 +78,13 @@ from .io import (
     value_from_json,
     value_to_json,
 )
+from .intern import (
+    ColumnTable,
+    InternError,
+    ValueStore,
+    intern_instance,
+    type_depth,
+)
 from .encoding import (
     EncodingError,
     atom_bits,
@@ -115,6 +122,9 @@ __all__ = [
     "SerializationError", "dump_instance", "instance_from_json",
     "instance_to_json", "load_instance", "schema_from_json",
     "schema_to_json", "value_from_json", "value_to_json",
+    # intern
+    "ColumnTable", "InternError", "ValueStore", "intern_instance",
+    "type_depth",
     # encoding
     "EncodingError", "atom_bits", "decode_instance", "decode_value",
     "domain_encoding_size", "encode_atom", "encode_instance",

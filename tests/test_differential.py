@@ -1,17 +1,19 @@
-"""Differential tests: naive vs semi-naive must be indistinguishable.
+"""Differential tests: naive vs semi-naive vs interned, indistinguishable.
 
-The delta-driven strategy (PR 3's tentpole) is only an optimisation —
-on every query it must produce the same answer, the same stage count
-and the same divergence behaviour as the naive re-derive-everything
-strategy.  This suite checks that on:
+The delta-driven strategy (PR 3's tentpole) and the interned columnar
+kernel (PR 8's tentpole) are only optimisations — on every query they
+must produce the same answer, the same stage count and the same
+divergence behaviour as the naive re-derive-everything object engine.
+This suite checks that on:
 
 * every canonical workload query over its worked instances,
 * randomly generated CALC+IFP and CALC+PFP queries (hypothesis),
 * randomly generated safe inf-Datalog programs (hypothesis),
 
 including the *failure* channel: a PFP query that diverges must raise
-``PFPDivergenceError`` with the identical period and stage under both
-strategies.
+``PFPDivergenceError`` with the identical period and stage under all
+three lanes.  The naive object engine is the oracle; the interned
+engine (``intern=True``) is the candidate.
 
 Fast versions run in tier-1; ``-m slow`` runs the deeper sweeps
 (hundreds of extra examples).
@@ -46,13 +48,14 @@ DEEP = settings(max_examples=150, deadline=None,
                 suppress_health_check=[HealthCheck.too_slow])
 
 
-def _calc_outcome(query, inst, strategy):
+def _calc_outcome(query, inst, strategy, intern=False):
     """Evaluate under a fresh tracer; normalise success and divergence
     into one comparable value, alongside the total fixpoint stage count."""
     tracer = Tracer()
     with use_tracer(tracer):
         try:
-            outcome = ("ok", evaluate(query, inst, strategy=strategy))
+            outcome = ("ok", evaluate(query, inst, strategy=strategy,
+                                      intern=intern))
         except PFPDivergenceError as error:
             outcome = ("diverged", error.period, error.stage)
     stages = (tracer.counters.get("ifp.stages", 0),
@@ -63,16 +66,22 @@ def _calc_outcome(query, inst, strategy):
 def assert_calc_strategies_agree(query, inst):
     naive = _calc_outcome(query, inst, "naive")
     seminaive = _calc_outcome(query, inst, "seminaive")
-    assert naive == seminaive
+    interned = _calc_outcome(query, inst, "seminaive", intern=True)
+    assert naive == seminaive == interned
 
 
 def assert_datalog_strategies_agree(program, inst):
     naive = list(inflationary_stages(program, inst, strategy="naive"))
     seminaive = list(inflationary_stages(program, inst,
                                          strategy="seminaive"))
-    assert naive == seminaive  # identical state *sequences*, not just results
+    interned = list(inflationary_stages(program, inst,
+                                        strategy="seminaive", intern=True))
+    # Identical state *sequences*, not just final results.
+    assert naive == seminaive == interned
     assert (evaluate_inflationary(program, inst, strategy="naive")
-            == evaluate_inflationary(program, inst, strategy="seminaive"))
+            == evaluate_inflationary(program, inst, strategy="seminaive")
+            == evaluate_inflationary(program, inst, strategy="seminaive",
+                                     intern=True))
 
 
 # ---------------------------------------------------------------------------
@@ -123,7 +132,8 @@ class TestWorkloadQueries:
         q = query([x], flip(x))
         naive = _calc_outcome(q, inst, "naive")
         seminaive = _calc_outcome(q, inst, "seminaive")
-        assert naive == seminaive
+        interned = _calc_outcome(q, inst, "seminaive", intern=True)
+        assert naive == seminaive == interned
         assert naive[0][0] == "diverged"
 
 
