@@ -57,15 +57,21 @@ class BenchError(Exception):
 
 def run_point(suite: Suite, n: int, strategy: str,
               tracemalloc: bool = False,
-              memory: bool = False) -> dict[str, Any]:
+              memory: bool = False,
+              stream: Any = None) -> dict[str, Any]:
     """Measure one (suite, size, strategy) point under a fresh tracer.
 
     ``memory=True`` runs the tracer with span-level memory attribution
     (:class:`repro.obs.MemoryAttributor`, ~2x slower) and records the
     root span's traced peak as the ``space.traced_peak`` counter, so the
     observatory's space series can be fit like any engine counter.
+
+    ``stream`` (a text sink or :class:`repro.obs.StreamWriter`) makes
+    the point's tracer emit live JSONL — sequential points append
+    segments to the same sink, and a killed worker leaves a replayable
+    partial trace (:func:`repro.obs.replay_stream`).
     """
-    tracer = Tracer(memory=memory)
+    tracer = Tracer(memory=memory, stream=stream)
     if memory:
         # The attributor resets tracemalloc's peak at every span
         # boundary, so the global peak tracemalloc_peak() reads is
@@ -85,6 +91,7 @@ def run_point(suite: Suite, n: int, strategy: str,
             with use_tracer(tracer):
                 result = suite.run(n, strategy)
             seconds = time.perf_counter() - start
+        tracer.close()
         peak_bytes = peak.bytes
     else:
         start = time.perf_counter()
@@ -92,6 +99,7 @@ def run_point(suite: Suite, n: int, strategy: str,
             result = suite.run(n, strategy)
         seconds = time.perf_counter() - start
         peak_bytes = None
+    tracer.close()
     point: dict[str, Any] = {
         "n": n,
         "strategy": strategy,
@@ -301,11 +309,13 @@ def run_suite(
     strategies: tuple[str, ...] | None = None,
     tracemalloc: bool = False,
     memory: bool = False,
+    stream: Any = None,
 ) -> dict[str, Any]:
     """Run one suite serially; returns its JSON-safe result document."""
     specs = point_specs(suite, sizes, strategies)
     points = [
-        run_point(suite, n, strategy, tracemalloc, memory=memory)
+        run_point(suite, n, strategy, tracemalloc, memory=memory,
+                  stream=stream)
         for n, strategy in specs
     ]
     return build_suite_document(suite, sizes or suite.sizes,
@@ -339,6 +349,7 @@ def run_suites(
     jobs: int = 1,
     point_timeout: float | None = None,
     memory: bool = False,
+    stream: Any = None,
 ) -> dict[str, Any]:
     """Run several suites into one observatory document.
 
@@ -362,8 +373,12 @@ def run_suites(
         for suite, strategies in plan:
             documents[suite.name] = run_suite(
                 suite, sizes=sizes, strategies=strategies,
-                tracemalloc=tracemalloc, memory=memory)
+                tracemalloc=tracemalloc, memory=memory, stream=stream)
     else:
+        if stream is not None:
+            raise BenchError(
+                "--stream applies to serial runs only; sharded workers "
+                "stream through their result pipes instead")
         from .shard import run_sharded
 
         documents = run_sharded(plan, sizes=sizes, tracemalloc=tracemalloc,

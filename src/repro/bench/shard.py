@@ -39,7 +39,6 @@ platform offers it.
 
 from __future__ import annotations
 
-import sys
 import time
 from collections import deque
 from multiprocessing.connection import wait as connection_wait
@@ -71,45 +70,93 @@ def _mp_context() -> multiprocessing.context.BaseContext:
     return multiprocessing.get_context()
 
 
-def _execute_task(task: PointTask) -> dict[str, Any]:
+class _PipeSink:
+    """File-like shim a worker's :class:`repro.obs.StreamWriter` writes
+    to: each line travels up the result pipe as a ``("stream", line)``
+    message, so the scheduler holds whatever the worker measured even if
+    the worker is later hard-killed mid-point."""
+
+    __slots__ = ("_conn",)
+
+    def __init__(self, conn: Connection):
+        self._conn = conn
+
+    def write(self, text: str) -> None:
+        self._conn.send(("stream", text))
+
+    def flush(self) -> None:
+        pass
+
+
+def _execute_task(task: PointTask, stream: Any = None) -> dict[str, Any]:
     """Worker body: resolve the suite by name, measure the point."""
     from .registry import SUITES
     from .runner import run_point
 
     suite_name, n, strategy, tracemalloc, memory = task
     return run_point(SUITES[suite_name], n, strategy, tracemalloc,
-                     memory=memory)
+                     memory=memory, stream=stream)
 
 
 def _attach_resource_telemetry(point: dict[str, Any]) -> None:
     """Inject the worker process's OS-level space figures into the
     point's counters.  Meaningful only process-per-point: this process
     ran exactly this point, so its peak RSS is the point's peak RSS."""
-    try:
-        import resource
-    except ImportError:  # pragma: no cover - non-POSIX
+    from ..obs import peak_rss_bytes
+
+    rss = peak_rss_bytes()
+    if rss is None:  # pragma: no cover - non-POSIX
         return
-    ru_maxrss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    # ru_maxrss is kilobytes on Linux, bytes on macOS.
-    scale = 1 if sys.platform == "darwin" else 1024
     counters = point.setdefault("counters", {})
-    counters["space.rss_peak"] = ru_maxrss * scale
+    counters["space.rss_peak"] = rss
     if point.get("tracemalloc_peak_bytes") is not None:
         counters.setdefault("space.traced_peak",
                             point["tracemalloc_peak_bytes"])
 
 
 def _point_worker(task: PointTask, conn: Connection) -> None:
-    """Subprocess entry point: run one point, send ("ok", point) or
-    ("error", message) down the one-shot pipe, exit."""
+    """Subprocess entry point: run one point while live-streaming its
+    trace up the pipe, then send ("ok", point) or ("error", message) and
+    exit.  The stream is what survives a hard kill: the scheduler
+    salvages partial counters from it for timed-out points."""
     try:
-        point = _execute_task(task)
+        point = _execute_task(task, stream=_PipeSink(conn))
         _attach_resource_telemetry(point)
         conn.send(("ok", point))
     except Exception as error:
         conn.send(("error", f"{type(error).__name__}: {error}"))
     finally:
         conn.close()
+
+
+def _drain_stream(receiver: Connection, lines: list[str]) -> None:
+    """Pull any stream messages still buffered in a dead worker's pipe."""
+    try:
+        while receiver.poll(0):
+            kind, payload = receiver.recv()
+            if kind == "stream":
+                lines.append(payload)
+    except (EOFError, OSError):
+        pass
+
+
+def _salvage_stream(point: dict[str, Any], lines: list[str]) -> None:
+    """Recover partial telemetry for a failed point from its worker's
+    stream lines: the replayed tracer's counters become the point's,
+    flagged ``partial_telemetry`` (and erased again by
+    :func:`strip_timing`, preserving serial/sharded byte-identity)."""
+    if not lines:
+        return
+    from ..obs import StreamError, replay_stream
+
+    try:
+        tracer = replay_stream("".join(lines).splitlines())
+    except StreamError:
+        return
+    if not tracer.counters:
+        return
+    point["counters"] = dict(tracer.counters)
+    point["partial_telemetry"] = True
 
 
 def _hard_kill(process: Any) -> None:
@@ -143,6 +190,9 @@ def run_tasks(
     pending = deque(enumerate(tasks))
     #: receiving pipe end -> (task index, task, process, deadline).
     running: dict[Any, tuple[int, PointTask, Any, float | None]] = {}
+    #: receiving pipe end -> stream lines received so far (the worker's
+    #: live trace; salvaged into the point if the worker dies).
+    streams: dict[Any, list[str]] = {}
     first_point = True
 
     def launch() -> None:
@@ -172,25 +222,36 @@ def run_tasks(
                 wait_timeout = max(0.0, min(deadlines) - time.monotonic())
             ready = connection_wait(list(running), timeout=wait_timeout)
             for receiver in ready:
-                index, task, process, _ = running.pop(receiver)
+                index, task, process, _ = running[receiver]
                 _, n, strategy, _, _ = task
                 try:
                     kind, payload = receiver.recv()
                 except EOFError:
                     # The worker died without reporting (crash, kill -9).
+                    running.pop(receiver)
                     process.join()
-                    results[index] = failed_point(
+                    point = failed_point(
                         n, strategy,
                         f"worker exited with code {process.exitcode} "
                         f"before reporting a result")
-                else:
-                    process.join()
-                    if kind == "ok":
-                        results[index] = payload
-                    else:
-                        results[index] = failed_point(n, strategy, payload)
-                finally:
+                    _salvage_stream(point, streams.pop(receiver, []))
+                    results[index] = point
                     receiver.close()
+                    continue
+                if kind == "stream":
+                    # A live trace line; the worker is still measuring.
+                    streams.setdefault(receiver, []).append(payload)
+                    continue
+                running.pop(receiver)
+                lines = streams.pop(receiver, [])
+                process.join()
+                if kind == "ok":
+                    results[index] = payload
+                else:
+                    point = failed_point(n, strategy, payload)
+                    _salvage_stream(point, lines)
+                    results[index] = point
+                receiver.close()
             now = time.monotonic()
             expired = [receiver for receiver, entry in running.items()
                        if entry[3] is not None and entry[3] <= now]
@@ -198,10 +259,14 @@ def run_tasks(
                 index, task, process, _ = running.pop(receiver)
                 _, n, strategy, _, _ = task
                 _hard_kill(process)
+                lines = streams.pop(receiver, [])
+                _drain_stream(receiver, lines)
                 receiver.close()
-                results[index] = failed_point(
+                point = failed_point(
                     n, strategy,
                     f"timed out after {point_timeout}s (worker killed)")
+                _salvage_stream(point, lines)
+                results[index] = point
     finally:
         # Unwind on error paths: no worker outlives the scheduler.
         for index, task, process, _ in running.values():
@@ -269,7 +334,9 @@ def strip_timing(document: dict[str, Any]) -> dict[str, Any]:
     fields — engine counters, histograms, checksums, agreement,
     counter-metric gates and expectations — survive untouched, so two
     stripped documents of the same workload compare equal byte-for-byte
-    regardless of machine, wall time, or ``--jobs``."""
+    regardless of machine, wall time, or ``--jobs``.  Failed points lose
+    their salvaged ``partial_telemetry`` counters too: what a killed
+    worker managed to measure depends on the kill timing."""
     import copy
 
     stripped = copy.deepcopy(document)
@@ -279,6 +346,12 @@ def strip_timing(document: dict[str, Any]) -> dict[str, Any]:
                 point.pop(field, None)
             for counter in _MACHINE_COUNTERS:
                 point.get("counters", {}).pop(counter, None)
+            if point.get("failed"):
+                # Salvaged partial telemetry depends on *when* the worker
+                # was killed — erase it so serial and sharded documents
+                # of the same workload stay byte-identical.
+                point["counters"] = {}
+                point.pop("partial_telemetry", None)
         suite_doc.pop("fits", None)
         for gate in suite_doc.get("gates", ()):
             if gate.get("metric", "seconds") == "seconds":

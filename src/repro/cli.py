@@ -13,7 +13,16 @@ Commands:
   diagnostics, ``--json``, ``--explain CODE``, ``--fail-on``);
 * ``encode``   — print the standard TM-tape encoding of an instance;
 * ``density``  — density/sparsity verdicts of an instance w.r.t. <i,k>;
-* ``example``  — emit a sample instance document to get started.
+* ``example``  — emit a sample instance document to get started;
+* ``obs``      — the run ledger and trace streams: ``history``,
+  ``aggregate``, ``diff``, ``replay``.
+
+Every ``query``/``profile``/``bench``/``lint`` invocation appends a
+record to the run ledger (``.repro/ledger.jsonl``; ``--ledger PATH`` to
+redirect, ``--no-ledger`` or ``REPRO_LEDGER=""`` to disable).  The
+evaluation commands also take ``--stream FILE`` (live JSONL trace
+telemetry that survives a SIGKILL) and ``--stall-after``/
+``--stall-abort`` (a watchdog over the engines' heartbeats).
 
 The instance format is the tagged JSON of :mod:`repro.objects.io`.
 
@@ -45,13 +54,16 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import os
+import re
 import sys
 import time
 
 from .analysis.density import is_dense_witness, is_sparse_witness, log2_dom_ik
 from .analysis.statistics import instance_stats
+from .core.fixpoint import PFPDivergenceError
 from .core.parser import ParseError, parse_query
 from .core.range_restriction import RangeComputationError, analyze_query
 from .core.safety import evaluate_range_restricted
@@ -74,12 +86,27 @@ from .lint import (
 from .obs import (
     NULL_TRACER,
     ExportError,
+    RunRecorder,
+    StallError,
     Tracer,
+    Watchdog,
+    aggregate_records,
+    aggregate_table,
+    append_record,
     chrome_trace,
     collapsed_stacks,
+    default_ledger_path,
+    diff_records,
+    find_record,
+    history_table,
+    instance_checksum,
     memory_table,
     metrics_table,
+    LedgerError,
+    query_hash,
+    read_ledger,
     render_tree,
+    replay_stream,
     summary_table,
     titled_table,
     trace_to_json,
@@ -98,6 +125,96 @@ __all__ = ["EXIT_ERROR", "EXIT_FINDINGS", "EXIT_OK", "main"]
 EXIT_OK = 0
 EXIT_FINDINGS = 1
 EXIT_ERROR = 2
+
+#: Commands that append a record to the run ledger.
+_LEDGERED_COMMANDS = ("query", "profile", "bench", "lint")
+
+#: The invocation's active :class:`repro.obs.RunRecorder` (None when the
+#: ledger is disabled or the command is not ledgered) and the ledger
+#: path it will be appended to.  Command handlers feed fields in through
+#: :func:`_record`; :func:`main` finalises in its ``finally`` block, so
+#: even a run that dies with a traceback leaves a record.
+_RECORDER: RunRecorder | None = None
+_LEDGER_PATH: str | None = None
+
+
+def _make_recorder(args: argparse.Namespace) -> None:
+    """Install the module-level recorder for a ledgered invocation."""
+    global _RECORDER, _LEDGER_PATH
+    _RECORDER, _LEDGER_PATH = None, None
+    if getattr(args, "command", None) not in _LEDGERED_COMMANDS:
+        return
+    if getattr(args, "no_ledger", False):
+        return
+    path = getattr(args, "ledger", None) or default_ledger_path()
+    if path is None:  # REPRO_LEDGER="" disables recording
+        return
+    _RECORDER = RunRecorder(args.command)
+    _LEDGER_PATH = path
+
+
+def _record(**fields) -> None:
+    """Note ledger fields as a command handler learns them (no-op when
+    the run is not being recorded)."""
+    if _RECORDER is not None:
+        _RECORDER.note(**fields)
+
+
+def _record_tracer(tracer) -> None:
+    if _RECORDER is not None and isinstance(tracer, Tracer):
+        _RECORDER.attach_tracer(tracer)
+
+
+def _finalize_recorder(outcome: str, error_text: str | None) -> None:
+    """Append the invocation's record; a ledger write failure is a
+    stderr note, never a run failure."""
+    global _RECORDER, _LEDGER_PATH
+    recorder, path = _RECORDER, _LEDGER_PATH
+    _RECORDER, _LEDGER_PATH = None, None
+    if recorder is None or path is None:
+        return
+    record = recorder.finish(outcome, error=error_text)
+    try:
+        append_record(record, path)
+    except OSError as error:
+        print(f"note: could not write run ledger {path}: {error}",
+              file=sys.stderr)
+
+
+@contextlib.contextmanager
+def _stream_sink(args: argparse.Namespace):
+    """The ``--stream`` sink: None (off), stderr (``-``), or an opened
+    file that is closed when the command finishes."""
+    target = getattr(args, "stream", None)
+    if not target:
+        yield None
+    elif target == "-":
+        yield sys.stderr
+    else:
+        # Append, like the ledger: each run starts a new begin-delimited
+        # segment, and `repro obs replay --segment` selects among them.
+        with open(target, "a", encoding="utf-8") as handle:
+            yield handle
+
+
+def _wants_watchdog(args: argparse.Namespace) -> bool:
+    return (getattr(args, "stall_after", None) is not None
+            or getattr(args, "stall_abort", False))
+
+
+@contextlib.contextmanager
+def _maybe_watchdog(args: argparse.Namespace, tracer):
+    """Run the body under a stall watchdog when ``--stall-after`` or
+    ``--stall-abort`` asked for one (bare ``--stall-abort`` defaults the
+    window to 30 seconds)."""
+    if not _wants_watchdog(args) or not isinstance(tracer, Tracer):
+        yield None
+        return
+    stall = getattr(args, "stall_after", None)
+    if stall is None:
+        stall = 30.0
+    with Watchdog(tracer, stall, abort=args.stall_abort) as dog:
+        yield dog
 
 
 def _load_instance(path: str):
@@ -123,6 +240,9 @@ def _run_query(args: argparse.Namespace, tracer) -> tuple[frozenset, str]:
         query = parse_query(args.query)
     strategy = getattr(args, "strategy", "seminaive")
     intern = getattr(args, "intern", False)
+    _record(query_hash=query_hash(args.query),
+            instance_checksum=instance_checksum(inst),
+            strategy=strategy, intern=intern)
     if args.mode == "active":
         return (evaluate(query, inst, max_domain_size=args.max_domain,
                          strategy=strategy, intern=intern), "active")
@@ -143,17 +263,32 @@ def _run_query(args: argparse.Namespace, tracer) -> tuple[frozenset, str]:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    tracing = args.trace or args.stats or args.trace_json
-    tracer = Tracer() if tracing else NULL_TRACER
-    try:
-        with use_tracer(tracer):
-            answer, _ = _run_query(args, tracer)
-    except RangeComputationError as error:
-        # args.mode == "rr" (other modes fall back inside _run_query):
-        # a not-RR query is a finding, not a usage error.
-        print(f"range-restricted evaluation failed: {error}",
-              file=sys.stderr)
-        return EXIT_FINDINGS
+    with _stream_sink(args) as sink:
+        # A ledgered run needs a live tracer too: the record's headline
+        # counters (eval.*, space.*, stages) come off it.
+        tracing = (args.trace or args.stats or args.trace_json
+                   or sink is not None or _wants_watchdog(args)
+                   or _RECORDER is not None)
+        tracer = Tracer(stream=sink) if tracing else NULL_TRACER
+        _record_tracer(tracer)
+        try:
+            with use_tracer(tracer), _maybe_watchdog(args, tracer):
+                answer, mode_used = _run_query(args, tracer)
+        except RangeComputationError as error:
+            # args.mode == "rr" (other modes fall back inside
+            # _run_query): a not-RR query is a finding, not a usage
+            # error.
+            print(f"range-restricted evaluation failed: {error}",
+                  file=sys.stderr)
+            _record(outcome="error", error=str(error))
+            return EXIT_FINDINGS
+        except BaseException:
+            # Flush the stream (open spans aborted) before unwinding,
+            # so a failed run still leaves a replayable trace.
+            tracer.close()
+            raise
+        tracer.close()
+        _record(mode=mode_used, rows=len(answer))
     stats_json = args.stats and args.format == "json"
     for row in sorted(answer, key=str):
         print(_format_row(row))
@@ -229,29 +364,35 @@ def _cmd_profile(args: argparse.Namespace) -> int:
               "(or --from FILE to re-export a saved trace)",
               file=sys.stderr)
         return EXIT_ERROR
-    tracer = Tracer(memory=args.memory)
-    start = time.perf_counter()
-    try:
-        with use_tracer(tracer):
-            answer, mode_used = _run_query(args, tracer)
-    except RangeComputationError as error:
-        # args.mode == "rr": a not-RR query is a finding, as for query.
-        print(f"range-restricted evaluation failed: {error}",
-              file=sys.stderr)
-        return EXIT_FINDINGS
-    except Exception:
-        # The query died mid-evaluation.  The partial trace is exactly
-        # what a profiler user wants at that point: close() flushes the
-        # still-open spans (marked aborted) and the tree goes to stderr
-        # before the traceback.
+    with _stream_sink(args) as sink:
+        tracer = Tracer(memory=args.memory, stream=sink)
+        _record_tracer(tracer)
+        start = time.perf_counter()
+        try:
+            with use_tracer(tracer), _maybe_watchdog(args, tracer):
+                answer, mode_used = _run_query(args, tracer)
+        except RangeComputationError as error:
+            # args.mode == "rr": a not-RR query is a finding, as for
+            # query.
+            print(f"range-restricted evaluation failed: {error}",
+                  file=sys.stderr)
+            _record(outcome="error", error=str(error))
+            return EXIT_FINDINGS
+        except Exception:
+            # The query died mid-evaluation.  The partial trace is
+            # exactly what a profiler user wants at that point: close()
+            # flushes the still-open spans (marked aborted, streamed)
+            # and the tree goes to stderr before the traceback.
+            tracer.close()
+            if tracer.root.children:
+                print("-- query failed; partial trace (open spans "
+                      "aborted):", file=sys.stderr)
+                print(render_tree(tracer, times=not args.no_times),
+                      file=sys.stderr)
+            raise
+        elapsed = time.perf_counter() - start
         tracer.close()
-        if tracer.root.children:
-            print("-- query failed; partial trace (open spans aborted):",
-                  file=sys.stderr)
-            print(render_tree(tracer, times=not args.no_times),
-                  file=sys.stderr)
-        raise
-    elapsed = time.perf_counter() - start
+        _record(mode=mode_used, rows=len(answer))
     if fmt in ("chrome-trace", "flame"):
         _emit_trace(tracer, fmt, args)
         return EXIT_OK
@@ -374,13 +515,19 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"error: {error.args[0]}", file=sys.stderr)
         return EXIT_ERROR
     sizes = _parse_sizes(args.sizes) if args.sizes else None
+    _record(suites=sorted(suite.name for suite in suites), jobs=args.jobs,
+            strategy=args.strategy)
     try:
-        document = run_suites(suites, sizes=sizes, strategy=args.strategy,
-                              tracemalloc=args.tracemalloc, jobs=args.jobs,
-                              point_timeout=args.timeout,
-                              memory=args.memory)
+        with _stream_sink(args) as sink:
+            document = run_suites(suites, sizes=sizes,
+                                  strategy=args.strategy,
+                                  tracemalloc=args.tracemalloc,
+                                  jobs=args.jobs,
+                                  point_timeout=args.timeout,
+                                  memory=args.memory, stream=sink)
     except BenchError as error:
         print(f"error: {error}", file=sys.stderr)
+        _record(outcome="error", error=str(error))
         return EXIT_ERROR
     failures = document_failures(document)
     if args.baseline:
@@ -402,6 +549,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             json.dump(document, handle, indent=2)
             handle.write("\n")
         print(f"-- wrote {args.json}", file=sys.stderr)
+    _record(failures=len(failures))
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)
@@ -490,6 +638,26 @@ def _analysis_tables(analysis) -> str:
 _EXPLAIN_TABLES = "@tables"
 
 
+def _lint_verdict(reports) -> str | None:
+    """The complexity verdict a lint run decided on, for the run ledger:
+    the CPX001 Theorem 5.1 bound (``LOGSPACE``/``PTIME``/``PSPACE``) or
+    the CPX003 rejection (``no-BOUND-guarantee``).  The last verdict
+    wins when several queries were linted together."""
+    verdict = None
+    for report in reports:
+        for diagnostic in report:
+            if diagnostic.code == "CPX001":
+                match = re.search(r"evaluable in (\w+)", diagnostic.message)
+                if match:
+                    verdict = match.group(1)
+            elif diagnostic.code == "CPX003":
+                match = re.search(r"no Theorem 5\.1 (\w+) guarantee",
+                                  diagnostic.message)
+                verdict = (f"no-{match.group(1)}-guarantee" if match
+                           else "not-range-restricted")
+    return verdict
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     explain_tables = args.explain == _EXPLAIN_TABLES
     if args.explain is not None and not explain_tables:
@@ -505,13 +673,18 @@ def _cmd_lint(args: argparse.Namespace) -> int:
               "(or --explain CODE)", file=sys.stderr)
         return EXIT_ERROR
     inst = _load_instance(args.instance)
+    _record(instance_checksum=instance_checksum(inst))
     exempt = frozenset(parse_type(text) for text in args.exempt or ())
     fail_on = _parse_severity(args.fail_on)
     documents = []
+    reports = []
     failed = False
     for argument in args.queries:
         source, text = _read_query_arg(argument)
         report = _lint_argument(source, text, inst.schema, exempt)
+        reports.append(report)
+        if len(args.queries) == 1:
+            _record(query_hash=query_hash(text))
         failed = failed or report.fails(fail_on)
         if args.json:
             document = {"source": source, "query": text,
@@ -527,6 +700,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     if args.json:
         json.dump(documents, sys.stdout, indent=2)
         print()
+    _record(verdict=_lint_verdict(reports))
     return EXIT_FINDINGS if failed else EXIT_OK
 
 
@@ -560,6 +734,133 @@ def _cmd_example(args: argparse.Namespace) -> int:
     json.dump(instance_to_json(singleton_chain("abc")), sys.stdout, indent=2)
     print()
     return EXIT_OK
+
+
+# ---------------------------------------------------------------------------
+# repro obs: the reporting side of the run ledger and trace streams
+# ---------------------------------------------------------------------------
+
+def _obs_read_records(args: argparse.Namespace) -> list:
+    """The ledger records an obs subcommand reports over.  Missing,
+    malformed, or empty ledgers raise :class:`LedgerError` (a
+    ``ValueError``), which the uniform handler maps to exit 2."""
+    path = args.ledger or default_ledger_path()
+    if path is None:
+        raise LedgerError(
+            "the run ledger is disabled (REPRO_LEDGER is empty); "
+            "pass --ledger PATH")
+    records = read_ledger(path)
+    if not records:
+        raise LedgerError(f"ledger {path} has no records")
+    return records
+
+
+def _cmd_obs_history(args: argparse.Namespace) -> int:
+    records = _obs_read_records(args)
+    if args.limit > 0:
+        records = records[-args.limit:]
+    if args.format == "json":
+        print(json.dumps(records, indent=2))
+    else:
+        print(history_table(records))
+    return EXIT_OK
+
+
+def _cmd_obs_aggregate(args: argparse.Namespace) -> int:
+    aggregates = aggregate_records(_obs_read_records(args))
+    if args.format == "json":
+        print(json.dumps(aggregates, indent=2))
+    else:
+        print(aggregate_table(aggregates))
+    return EXIT_OK
+
+
+def _render_diff(diff: dict) -> str:
+    """Text rendering of a :func:`repro.obs.diff_records` document."""
+    rows = [("field", "a", "b", "delta")]
+    rows.append(("ts", str(diff["a"]["ts"]), str(diff["b"]["ts"]), ""))
+    for name, entry in diff["fields"].items():
+        rows.append((name, str(entry["a"]), str(entry["b"]),
+                     "=" if entry["equal"] else "!="))
+    wall = diff.get("wall_seconds")
+    if wall:
+        ratio = wall.get("ratio")
+        rows.append(("wall_seconds", f"{wall['a']:.4f}", f"{wall['b']:.4f}",
+                     "-" if ratio is None else f"x{ratio}"))
+    rss = diff.get("rss_peak_bytes")
+    if rss:
+        rows.append(("rss_peak_bytes", str(rss["a"]), str(rss["b"]),
+                     f"{rss['delta']:+d}"))
+    sections = [titled_table(
+        f"run {diff['a']['id']} vs {diff['b']['id']}", rows)]
+    if diff["counters"]:
+        counter_rows = [("counter", "a", "b", "delta")]
+        for name, entry in diff["counters"].items():
+            delta = entry.get("delta")
+            counter_rows.append((name, str(entry["a"]), str(entry["b"]),
+                                 "" if delta is None else f"{delta:+g}"))
+        sections.append(titled_table("counters", counter_rows))
+    return "\n".join(sections)
+
+
+def _cmd_obs_diff(args: argparse.Namespace) -> int:
+    records = _obs_read_records(args)
+    diff = diff_records(find_record(records, args.run_a),
+                        find_record(records, args.run_b))
+    if args.format == "json":
+        print(json.dumps(diff, indent=2))
+    else:
+        print(_render_diff(diff))
+    return EXIT_OK
+
+
+def _cmd_obs_replay(args: argparse.Namespace) -> int:
+    """Reconstruct a (possibly torn) ``--stream`` file as a span tree
+    and feed it through the normal render/export paths."""
+    if args.stream_file == "-":
+        tracer = replay_stream(sys.stdin, segment=args.segment)
+    else:
+        with open(args.stream_file, encoding="utf-8") as handle:
+            tracer = replay_stream(handle, segment=args.segment)
+    if args.format in ("chrome-trace", "flame"):
+        _emit_trace(tracer, args.format, args)
+    elif args.format == "json":
+        json.dump(trace_to_json(tracer), sys.stdout, indent=2)
+        print()
+    else:
+        print(render_tree(tracer, times=not args.no_times))
+        print(summary_table(tracer))
+    return EXIT_OK
+
+
+def _add_obs_flags(cmd: argparse.ArgumentParser, *, stream: bool = False,
+                   watchdog: bool = False) -> None:
+    """The shared observability flags: every ledgered command gets
+    ``--ledger``/``--no-ledger``; live-traceable commands add
+    ``--stream``; single-evaluation commands add the stall watchdog."""
+    group = cmd.add_argument_group("observability")
+    group.add_argument(
+        "--ledger", metavar="PATH",
+        help="append this run's ledger record to PATH "
+             "(default: .repro/ledger.jsonl, or $REPRO_LEDGER)")
+    group.add_argument("--no-ledger", action="store_true",
+                       help="do not record this run in the ledger")
+    if stream:
+        group.add_argument(
+            "--stream", metavar="FILE",
+            help="stream span/event/counter JSONL live to FILE ('-' = "
+                 "stderr), appending a new segment per run; a killed "
+                 "run leaves a replayable partial trace "
+                 "(repro obs replay)")
+    if watchdog:
+        group.add_argument(
+            "--stall-after", type=float, metavar="SECONDS",
+            help="dump engine counters to stderr after SECONDS without "
+                 "a heartbeat (fixpoint stage / Datalog rule)")
+        group.add_argument(
+            "--stall-abort", action="store_true",
+            help="also abort a stalled run with StallError (ledger "
+                 "outcome 'timeout'; implies --stall-after 30 if unset)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -597,6 +898,7 @@ def build_parser() -> argparse.ArgumentParser:
     query_cmd.add_argument(
         "--format", choices=("text", "json"), default="text",
         help="--stats output format: aligned table (default) or JSON")
+    _add_obs_flags(query_cmd, stream=True, watchdog=True)
     query_cmd.set_defaults(func=_cmd_query)
 
     profile_cmd = commands.add_parser(
@@ -642,6 +944,7 @@ def build_parser() -> argparse.ArgumentParser:
              "evaluating (schema-1 documents only)")
     profile_cmd.add_argument("--no-times", action="store_true",
                              help="omit wall times (deterministic output)")
+    _add_obs_flags(profile_cmd, stream=True, watchdog=True)
     profile_cmd.set_defaults(func=_cmd_profile)
 
     bench_cmd = commands.add_parser(
@@ -697,6 +1000,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--full", action="store_true",
         help="with --trend: include every counter seen in the inputs "
              "(not just the curated set) and add sparkline columns")
+    _add_obs_flags(bench_cmd, stream=True)
     bench_cmd.set_defaults(func=_cmd_bench)
 
     analyze_cmd = commands.add_parser(
@@ -728,6 +1032,7 @@ def build_parser() -> argparse.ArgumentParser:
     lint_cmd.add_argument("--exempt", action="append", metavar="TYPE",
                           help="exempt type for Theorem 5.3's RR_T "
                                "discipline (repeatable)")
+    _add_obs_flags(lint_cmd)
     lint_cmd.set_defaults(func=_cmd_lint)
 
     encode_cmd = commands.add_parser(
@@ -748,19 +1053,112 @@ def build_parser() -> argparse.ArgumentParser:
         "example", help="emit a sample instance JSON document")
     example_cmd.set_defaults(func=_cmd_example)
 
+    obs_cmd = commands.add_parser(
+        "obs",
+        help="run-ledger history, aggregates, diffs, and trace-stream "
+             "replay")
+    obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=True)
+
+    history_cmd = obs_sub.add_parser(
+        "history", help="recent ledger records as a table (or JSON)")
+    history_cmd.add_argument("-n", "--limit", type=int, default=20,
+                             metavar="N",
+                             help="show the last N records (default 20; "
+                                  "0 = all)")
+    history_cmd.add_argument("--ledger", metavar="PATH",
+                             help="ledger file to read "
+                                  "(default: .repro/ledger.jsonl)")
+    history_cmd.add_argument("--format", choices=("text", "json"),
+                             default="text")
+    history_cmd.set_defaults(func=_cmd_obs_history)
+
+    agg_cmd = obs_sub.add_parser(
+        "aggregate",
+        help="per-query-hash aggregates: runs, outcomes, wall p50/p99, "
+             "counter drift")
+    agg_cmd.add_argument("--ledger", metavar="PATH",
+                         help="ledger file to read "
+                              "(default: .repro/ledger.jsonl)")
+    agg_cmd.add_argument("--format", choices=("text", "json"),
+                         default="text")
+    agg_cmd.set_defaults(func=_cmd_obs_aggregate)
+
+    diff_cmd = obs_sub.add_parser(
+        "diff", help="field-by-field comparison of two ledger runs")
+    diff_cmd.add_argument("run_a", metavar="RUN_A",
+                          help="run id prefix, or a negative index like "
+                               "-2 (second most recent)")
+    diff_cmd.add_argument("run_b", metavar="RUN_B",
+                          help="run id prefix or negative index")
+    diff_cmd.add_argument("--ledger", metavar="PATH",
+                          help="ledger file to read "
+                               "(default: .repro/ledger.jsonl)")
+    diff_cmd.add_argument("--format", choices=("text", "json"),
+                          default="text")
+    diff_cmd.set_defaults(func=_cmd_obs_diff)
+
+    replay_cmd = obs_sub.add_parser(
+        "replay",
+        help="reconstruct a --stream JSONL file (possibly from a killed "
+             "run) as a span tree")
+    replay_cmd.add_argument("stream_file", metavar="FILE",
+                            help="stream file ('-' = stdin)")
+    replay_cmd.add_argument(
+        "--format", choices=("text", "json", "chrome-trace", "flame"),
+        default="text",
+        help="tree + counter table (default), trace JSON, Chrome Trace "
+             "Event JSON, or collapsed flamegraph stacks")
+    replay_cmd.add_argument(
+        "--flame-metric", choices=("time", "alloc"), default="time",
+        help="what --format flame weighs frames by")
+    replay_cmd.add_argument(
+        "--segment", type=int, default=-1, metavar="K",
+        help="which begin-delimited run to replay when the file holds "
+             "several (default: -1, the last)")
+    replay_cmd.add_argument("--no-times", action="store_true",
+                            help="omit wall times (deterministic output)")
+    replay_cmd.set_defaults(func=_cmd_obs_replay)
+
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    _make_recorder(args)
+    outcome, error_text = "ok", None
     try:
-        return args.func(args)
+        code = args.func(args)
+        if code == EXIT_ERROR and _RECORDER is not None \
+                and _RECORDER.outcome is None:
+            _RECORDER.outcome = "error"
+        return code
+    except StallError:
+        outcome = "timeout"
+        error_text = ("stalled: no engine heartbeat within the "
+                      "--stall-after window; aborted by the watchdog")
+        print(f"error: {error_text}", file=sys.stderr)
+        return EXIT_ERROR
+    except PFPDivergenceError as error:
+        # A diverging PFP is an expected boundary of the paper's
+        # semantics (Theorem 4.1), not a crash: friendly message,
+        # ledger outcome "divergence".
+        outcome, error_text = "divergence", str(error)
+        print(f"error: pfp diverged: {error}", file=sys.stderr)
+        return EXIT_ERROR
     except (OSError, json.JSONDecodeError, ParseError, TypeCheckError,
             SchemaError, ExportError, ValueError) as error:
         # Load/usage failures, per the exit-code convention.
+        outcome, error_text = "error", str(error)
         print(f"error: {error}", file=sys.stderr)
         return EXIT_ERROR
+    except BaseException as error:
+        # Unexpected crash: record it, then let the traceback escape.
+        outcome = "error"
+        error_text = f"{type(error).__name__}: {error}"
+        raise
+    finally:
+        _finalize_recorder(outcome, error_text)
 
 
 if __name__ == "__main__":

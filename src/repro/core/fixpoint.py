@@ -87,6 +87,7 @@ def iterate_ifp(
     current: Rows = frozenset()
     count = 0
     while True:
+        tracer.heartbeat()
         new = frozenset(stage(current)) | current
         count += 1
         if tracer.enabled:
@@ -129,6 +130,7 @@ def iterate_ifp_delta(
     delta: Rows = frozenset()
     count = 0
     while True:
+        tracer.heartbeat()
         derived = frozenset(stage(current, delta))
         count += 1
         fresh = derived - current
@@ -167,6 +169,7 @@ def iterate_pfp(
     count = 0
     history_rows = 0
     while True:
+        tracer.heartbeat()
         new = frozenset(stage(current))
         count += 1
         history_rows += len(new)

@@ -411,6 +411,7 @@ def _derive(rules, db,
     program = db.program
     derived: dict[str, set[Row]] = {name: set() for name in program.idb_types}
     for rule in rules:
+        tracer.heartbeat()
         for env in _rule_bindings(rule, db):
             row = []
             for term in rule.head.terms:

@@ -43,8 +43,24 @@ from .metrics import (
     tracemalloc_peak,
     value_node_count,
 )
+from .ledger import (
+    LedgerError,
+    RunRecorder,
+    aggregate_records,
+    append_record,
+    default_ledger_path,
+    diff_records,
+    find_record,
+    instance_checksum,
+    peak_rss_bytes,
+    query_hash,
+    read_ledger,
+    rows_checksum,
+)
 from .render import (
+    aggregate_table,
     align_table,
+    history_table,
     memory_table,
     metrics_table,
     render_tree,
@@ -53,6 +69,14 @@ from .render import (
     titled_table,
     trace_from_json,
     trace_to_json,
+)
+from .stream import (
+    StallError,
+    StreamError,
+    StreamWriter,
+    Watchdog,
+    read_segments,
+    replay_stream,
 )
 from .trace import (
     NULL_TRACER,
@@ -98,4 +122,24 @@ __all__ = [
     "metrics_from_json",
     "value_node_count",
     "tracemalloc_peak",
+    "LedgerError",
+    "RunRecorder",
+    "aggregate_records",
+    "aggregate_table",
+    "append_record",
+    "default_ledger_path",
+    "diff_records",
+    "find_record",
+    "history_table",
+    "instance_checksum",
+    "peak_rss_bytes",
+    "query_hash",
+    "read_ledger",
+    "rows_checksum",
+    "StallError",
+    "StreamError",
+    "StreamWriter",
+    "Watchdog",
+    "read_segments",
+    "replay_stream",
 ]

@@ -30,7 +30,9 @@ from .metrics import (
 from .trace import Event, Span, Tracer
 
 __all__ = [
+    "aggregate_table",
     "align_table",
+    "history_table",
     "render_tree",
     "summary_table",
     "metrics_table",
@@ -224,6 +226,57 @@ def sparkline(values: list[float | int | None]) -> str:
             index = int((float(value) - lo) / span * (len(SPARK_LEVELS) - 1))
             bars.append(SPARK_LEVELS[index])
     return "".join(bars)
+
+
+def _format_wall(seconds: Any) -> str:
+    if not isinstance(seconds, (int, float)):
+        return "-"
+    millis = seconds * 1000.0
+    if millis >= 1000.0:
+        return f"{seconds:.2f}s"
+    return f"{millis:.1f}ms"
+
+
+def history_table(records: list[dict[str, Any]]) -> str:
+    """Ledger records as an aligned recent-runs table (oldest first,
+    matching the file order, so ``tail`` semantics are obvious)."""
+    rows: list[tuple[str, ...]] = [
+        ("id", "ts", "command", "outcome", "query", "strategy", "rows",
+         "wall")]
+    for record in records:
+        rows.append((
+            str(record.get("id", "-")),
+            str(record.get("ts", "-")),
+            str(record.get("command", "-")),
+            str(record.get("outcome", "-")),
+            str(record.get("query_hash") or "-"),
+            str(record.get("strategy") or record.get("mode") or "-"),
+            "-" if record.get("rows") is None else str(record["rows"]),
+            _format_wall(record.get("wall_seconds")),
+        ))
+    return "\n".join(align_table(rows))
+
+
+def aggregate_table(aggregates: list[dict[str, Any]]) -> str:
+    """Per-query-hash aggregates (from
+    :func:`repro.obs.ledger.aggregate_records`) as an aligned table:
+    run/ok counts, wall p50/p99 from the log-bucketed histogram, and
+    which headline counters drifted across the group."""
+    rows: list[tuple[str, ...]] = [
+        ("key", "runs", "ok", "wall_p50", "wall_p99", "drift")]
+    for entry in aggregates:
+        wall = entry.get("wall_ms") or {}
+        drift = entry.get("drift") or {}
+        drifting = ",".join(sorted(drift)) if drift else "-"
+        rows.append((
+            str(entry.get("key", "-")),
+            str(entry.get("runs", 0)),
+            str((entry.get("outcomes") or {}).get("ok", 0)),
+            f"{wall['p50']:.0f}ms" if wall.get("count") else "-",
+            f"{wall['p99']:.0f}ms" if wall.get("count") else "-",
+            drifting,
+        ))
+    return "\n".join(align_table(rows))
 
 
 def _span_to_dict(span: Span, origin: float) -> dict[str, Any]:

@@ -140,12 +140,13 @@ class Tracer:
     enabled = True
 
     def __init__(self, max_events: int = DEFAULT_MAX_EVENTS,
-                 memory: bool = False):
+                 memory: bool = False, stream: Any = None):
         self.root = Span("trace", {}, time.perf_counter())
         self.counters: dict[str, int | float] = {}
         self.metrics = MetricsRegistry()
         self.max_events = max_events
         self.dropped_events = 0
+        self.last_beat = time.monotonic()
         self._stack: list[Span] = [self.root]
         self._n_events = 0
         self.memory = None
@@ -155,6 +156,14 @@ class Tracer:
             self.memory = MemoryAttributor()
             self.memory.start()
             self.memory.on_open(self.root)
+        self.stream = None
+        if stream is not None:
+            from .stream import StreamWriter
+
+            if not isinstance(stream, StreamWriter):
+                stream = StreamWriter(stream)
+            self.stream = stream
+            self.stream.begin(self)
 
     # -- span / event API ------------------------------------------------
 
@@ -170,8 +179,11 @@ class Tracer:
         span = Span(name, attrs, time.perf_counter(), self._stack[-1])
         self._stack[-1].children.append(span)
         self._stack.append(span)
+        self.last_beat = time.monotonic()
         if self.memory is not None:
             self.memory.on_open(span)
+        if self.stream is not None:
+            self.stream.span_opened(span)
         try:
             yield span
         except BaseException:
@@ -181,17 +193,28 @@ class Tracer:
             span.end = time.perf_counter()
             if self.memory is not None:
                 self.memory.on_close(span)
+            if self.stream is not None:
+                self.stream.span_closed(span, self.counters)
             self._stack.pop()
 
     def event(self, name: str, /, **attrs: Any) -> None:
         """Record a point event under the innermost open span."""
+        self.last_beat = time.monotonic()
         if self._n_events >= self.max_events:
             self.dropped_events += 1
             return
         self._n_events += 1
-        self._stack[-1].events.append(
-            Event(name, attrs, time.perf_counter())
-        )
+        event = Event(name, attrs, time.perf_counter())
+        span = self._stack[-1]
+        span.events.append(event)
+        if self.stream is not None:
+            self.stream.event_recorded(span, event, self.counters)
+
+    def heartbeat(self) -> None:
+        """Signal liveness to the stall watchdog; engines call this once
+        per fixpoint stage / Datalog rule, so a beat-free window means a
+        single stage is wedged, not that evaluation is merely slow."""
+        self.last_beat = time.monotonic()
 
     # -- counters --------------------------------------------------------
 
@@ -237,11 +260,16 @@ class Tracer:
             span.end = now
             if self.memory is not None:
                 self.memory.on_close(span)
+            if self.stream is not None:
+                self.stream.span_closed(span, self.counters)
             self._stack.pop()
         self.root.end = now
         if self.memory is not None:
             self.memory.on_close(self.root)
             self.memory.stop()
+        if self.stream is not None:
+            self.stream.span_closed(self.root, self.counters)
+            self.stream.end(self)
 
 
 class _NullSpan:
@@ -282,6 +310,9 @@ class NullTracer:
         return _NULL_SPAN_CONTEXT
 
     def event(self, name: str, /, **attrs: Any) -> None:
+        pass
+
+    def heartbeat(self) -> None:
         pass
 
     def count(self, name: str, /, delta: int | float = 1) -> None:

@@ -18,6 +18,17 @@ from repro.objects import (
 
 
 # ---------------------------------------------------------------------------
+# Run-ledger isolation
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(autouse=True)
+def _isolated_run_ledger(tmp_path, monkeypatch):
+    """Point the run ledger at the test's tmp dir, so CLI invocations
+    inside tests never append to the developer's .repro/ledger.jsonl."""
+    monkeypatch.setenv("REPRO_LEDGER", str(tmp_path / "test-ledger.jsonl"))
+
+
+# ---------------------------------------------------------------------------
 # Hypothesis strategies for complex objects
 # ---------------------------------------------------------------------------
 

@@ -76,6 +76,31 @@ def _run_sleepy(n: int, strategy: str) -> dict:
     return _run_linear(n, strategy)
 
 
+def _run_beacon_then_hang(n: int, strategy: str) -> dict:
+    """Counts and emits an event (flushing a counter snapshot onto the
+    worker's stream) *before* wedging — the shape of a real fixpoint
+    that heartbeats per stage and then hits a pathological stage."""
+    from repro.obs import get_tracer
+
+    tracer = get_tracer()
+    tracer.count("toy.rows", n)
+    tracer.event("beacon", n=n)
+    if n == 3:
+        time.sleep(60.0)
+    return {"checksum": n}
+
+
+def _run_beacon_then_raise(n: int, strategy: str) -> dict:
+    from repro.obs import get_tracer
+
+    tracer = get_tracer()
+    tracer.count("toy.rows", n)
+    tracer.event("beacon", n=n)
+    if n == 3:
+        raise ValueError(f"injected failure at n={n}")
+    return {"checksum": n}
+
+
 TOY_SUITES = {
     "toy-square": Suite(
         name="toy-square", title="squares", sizes=(2, 3, 4),
@@ -92,6 +117,14 @@ TOY_SUITES = {
     "toy-sleepy": Suite(
         name="toy-sleepy", title="hangs at n=3", sizes=(1, 2, 3, 4),
         strategies=("seminaive",), run=_run_sleepy, agree=False),
+    "toy-beacon-hang": Suite(
+        name="toy-beacon-hang", title="streams then hangs at n=3",
+        sizes=(1, 2, 3), strategies=("seminaive",),
+        run=_run_beacon_then_hang, agree=False),
+    "toy-beacon-raise": Suite(
+        name="toy-beacon-raise", title="streams then raises at n=3",
+        sizes=(1, 2, 3), strategies=("seminaive",),
+        run=_run_beacon_then_raise, agree=False),
 }
 
 
@@ -230,6 +263,58 @@ class TestResourceTelemetry:
         document = run_suites([SUITES["toy-linear"]], jobs=1)
         for point in document["suites"]["toy-linear"]["points"]:
             assert "space.rss_peak" not in point["counters"]
+
+
+class TestTelemetrySalvage:
+    """Workers always stream their trace up the result pipe, so a point
+    that times out or raises still degrades to *partial telemetry*
+    (whatever counters reached the scheduler before death) instead of
+    the empty placeholder the PR 5 runner left behind."""
+
+    @needs_fork
+    def test_timeout_killed_point_salvages_stream_counters(self):
+        document = run_suites([SUITES["toy-beacon-hang"]], jobs=2,
+                              point_timeout=1.0)
+        points = document["suites"]["toy-beacon-hang"]["points"]
+        by_n = {p["n"]: p for p in points}
+        assert by_n[3]["failed"] and "timed out" in by_n[3]["error"]
+        assert by_n[3]["partial_telemetry"] is True
+        assert by_n[3]["counters"]["toy.rows"] == 3
+        # Healthy points carry full telemetry, unflagged.
+        assert not by_n[1].get("partial_telemetry")
+
+    @needs_fork
+    def test_raising_point_salvages_stream_counters(self):
+        document = run_suites([SUITES["toy-beacon-raise"]], jobs=2)
+        by_n = {p["n"]: p
+                for p in document["suites"]["toy-beacon-raise"]["points"]}
+        assert by_n[3]["failed"] and "injected failure" in by_n[3]["error"]
+        assert by_n[3]["partial_telemetry"] is True
+        assert by_n[3]["counters"]["toy.rows"] == 3
+
+    @needs_fork
+    def test_strip_timing_erases_salvaged_telemetry(self):
+        """Serial runs have no worker stream to salvage from (a raising
+        suite propagates in-process), so the byte-identity invariant
+        demands strip_timing erase the salvage along with the other
+        machine facts: a stripped failed point looks exactly like the
+        bare placeholder."""
+        from repro.bench import failed_point
+
+        document = run_suites([SUITES["toy-beacon-raise"]], jobs=2)
+        stripped = strip_timing(document)
+        by_n = {p["n"]: p
+                for p in stripped["suites"]["toy-beacon-raise"]["points"]}
+        assert by_n[3]["counters"] == {}
+        assert "partial_telemetry" not in by_n[3]
+        placeholder = strip_timing(
+            {"suites": {"s": {"points": [failed_point(
+                3, "seminaive", by_n[3]["error"])]}}}
+        )["suites"]["s"]["points"][0]
+        assert by_n[3] == placeholder
+        # The unstripped document keeps the salvage for humans.
+        raw = document["suites"]["toy-beacon-raise"]["points"]
+        assert {p["n"]: p for p in raw}[3]["partial_telemetry"] is True
 
 
 class TestPlumbing:

@@ -267,6 +267,88 @@ class TestProfileCommand:
         assert code == EXIT_ERROR
 
 
+class TestObsCommand:
+    """``repro obs``: exit-code cases for the reporting side of the run
+    ledger and trace streams (PR 9)."""
+
+    @pytest.fixture
+    def ledger_file(self, graph_file, tmp_path):
+        path = str(tmp_path / "obs-ledger.jsonl")
+        assert main(["query", graph_file, SAFE, "--ledger", path]) == EXIT_OK
+        assert main(["query", graph_file, SAFE, "--ledger", path,
+                     "--strategy", "naive"]) == EXIT_OK
+        return path
+
+    def test_history_ok(self, ledger_file, capsys):
+        assert main(["obs", "history", "--ledger", ledger_file]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "query" in out and "seminaive" in out and "naive" in out
+
+    def test_history_json_ok(self, ledger_file, capsys):
+        code = main(["obs", "history", "--ledger", ledger_file,
+                     "--format", "json"])
+        assert code == EXIT_OK
+        records = json.loads(capsys.readouterr().out)
+        assert len(records) == 2 and records[0]["command"] == "query"
+
+    def test_aggregate_ok(self, ledger_file, capsys):
+        assert main(["obs", "aggregate", "--ledger", ledger_file]) == EXIT_OK
+        assert "wall_p50" in capsys.readouterr().out
+
+    def test_diff_by_negative_index_ok(self, ledger_file, capsys):
+        assert main(["obs", "diff", "-2", "-1",
+                     "--ledger", ledger_file]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "strategy" in out and "!=" in out
+
+    def test_replay_ok(self, graph_file, tmp_path, capsys):
+        stream = str(tmp_path / "run.stream")
+        assert main(["query", graph_file, SAFE, "--stream", stream,
+                     "--no-ledger"]) == EXIT_OK
+        code = main(["obs", "replay", stream, "--no-times"])
+        assert code == EXIT_OK
+        out = capsys.readouterr().out
+        assert "fixpoint" in out and "eval.fixpoint_stages" in out
+
+    def test_replay_chrome_trace_ok(self, graph_file, tmp_path, capsys):
+        stream = str(tmp_path / "run.stream")
+        main(["query", graph_file, SAFE, "--stream", stream, "--no-ledger"])
+        capsys.readouterr()  # drop the query's own stdout
+        code = main(["obs", "replay", stream, "--format", "chrome-trace"])
+        assert code == EXIT_OK
+        document = json.loads(capsys.readouterr().out)
+        assert document["traceEvents"]
+
+    def test_missing_ledger_is_an_error(self, tmp_path, capsys):
+        code = main(["obs", "history",
+                     "--ledger", str(tmp_path / "absent.jsonl")])
+        assert code == EXIT_ERROR
+        assert "error:" in capsys.readouterr().err
+
+    def test_empty_ledger_is_an_error(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["obs", "history", "--ledger", str(path)]) == EXIT_ERROR
+        assert "no records" in capsys.readouterr().err
+
+    def test_unknown_run_id_is_an_error(self, ledger_file, capsys):
+        code = main(["obs", "diff", "zzzzzz", "-1",
+                     "--ledger", ledger_file])
+        assert code == EXIT_ERROR
+        assert "unknown run id" in capsys.readouterr().err
+
+    def test_malformed_stream_is_an_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.stream"
+        path.write_text("garbage not json\nmore garbage\n")
+        assert main(["obs", "replay", str(path)]) == EXIT_ERROR
+        assert "error:" in capsys.readouterr().err
+
+    def test_sharded_bench_with_stream_is_an_error(self, capsys):
+        code = main(["bench", "--suite", "toy", "--jobs", "2",
+                     "--stream", "x.jsonl"])
+        assert code == EXIT_ERROR
+
+
 class TestOtherCommands:
     def test_encode_ok(self, graph_file, capsys):
         assert main(["encode", graph_file]) == EXIT_OK
