@@ -960,6 +960,89 @@ def _run_induced_order(n: int, strategy: str) -> dict[str, Any]:
     return {"checksum": count}
 
 
+def _sc_lane(strategy: str) -> tuple[str, bool]:
+    """Map a bench strategy label onto (engine strategy, intern flag)."""
+    if strategy == "interned":
+        return "seminaive", True
+    return strategy, False
+
+
+def _run_supply_chain_build(n: int, strategy: str) -> dict[str, Any]:
+    """Generate the supply-chain instance at scale ``n`` and hold it to
+    the documented row formulas (ISSUE 10 / ROADMAP item 4).  The
+    checksum is the ledger's order-independent instance checksum, so a
+    generator drift breaks the baseline loudly."""
+    from ..obs import get_tracer, instance_checksum
+    from ..workloads import supply_chain_instance, supply_chain_rows
+
+    inst = supply_chain_instance(n)
+    formulas = supply_chain_rows(n)
+    total = 0
+    for name in inst.schema.relation_names:
+        rows = len(inst.relation(name))
+        if rows != formulas[name]:
+            raise AssertionError(
+                f"supply chain scale {n}: {name} has {rows} rows, "
+                f"formula says {formulas[name]}")
+        total += rows
+    get_tracer().gauge("sc.rows", total)
+    return {"checksum": instance_checksum(inst)}
+
+
+def _run_supply_chain_bom(n: int, strategy: str) -> dict[str, Any]:
+    """The headline YELLOW fixpoint — full BOM ancestor closure — raced
+    across the three engine lanes.  The ternary-tree blocks make the
+    closure exactly ``102 * n`` rows at a pinned stage count, so both
+    are asserted per point, not just regress-gated."""
+    from ..workloads import (answer_question, bom_closure_rows,
+                             question_by_name, supply_chain_instance)
+
+    engine, intern = _sc_lane(strategy)
+    answer = answer_question(question_by_name("bom-closure"),
+                             supply_chain_instance(n),
+                             strategy=engine, intern=intern)
+    if len(answer.rows) != bom_closure_rows(n):
+        raise AssertionError(
+            f"{strategy} BOM closure at scale {n} produced "
+            f"{len(answer.rows)} rows, expected {bom_closure_rows(n)}")
+    return {"checksum": answer.checksum}
+
+
+def _run_supply_chain_questions(n: int, strategy: str) -> dict[str, Any]:
+    """The whole golden inventory (~30 GREEN/YELLOW/RED questions) under
+    one lane; the checksum rolls up every per-question answer checksum,
+    so the three lanes agreeing here means they agree on every answer."""
+    from ..obs import get_tracer, rows_checksum
+    from ..workloads import QUESTIONS, answer_question, supply_chain_instance
+
+    engine, intern = _sc_lane(strategy)
+    inst = supply_chain_instance(n)
+    tracer = get_tracer()
+    rollup = []
+    total_rows = 0
+    for question in QUESTIONS:
+        answer = answer_question(question, inst,
+                                 strategy=engine, intern=intern)
+        rollup.append((question.name, answer.checksum))
+        total_rows += len(answer.rows)
+    tracer.count("sc.questions", len(rollup))
+    tracer.count("sc.question_rows", total_rows)
+    return {"checksum": rows_checksum(rollup)}
+
+
+def _run_supply_chain_scale(n: int, strategy: str) -> dict[str, Any]:
+    """The acceptance point: 100K+ rows generated and the headline BOM
+    fixpoint answered inside the bench timeout (interned lane only —
+    the object engines are measured at smaller scales by
+    ``supply-chain-bom``)."""
+    from ..obs import get_tracer
+
+    result = _run_supply_chain_build(n, strategy)
+    bom = _run_supply_chain_bom(n, "interned")
+    get_tracer().gauge("sc.bom_checksum", bom["checksum"])
+    return result
+
+
 SUITES: dict[str, Suite] = {}
 
 
@@ -1488,6 +1571,80 @@ _register(Suite(
 ))
 
 
+_register(Suite(
+    name="supply-chain-build",
+    title="ISSUE 10: supply-chain generator — formula-checked rows, "
+          "checksum-pinned instances",
+    sizes=(1, 4, 16, 64),
+    strategies=("build",),
+    run=_run_supply_chain_build,
+    expectations=(
+        Expectation(metric="sc.rows", kind="bound", strategy="build",
+                    bound_degree=1, bound_coefficient=415.0,
+                    note="total rows = 415*scale once scale>=2 "
+                         "(413 at scale 1): linear by construction"),
+        Expectation(metric="seconds", kind="poly", strategy="build",
+                    max_degree=1.8,
+                    note="generation is linear in the scale"),
+    ),
+    tolerances=(Tolerance(metric="sc.rows", max_ratio=0.0),),
+    agree=False,  # single strategy
+))
+
+_register(Suite(
+    name="supply-chain-bom",
+    title="ISSUE 10: BOM ancestor closure across the three engine lanes",
+    sizes=(4, 8, 16),
+    strategies=("naive", "seminaive", "interned"),
+    run=_run_supply_chain_bom,
+    expectations=(
+        Expectation(metric="datalog.rows_derived", kind="poly",
+                    strategy="interned", max_degree=1.5,
+                    note="closure is exactly 102*scale rows: linear, "
+                         "never quadratic (depth-3 ternary blocks)"),
+    ),
+    gates=(
+        SpeedupGate(slow="naive", fast="interned", min_ratio=3.0),
+        SpeedupGate(slow="naive", fast="seminaive", min_ratio=1.2),
+    ),
+    tolerances=(
+        Tolerance(metric="datalog.rows_derived", max_ratio=0.0),
+        Tolerance(metric="ifp.stages", max_ratio=0.0),
+    ),
+    agree=True,  # the three lanes must return the same closure
+))
+
+_register(Suite(
+    name="supply-chain-questions",
+    title="ISSUE 10: the golden question inventory, every lane answering "
+          "every question",
+    sizes=(1, 2),
+    strategies=("naive", "seminaive", "interned"),
+    run=_run_supply_chain_questions,
+    tolerances=(
+        Tolerance(metric="sc.questions", max_ratio=0.0),
+        Tolerance(metric="sc.question_rows", max_ratio=0.0),
+        Tolerance(metric="ifp.stages", max_ratio=0.0),
+    ),
+    agree=True,  # rollup checksum: per-question answers must coincide
+))
+
+_register(Suite(
+    name="supply-chain-scale",
+    title="ISSUE 10: 100K+ rows generated and the headline BOM fixpoint "
+          "answered under the interned kernel",
+    sizes=(256,),
+    strategies=("interned",),
+    run=_run_supply_chain_scale,
+    tolerances=(
+        Tolerance(metric="sc.rows", max_ratio=0.0),
+        Tolerance(metric="ifp.stages", max_ratio=0.0),
+        Tolerance(metric="datalog.rows_derived", max_ratio=0.0),
+    ),
+    agree=False,  # single lane; the checksums pin generator + closure
+))
+
+
 #: Named groups accepted by ``repro bench --suite``.  ``tc``/``space``/
 #: ``theorems``/``analysis`` partition the registry for CI's job matrix;
 #: ``smoke`` keeps its PR 4 meaning (the original six suites).
@@ -1502,6 +1659,10 @@ GROUPS: dict[str, tuple[str, ...]] = {
                  "code-relations", "domain-encoding", "rr-vs-active",
                  "sorted-density", "tm-simulation"),
     "analysis": ("lint-program",),
+    "workloads": ("supply-chain-build", "supply-chain-bom",
+                  "supply-chain-questions", "supply-chain-scale"),
+    "supply-chain": ("supply-chain-build", "supply-chain-bom",
+                     "supply-chain-questions", "supply-chain-scale"),
     "smoke": ("seminaive-smoke", "tc-seminaive-dense", "hyper-domain",
               "rr-space-chain", "calc-ifp-dense", "algebra-loop"),
     "all": tuple(SUITES),

@@ -332,10 +332,15 @@ def build_trend(records: list[dict[str, Any]],
                     previous_label = None
                     for label, value in zip(labels, values):
                         if value is not None and previous is not None:
-                            limit = previous * (1.0 + max_ratio)
-                            exact_change = (max_ratio == 0.0
-                                            and value != previous)
-                            if value > limit or exact_change:
+                            # Compare exactly at 0% tolerance: a float
+                            # limit would misround big-int counters
+                            # (e.g. 2**72-scale domain cardinalities).
+                            if max_ratio == 0.0:
+                                regressed = value != previous
+                            else:
+                                regressed = value > previous * (1.0
+                                                                + max_ratio)
+                            if regressed:
                                 flagged.append(label)
                                 regressions.append(
                                     f"{name}: {metric} ({strategy}, n={n}) "

@@ -44,11 +44,22 @@ from .format import format_formula, format_query, format_term, format_value
 from .order_formulas import (
     ORDER_RELATION,
     less_than_formula,
+    max_diff_formula,
+    order_schema,
     pair_in,
     total_order_formula,
     with_order_relation,
 )
-from .parser import ParseError, parse_formula, parse_query, parse_term
+from .parser import (
+    ParseError,
+    SourceMap,
+    Span,
+    parse_formula,
+    parse_formula_with_source,
+    parse_query,
+    parse_query_with_source,
+    parse_term,
+)
 from .typecheck import (
     TypeCheckError,
     TypeReport,
@@ -59,6 +70,7 @@ from .typecheck import (
     query_level,
 )
 from .evaluation import (
+    STRATEGIES,
     EvalError,
     Evaluator,
     active_atoms,
@@ -75,8 +87,11 @@ from .fixpoint import (
     pfp_stages,
 )
 from .range_restriction import (
+    Path,
     RangeComputationError,
     RRResult,
+    RRViolation,
+    RuleCitation,
     analyze,
     analyze_query,
     compute_ranges,
@@ -108,20 +123,24 @@ __all__ = [
     "C", "V", "eq", "exists", "forall", "ifp", "member", "pfp", "proj",
     "query", "rel", "subset",
     # parser / formatter / orders
-    "ParseError", "parse_formula", "parse_query", "parse_term",
-    "format_formula", "format_query", "format_value",
-    "ORDER_RELATION", "less_than_formula", "pair_in",
-    "total_order_formula", "with_order_relation",
+    "ParseError", "SourceMap", "Span", "parse_formula",
+    "parse_formula_with_source", "parse_query", "parse_query_with_source",
+    "parse_term",
+    "format_formula", "format_query", "format_term", "format_value",
+    "ORDER_RELATION", "less_than_formula", "max_diff_formula",
+    "order_schema", "pair_in", "total_order_formula", "with_order_relation",
     # typecheck
     "TypeCheckError", "TypeReport", "assert_calc_ik", "check_formula",
     "check_query", "formula_level", "query_level",
     # evaluation
-    "EvalError", "Evaluator", "active_atoms", "evaluate", "evaluate_formula",
+    "STRATEGIES", "EvalError", "Evaluator", "active_atoms", "evaluate",
+    "evaluate_formula",
     # fixpoint
     "FixpointError", "IndexPool", "PFPDivergenceError", "ifp_stages",
     "iterate_ifp", "iterate_pfp", "pfp_stages",
     # range restriction
-    "RangeComputationError", "RRResult", "analyze", "analyze_query",
+    "Path", "RRViolation", "RangeComputationError", "RRResult",
+    "RuleCitation", "analyze", "analyze_query",
     "compute_ranges", "is_range_restricted", "negate", "nnf",
     # safety
     "SafeEvaluationReport", "evaluate_range_restricted",

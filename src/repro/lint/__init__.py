@@ -9,7 +9,7 @@ citations, exact big-int cost estimates and fix suggestions.  See
 :mod:`repro.lint.diagnostics` for the code registry.
 """
 
-from .adornment import AdornmentResult, Blocker, adorn_program
+from .adornment import AdornedRule, AdornmentResult, Blocker, adorn_program
 from .datalog import lint_program
 from .diagnostics import (
     CODES,
@@ -28,6 +28,7 @@ from .program import (
 )
 
 __all__ = [
+    "AdornedRule",
     "AdornmentResult",
     "Blocker",
     "CODES",

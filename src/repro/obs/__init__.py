@@ -37,6 +37,7 @@ from .metrics import (
     Counter,
     Gauge,
     Histogram,
+    Metric,
     MetricsRegistry,
     metrics_from_json,
     metrics_to_json,
@@ -44,6 +45,8 @@ from .metrics import (
     value_node_count,
 )
 from .ledger import (
+    DEFAULT_LEDGER_PATH,
+    LEDGER_SCHEMA,
     LedgerError,
     RunRecorder,
     aggregate_records,
@@ -51,6 +54,7 @@ from .ledger import (
     default_ledger_path,
     diff_records,
     find_record,
+    headline_counters,
     instance_checksum,
     peak_rss_bytes,
     query_hash,
@@ -71,6 +75,7 @@ from .render import (
     trace_to_json,
 )
 from .stream import (
+    STREAM_SCHEMA,
     StallError,
     StreamError,
     StreamWriter,
@@ -117,11 +122,14 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "Metric",
     "MetricsRegistry",
     "metrics_to_json",
     "metrics_from_json",
     "value_node_count",
     "tracemalloc_peak",
+    "DEFAULT_LEDGER_PATH",
+    "LEDGER_SCHEMA",
     "LedgerError",
     "RunRecorder",
     "aggregate_records",
@@ -130,12 +138,14 @@ __all__ = [
     "default_ledger_path",
     "diff_records",
     "find_record",
+    "headline_counters",
     "history_table",
     "instance_checksum",
     "peak_rss_bytes",
     "query_hash",
     "read_ledger",
     "rows_checksum",
+    "STREAM_SCHEMA",
     "StallError",
     "StreamError",
     "StreamWriter",

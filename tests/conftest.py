@@ -179,6 +179,101 @@ def datalog_programs(draw):
 
 
 # ---------------------------------------------------------------------------
+# Hypothesis strategies for the supply-chain workload (PR 10)
+# ---------------------------------------------------------------------------
+
+def supply_chain_instances(max_parts: int = 6):
+    """Random *miniature* supply-chain instances over the full 10-relation
+    nested schema (:func:`repro.workloads.supply_chain_schema`).
+
+    Everything is tiny (a handful of parts/suppliers) so the three-lane
+    differential stays fast, but structurally faithful: set-valued
+    certification and assembly columns, an acyclic BOM (parents always
+    have a smaller index than children, so cycles are impossible by
+    construction), tiered supplier edges pointing strictly down-index.
+    Labels reuse the canonical generator's fixed-width scheme so the
+    golden questions' named entities (``p000000``, ``s0000``, ``c00000``)
+    resolve — possibly to empty answers — on every draw.
+    """
+    from repro.workloads import (
+        BANDS,
+        CATEGORIES,
+        CERTIFICATIONS,
+        REGIONS,
+        TIERS,
+        supply_chain_schema,
+    )
+
+    @st.composite
+    def instances(draw):
+        schema = supply_chain_schema()
+        n_parts = draw(st.integers(2, max_parts))
+        parts = [Atom(f"p{i:06d}") for i in range(n_parts)]
+        certs = [Atom(c) for c in CERTIFICATIONS[:3]]
+        part_rows = [
+            (p, Atom(draw(st.sampled_from(CATEGORIES[:3])))) for p in parts
+        ]
+        cert_rows = [
+            (p, CSet(draw(st.frozensets(st.sampled_from(certs),
+                                        max_size=2))))
+            for p in parts
+        ]
+        children: dict[Atom, list[Atom]] = {}
+        bom_rows = []
+        for index in range(1, n_parts):
+            if draw(st.booleans()):
+                parent = parts[draw(st.integers(0, index - 1))]
+                children.setdefault(parent, []).append(parts[index])
+                bom_rows.append((parent, parts[index]))
+        assembly_rows = [(p, CSet(kids)) for p, kids in children.items()]
+        n_suppliers = draw(st.integers(1, 3))
+        suppliers = [Atom(f"s{i:04d}") for i in range(n_suppliers)]
+        supplier_rows = [
+            (s, Atom(draw(st.sampled_from(TIERS)))) for s in suppliers
+        ]
+        edge_rows = [
+            (suppliers[hi], suppliers[lo])
+            for hi in range(1, n_suppliers)
+            for lo in range(hi)
+            if draw(st.booleans())
+        ]
+        part_supplier_rows = sorted({
+            (draw(st.sampled_from(parts)), draw(st.sampled_from(suppliers)))
+            for _ in range(draw(st.integers(0, 4)))
+        }, key=repr)
+        customers = [Atom(f"c{i:05d}")
+                     for i in range(draw(st.integers(1, 2)))]
+        customer_rows = [
+            (c, Atom(draw(st.sampled_from(REGIONS)))) for c in customers
+        ]
+        order_rows = [
+            (Atom(f"o{i:06d}"), draw(st.sampled_from(customers)),
+             draw(st.sampled_from(parts)))
+            for i in range(draw(st.integers(0, 3)))
+        ]
+        inventory_rows = sorted({
+            (Atom("f0"), draw(st.sampled_from(parts)),
+             Atom(draw(st.sampled_from(BANDS))))
+            for _ in range(draw(st.integers(0, 3)))
+        }, key=repr)
+        return instance(
+            schema,
+            Part=part_rows,
+            PartCert=cert_rows,
+            Assembly=assembly_rows,
+            BOM=bom_rows,
+            Supplier=supplier_rows,
+            SupplierEdge=edge_rows,
+            PartSupplier=part_supplier_rows,
+            Customer=customer_rows,
+            Order=order_rows,
+            Inventory=inventory_rows,
+        )
+
+    return instances()
+
+
+# ---------------------------------------------------------------------------
 # Fixtures: the paper's worked instances
 # ---------------------------------------------------------------------------
 

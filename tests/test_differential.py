@@ -23,8 +23,14 @@ from __future__ import annotations
 
 import pytest
 from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
-from tests.conftest import calc_queries, datalog_programs, flat_graph_instances
+from tests.conftest import (
+    calc_queries,
+    datalog_programs,
+    flat_graph_instances,
+    supply_chain_instances,
+)
 from repro.core.evaluation import evaluate
 from repro.core.fixpoint import PFPDivergenceError
 from repro.datalog import evaluate_inflationary, inflationary_stages
@@ -180,3 +186,42 @@ class TestRandomDatalog:
     @given(program=datalog_programs(), inst=flat_graph_instances())
     def test_strategies_agree_deep(self, program, inst):
         assert_datalog_strategies_agree(program, inst)
+
+
+# ---------------------------------------------------------------------------
+# Random supply-chain instances (PR 10): realistic nested values
+# ---------------------------------------------------------------------------
+#
+# The flat-graph draws above never exercise set-valued columns.  Here the
+# random differential answers the golden supply-chain inventory — nested
+# membership, BOM fixpoints, PFP — over randomly drawn miniature nested
+# instances, holding all three lanes to identical answers *and* stage
+# counts on every (instance, question) pair.
+
+def assert_question_lanes_agree(question, inst):
+    from repro.workloads import answer_question
+
+    naive = answer_question(question, inst, strategy="naive")
+    seminaive = answer_question(question, inst, strategy="seminaive")
+    interned = answer_question(question, inst, strategy="seminaive",
+                               intern=True)
+    assert naive == seminaive == interned
+
+
+def _inventory_questions():
+    from repro.workloads import QUESTIONS
+
+    return st.sampled_from(QUESTIONS)
+
+
+class TestSupplyChainDifferential:
+    @FAST
+    @given(inst=supply_chain_instances(), question=_inventory_questions())
+    def test_lanes_agree(self, question, inst):
+        assert_question_lanes_agree(question, inst)
+
+    @pytest.mark.slow
+    @DEEP
+    @given(inst=supply_chain_instances(), question=_inventory_questions())
+    def test_lanes_agree_deep(self, question, inst):
+        assert_question_lanes_agree(question, inst)

@@ -1,0 +1,53 @@
+"""Package export hygiene (the PR 10 sweep, kept honest forever).
+
+Every name a ``repro.*`` submodule declares in its ``__all__`` must be
+re-exported by its package ``__init__`` — PR 6's consolidation left a
+handful of helpers (``headline_counters``, ``AdornedRule``, the parser
+source-map API, ...) reachable only by deep import, and this guard is
+what keeps that from regressing.  It also checks the inverse: every
+package ``__all__`` entry actually resolves.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pkgutil
+
+import pytest
+
+PACKAGES = (
+    "repro.analysis",
+    "repro.core",
+    "repro.datalog",
+    "repro.lint",
+    "repro.objects",
+    "repro.obs",
+    "repro.workloads",
+)
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_package_all_resolves(package_name):
+    package = importlib.import_module(package_name)
+    exported = getattr(package, "__all__", None)
+    assert exported, f"{package_name} declares no __all__"
+    missing = [name for name in exported if not hasattr(package, name)]
+    assert not missing, f"{package_name} exports unresolvable {missing}"
+    assert len(set(exported)) == len(exported), \
+        f"{package_name} has duplicate __all__ entries"
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_submodule_all_reexported(package_name):
+    package = importlib.import_module(package_name)
+    exported = set(getattr(package, "__all__", ()))
+    gaps = {}
+    for module_info in pkgutil.iter_modules(package.__path__):
+        submodule = importlib.import_module(
+            f"{package_name}.{module_info.name}")
+        names = [name for name in getattr(submodule, "__all__", ())
+                 if name not in exported]
+        if names:
+            gaps[module_info.name] = names
+    assert not gaps, (
+        f"{package_name} fails to re-export submodule __all__ names: {gaps}")
